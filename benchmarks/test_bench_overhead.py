@@ -1,0 +1,64 @@
+"""Supplementary benchmark: what does source tagging cost?
+
+The 1990 paper reports no performance numbers; this bench characterizes our
+implementation by running the *same* query plan through the polygen
+executor (tagged cells) and the global-model baseline (plain tuples) over
+growing synthetic federations.  EXPERIMENTS.md records the measured ratio.
+"""
+
+import pytest
+
+from repro.baseline.global_model import GlobalQueryProcessor
+from repro.datasets.generators import FederationSpec, generate_federation
+
+SIZES = [50, 200, 800]
+
+QUERY = '(GORGANIZATION [INDUSTRY = "Banking"]) [NAME, INDUSTRY, HEADQUARTERS]'
+
+
+def federation_for(organizations: int):
+    return generate_federation(
+        FederationSpec(
+            databases=3,
+            organizations=organizations,
+            coverage=0.6,
+            people_per_database=10,
+            seed=11,
+        )
+    )
+
+
+@pytest.mark.parametrize("organizations", SIZES)
+def test_polygen_tagged_pipeline(benchmark, organizations):
+    """Tagged execution over |universe| organizations (3 databases)."""
+    federation = federation_for(organizations)
+    pqp = federation.processor()
+    result = benchmark(pqp.run_algebra, QUERY)
+    assert result.relation.cardinality > 0
+    # Tags are present and meaningful.
+    assert result.relation.all_origins() <= set(federation.database_names())
+
+
+@pytest.mark.parametrize("organizations", SIZES)
+def test_untagged_baseline_pipeline(benchmark, organizations):
+    """Untagged (global-model) execution of the same plans."""
+    federation = federation_for(organizations)
+    baseline = GlobalQueryProcessor(federation.schema, federation.registry())
+    result = benchmark(baseline.run_algebra, QUERY)
+    assert result.relation.cardinality > 0
+
+
+@pytest.mark.parametrize("organizations", [200])
+def test_pipelines_agree_on_data(benchmark, organizations):
+    """Sanity: the two pipelines return identical data portions."""
+    federation = federation_for(organizations)
+    pqp = federation.processor()
+    baseline = GlobalQueryProcessor(federation.schema, federation.registry())
+
+    def run_both():
+        tagged = pqp.run_algebra(QUERY).relation
+        untagged = baseline.run_algebra(QUERY).relation
+        return tagged, untagged
+
+    tagged, untagged = benchmark(run_both)
+    assert set(untagged.rows) == set(tagged.data_rows())

@@ -1,0 +1,55 @@
+"""Supplementary benchmark: end-to-end pipeline and stage decomposition.
+
+Times the full SQL → answer path on the paper's query, plus each pipeline
+stage in isolation, so EXPERIMENTS.md can report where the time goes
+(translation vs planning vs execution).
+"""
+
+import pytest
+
+from benchmarks.conftest import PAPER_SQL
+from repro.datasets import expected
+from repro.datasets.paper import build_paper_federation, paper_polygen_schema
+from repro.translate.translator import translate_sql
+
+
+@pytest.fixture(scope="module")
+def session_pqp():
+    return build_paper_federation()
+
+
+def test_end_to_end_sql(benchmark, session_pqp):
+    """SQL → tagged Table 9, the whole pipeline."""
+    result = benchmark(session_pqp.run_sql, PAPER_SQL)
+    assert result.relation == expected.expected_table_9()
+
+
+def test_stage_translation(benchmark):
+    """Stage 1: SQL parsing + translation to algebra."""
+    schema = paper_polygen_schema()
+    result = benchmark(translate_sql, PAPER_SQL, schema)
+    assert result.dropped_tables == ("PALUMNUS",)
+
+
+def test_stage_planning(benchmark, session_pqp):
+    """Stages 2–3: Syntax Analyzer + two-pass interpreter + optimizer."""
+    translation = translate_sql(PAPER_SQL, session_pqp.schema)
+
+    def build_plan():
+        _, pom = session_pqp.analyze(translation.expression)
+        iom = session_pqp.plan(pom)
+        iom, _ = session_pqp.optimize(iom)
+        return iom
+
+    iom = benchmark(build_plan)
+    assert len(iom) == 10
+
+
+def test_stage_execution(benchmark, session_pqp):
+    """Stage 4: plan execution against the LQPs."""
+    translation = translate_sql(PAPER_SQL, session_pqp.schema)
+    _, pom = session_pqp.analyze(translation.expression)
+    iom = session_pqp.plan(pom)
+
+    result = benchmark(session_pqp.run_plan, iom)
+    assert result.relation == expected.expected_table_9()

@@ -1,0 +1,63 @@
+"""Supplementary benchmark: plan scheduling and federation parallelism.
+
+The paper's Figure 1 architecture implies autonomous LQPs that can serve
+the PQP concurrently.  Using the scheduling simulator we measure, for
+growing federation width, the simulated serial cost versus the parallel
+makespan of the Merge plan — the "why a federation wants parallel LQP
+dispatch" story, quantified.
+"""
+
+import pytest
+
+from repro.datasets.generators import FederationSpec, generate_federation
+from repro.datasets.paper import build_paper_federation
+from repro.lqp.cost import CostModel
+from repro.pqp.schedule import schedule_plan
+
+from benchmarks.conftest import PAPER_SQL
+
+
+def test_paper_plan_schedule(benchmark):
+    """Schedule the paper's Table 3 plan with measured tuple counts."""
+    pqp = build_paper_federation()
+    run = pqp.run_sql(PAPER_SQL)
+
+    schedule = benchmark(schedule_plan, run.iom, run.trace)
+    # The three merge retrieves (AD, PD, CD) overlap.
+    assert schedule.speedup > 1.0
+    assert schedule.critical_path[-1].row.op.value == "Project"
+
+
+@pytest.mark.parametrize("databases", [2, 4, 8, 16])
+def test_parallelism_grows_with_federation_width(benchmark, databases):
+    """Merge-plan speedup versus number of databases.
+
+    With a fixed per-query LQP latency, the serial cost of N retrieves
+    grows linearly while the parallel makespan stays near one retrieve —
+    speedup approaches N (bounded by the PQP-side merge work).
+    """
+    federation = generate_federation(
+        FederationSpec(
+            databases=databases,
+            organizations=100,
+            coverage=0.4,
+            people_per_database=5,
+            seed=31,
+        )
+    )
+    pqp = federation.processor()
+    run = pqp.run_algebra("GORGANIZATION [NAME, INDUSTRY]")
+
+    slow_lqps = {
+        name: CostModel(per_query=10.0, per_tuple=0.01)
+        for name in federation.database_names()
+    }
+
+    def build():
+        return schedule_plan(run.iom, run.trace, local_costs=slow_lqps)
+
+    schedule = benchmark(build)
+    assert schedule.speedup > 1.0
+    # Wider federations parallelize more retrieves.
+    if databases >= 8:
+        assert schedule.speedup > databases / 4

@@ -1,0 +1,73 @@
+"""Benchmarks regenerating the paper's translation artifacts.
+
+- Table 1 — the Polygen Operation Matrix (Syntax Analyzer output),
+- Table 2 — the half-processed IOM (Figure 3's pass-one algorithm),
+- Table 3 — the full IOM (Figure 4's pass-two algorithm),
+- the SQL → algebra translation of §III.
+
+Each benchmark asserts its output equals the printed table, then times the
+regeneration.
+"""
+
+from benchmarks.conftest import PAPER_SQL
+from repro.datasets.paper import paper_polygen_schema
+from repro.pqp.syntax_analyzer import SyntaxAnalyzer
+from repro.translate.translator import translate_sql
+
+TABLE_1 = [
+    ("R(1)", "Select", "PALUMNUS", "DEGREE", "=", '"MBA"', "nil"),
+    ("R(2)", "Join", "R(1)", "AID#", "=", "AID#", "PCAREER"),
+    ("R(3)", "Join", "R(2)", "ONAME", "=", "ONAME", "PORGANIZATION"),
+    ("R(4)", "Restrict", "R(3)", "CEO", "=", "ANAME", "nil"),
+    ("R(5)", "Project", "R(4)", "ONAME, CEO", "nil", "nil", "nil"),
+]
+
+TABLE_2 = [
+    ("R(1)", "Select", "ALUMNUS", "DEG", "=", '"MBA"', "nil", "AD"),
+    ("R(2)", "Join", "R(1)", "AID#", "=", "AID#", "PCAREER", "PQP"),
+    ("R(3)", "Join", "R(2)", "ONAME", "=", "ONAME", "PORGANIZATION", "PQP"),
+    ("R(4)", "Restrict", "R(3)", "CEO", "=", "ANAME", "nil", "PQP"),
+    ("R(5)", "Project", "R(4)", "ONAME, CEO", "nil", "nil", "nil", "PQP"),
+]
+
+TABLE_3 = [
+    ("R(1)", "Select", "ALUMNUS", "DEG", "=", '"MBA"', "nil", "AD"),
+    ("R(2)", "Retrieve", "CAREER", "nil", "nil", "nil", "nil", "AD"),
+    ("R(3)", "Join", "R(1)", "AID#", "=", "AID#", "R(2)", "PQP"),
+    ("R(4)", "Retrieve", "BUSINESS", "nil", "nil", "nil", "nil", "AD"),
+    ("R(5)", "Retrieve", "CORPORATION", "nil", "nil", "nil", "nil", "PD"),
+    ("R(6)", "Retrieve", "FIRM", "nil", "nil", "nil", "nil", "CD"),
+    ("R(7)", "Merge", "R(4), R(5), R(6)", "nil", "nil", "nil", "nil", "PQP"),
+    ("R(8)", "Join", "R(3)", "ONAME", "=", "ONAME", "R(7)", "PQP"),
+    ("R(9)", "Restrict", "R(8)", "CEO", "=", "ANAME", "nil", "PQP"),
+    ("R(10)", "Project", "R(9)", "ONAME, CEO", "nil", "nil", "nil", "PQP"),
+]
+
+
+def test_sql_translation_reproduces_paper_expression(benchmark):
+    """§III: the SQL polygen query → the paper's algebraic expression."""
+    schema = paper_polygen_schema()
+    result = benchmark(translate_sql, PAPER_SQL, schema)
+    assert result.render() == (
+        '(((((PALUMNUS [DEGREE = "MBA"]) [AID# = AID#] PCAREER) '
+        "[ONAME = ONAME] PORGANIZATION) [CEO = ANAME]) [ONAME, CEO])"
+    )
+
+
+def test_table1_pom(benchmark, paper_expression):
+    """Table 1: the Syntax Analyzer's Polygen Operation Matrix."""
+    analyzer = SyntaxAnalyzer()
+    pom = benchmark(analyzer.analyze, paper_expression)
+    assert [row.cells(with_el=False) for row in pom] == TABLE_1
+
+
+def test_table2_pass_one(benchmark, paper_pom, paper_interpreter):
+    """Table 2 / Figure 3: pass one of the Polygen Operation Interpreter."""
+    half = benchmark(paper_interpreter.pass_one, paper_pom)
+    assert [row.cells(with_el=True) for row in half] == TABLE_2
+
+
+def test_table3_pass_two(benchmark, paper_pom, paper_interpreter):
+    """Table 3 / Figure 4: both passes of the interpreter."""
+    iom = benchmark(paper_interpreter.interpret, paper_pom)
+    assert [row.cells(with_el=True) for row in iom] == TABLE_3

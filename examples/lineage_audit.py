@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Lineage auditing: reverse mapping, provenance narratives, and the
+cardinality inconsistency problem.
+
+Implements the paper's §IV observation (3) — "the polygen query processor
+can derive the information that Genentech is from the BNAME column,
+BUSINESS relation in the Alumni Database and from the FNAME column, FIRM
+relation in the Company Database … with a simple mapping" — and §V's
+footnote 13, detecting referential integrity violations that autonomous
+databases cannot prevent.
+
+Run:  python examples/lineage_audit.py
+"""
+
+from repro.datasets.paper import build_paper_federation, paper_polygen_schema
+from repro.pqp.explain import explain_result
+from repro.quality.diagnostics import dangling_references
+
+PAPER_SQL = """
+SELECT ONAME, CEO
+FROM PORGANIZATION, PALUMNUS
+WHERE CEO = ANAME AND ONAME IN
+    (SELECT ONAME FROM PCAREER WHERE AID# IN
+        (SELECT AID# FROM PALUMNUS WHERE DEGREE = "MBA"))
+"""
+
+
+def main() -> None:
+    pqp = build_paper_federation()
+    schema = paper_polygen_schema()
+
+    print("Provenance narrative for the paper's Table 9")
+    print("============================================")
+    result = pqp.run_sql(PAPER_SQL)
+    print(explain_result(result, schema))
+    print()
+
+    print("Cardinality inconsistency audit (paper, §V footnote 13)")
+    print("=======================================================")
+    print(
+        "Referential integrity is not enforceable across autonomous\n"
+        "databases; with tags the PQP can at least locate the damage:\n"
+    )
+
+    career = pqp.run_algebra("PCAREER [ONAME, POSITION]").relation
+    finance = pqp.run_algebra("PFINANCE [ONAME, YEAR]").relation
+    organizations = pqp.run_algebra("PORGANIZATION [ONAME, INDUSTRY]").relation
+
+    report_vs_finance = dangling_references(career, "ONAME", finance, "ONAME")
+    print("CAREER.ONAME → FINANCE.ONAME")
+    print(report_vs_finance.render())
+    print()
+
+    report_vs_orgs = dangling_references(career, "ONAME", organizations, "ONAME")
+    print("CAREER.ONAME → merged PORGANIZATION.ONAME")
+    print(report_vs_orgs.render())
+    print()
+    print(
+        "The Company Database's FINANCE relation has no rows for MIT or BP\n"
+        "(CD only tracks disclosing firms), while the merged PORGANIZATION\n"
+        "covers every organization CAREER mentions — the tags say exactly\n"
+        "which database to reconcile (AD) if the federation wants FINANCE\n"
+        "coverage for them."
+    )
+
+
+if __name__ == "__main__":
+    main()

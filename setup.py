@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The environment this reproduction targets may lack the ``wheel`` package, in
+which case PEP 660 editable installs (``pip install -e .``) cannot build an
+editable wheel.  ``python setup.py develop`` installs the package in
+development mode using setuptools alone; all metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

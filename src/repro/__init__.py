@@ -1,0 +1,39 @@
+"""repro — a reproduction of Wang & Madnick (1990), *A Polygen Model for
+Heterogeneous Database Systems: The Source Tagging Perspective*.
+
+The library answers "where is this data from?" and "which intermediate
+sources were used to arrive at it?" for queries over a federation of
+autonomous relational databases.  See ``README.md`` for a tour and
+``DESIGN.md`` for the system inventory.
+
+Quickstart::
+
+    from repro import build_paper_federation
+
+    pqp = build_paper_federation()
+    result = pqp.run_sql('''
+        SELECT ONAME, CEO
+        FROM PORGANIZATION, PALUMNUS
+        WHERE CEO = ANAME AND ONAME IN
+          (SELECT ONAME FROM PCAREER WHERE AID# IN
+            (SELECT AID# FROM PALUMNUS WHERE DEGREE = "MBA"))
+    ''')
+    print(result.relation)          # source-tagged answer (paper, Table 9)
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]
+
+
+def __getattr__(name):
+    # Lazy re-exports keep `import repro` light while offering a flat API.
+    if name in {"build_paper_federation", "paper_polygen_schema", "paper_databases"}:
+        from repro.datasets import paper
+
+        return getattr(paper, name)
+    if name == "PolygenQueryProcessor":
+        from repro.pqp.processor import PolygenQueryProcessor
+
+        return PolygenQueryProcessor
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,124 @@
+"""Lexer for the polygen algebra expression language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, List
+
+from repro.errors import AlgebraParseError
+
+__all__ = ["TokenType", "Token", "tokenize"]
+
+
+class TokenType(Enum):
+    NAME = "name"
+    STRING = "string"
+    NUMBER = "number"
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACKET = "["
+    RBRACKET = "]"
+    COMMA = ","
+    THETA = "theta"
+    KEYWORD = "keyword"
+    END = "end"
+
+
+#: Set-operator and coalesce keywords (case-sensitive, upper-case — polygen
+#: scheme names are conventionally upper-case too, so keywords are reserved).
+KEYWORDS = {"UNION", "MINUS", "TIMES", "INTERSECT", "COALESCE", "AS"}
+
+_THETA_SYMBOLS = ("<>", "<=", ">=", "!=", "=", "<", ">")
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: Any
+    position: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.type.name}, {self.value!r}@{self.position})"
+
+
+def _is_name_start(ch: str) -> bool:
+    return ch.isalpha() or ch == "_"
+
+
+def _is_name_part(ch: str) -> bool:
+    # '#' appears in the paper's attribute names (AID#, SID#).
+    return ch.isalnum() or ch in "_#"
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize an algebra expression; raises :class:`AlgebraParseError`."""
+    tokens: List[Token] = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "(":
+            tokens.append(Token(TokenType.LPAREN, ch, i))
+            i += 1
+            continue
+        if ch == ")":
+            tokens.append(Token(TokenType.RPAREN, ch, i))
+            i += 1
+            continue
+        if ch == "[":
+            tokens.append(Token(TokenType.LBRACKET, ch, i))
+            i += 1
+            continue
+        if ch == "]":
+            tokens.append(Token(TokenType.RBRACKET, ch, i))
+            i += 1
+            continue
+        if ch == ",":
+            tokens.append(Token(TokenType.COMMA, ch, i))
+            i += 1
+            continue
+        matched_theta = next(
+            (sym for sym in _THETA_SYMBOLS if text.startswith(sym, i)), None
+        )
+        if matched_theta:
+            tokens.append(Token(TokenType.THETA, matched_theta, i))
+            i += len(matched_theta)
+            continue
+        if ch == '"' or ch == "'":
+            quote = ch
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 1
+            if j >= n:
+                raise AlgebraParseError("unterminated string literal", i, text)
+            tokens.append(Token(TokenType.STRING, text[i + 1 : j], i))
+            i = j + 1
+            continue
+        if ch.isdigit() or (ch == "-" and i + 1 < n and text[i + 1].isdigit()):
+            j = i + 1
+            seen_dot = False
+            while j < n and (text[j].isdigit() or (text[j] == "." and not seen_dot)):
+                seen_dot = seen_dot or text[j] == "."
+                j += 1
+            literal = text[i:j]
+            value: Any = float(literal) if "." in literal else int(literal)
+            tokens.append(Token(TokenType.NUMBER, value, i))
+            i = j
+            continue
+        if _is_name_start(ch):
+            j = i + 1
+            while j < n and _is_name_part(text[j]):
+                j += 1
+            word = text[i:j]
+            if word in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, word, i))
+            else:
+                tokens.append(Token(TokenType.NAME, word, i))
+            i = j
+            continue
+        raise AlgebraParseError(f"unexpected character {ch!r}", i, text)
+    tokens.append(Token(TokenType.END, None, n))
+    return tokens

@@ -1,0 +1,14 @@
+"""The untagged "global model" baseline.
+
+The paper's opening critique: "To date, heterogeneous database systems
+strive to encapsulate the heterogeneity of the underlying databases in
+order to produce an illusion that all information originates from a single
+source."  This package implements exactly that conventional comparator —
+the same query translation, the same LQP routing, the same merge semantics,
+but plain untagged relations — so the benchmark harness can quantify what
+source tagging costs and the examples can show what it loses.
+"""
+
+from repro.baseline.global_model import GlobalQueryProcessor
+
+__all__ = ["GlobalQueryProcessor"]

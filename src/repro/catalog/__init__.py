@@ -1,0 +1,33 @@
+"""The polygen schema catalog.
+
+A polygen scheme ``P = ((PA1, MA1), ..., (PAn, MAn))`` pairs each polygen
+attribute with the set of local attributes it maps to, where each element of
+``MA`` is an ``(LD, LS, LA)`` triplet — local database, local scheme, local
+attribute (paper, §II).  The catalog is pure data: the Polygen Operation
+Interpreter consults it to translate polygen operations into local ones,
+which is exactly the paper's "data-driven" claim — adding a database means
+adding mappings, not rewriting procedural view definitions.
+"""
+
+from repro.catalog.mapping import AttributeMapping
+from repro.catalog.reverse import cell_provenance, local_columns_for
+from repro.catalog.schema import PolygenSchema
+from repro.catalog.scheme import PolygenScheme
+from repro.catalog.serialize import (
+    schema_from_dict,
+    schema_from_json,
+    schema_to_dict,
+    schema_to_json,
+)
+
+__all__ = [
+    "AttributeMapping",
+    "PolygenScheme",
+    "PolygenSchema",
+    "cell_provenance",
+    "local_columns_for",
+    "schema_to_dict",
+    "schema_from_dict",
+    "schema_to_json",
+    "schema_from_json",
+]

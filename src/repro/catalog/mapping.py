@@ -1,0 +1,38 @@
+"""Attribute mappings: the paper's ``(LD, LS, LA)`` triplets.
+
+Each mapping locates one local column that feeds a polygen attribute, plus
+an optional named domain transform (see :mod:`repro.integration.domains`)
+that converts local values into the polygen attribute's domain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AttributeMapping"]
+
+
+@dataclass(frozen=True, slots=True)
+class AttributeMapping:
+    """``(LD, LS, LA)`` with an optional domain-transform name.
+
+    >>> m = AttributeMapping("CD", "FIRM", "HQ", transform="city_state_to_state")
+    >>> str(m)
+    '(CD, FIRM, HQ via city_state_to_state)'
+    """
+
+    database: str   # LD — the local database name
+    relation: str   # LS — the local scheme (relation) name
+    attribute: str  # LA — the local attribute name
+    transform: str | None = None
+
+    @property
+    def location(self) -> tuple[str, str]:
+        """The ``(LD, LS)`` pair — which relation of which database."""
+        return (self.database, self.relation)
+
+    def __str__(self) -> str:
+        base = f"({self.database}, {self.relation}, {self.attribute}"
+        if self.transform:
+            base += f" via {self.transform}"
+        return base + ")"

@@ -1,0 +1,62 @@
+"""Reverse mapping: from tagged cells back to local columns.
+
+Observation (3) of the paper's §IV: "From the polygen schema and the
+information of (ONAME, {AD, CD}), the polygen query processor can derive
+the information that Genentech is from the BNAME column, BUSINESS relation
+in the Alumni Database and from the FNAME column, FIRM relation in the
+Company Database.  This information can be shown to the user upon request
+with a simple mapping."  These helpers are that simple mapping.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.catalog.mapping import AttributeMapping
+from repro.catalog.schema import PolygenSchema
+from repro.core.cell import Cell
+from repro.core.tags import SourceSet
+
+__all__ = ["local_columns_for", "cell_provenance"]
+
+
+def local_columns_for(
+    schema: PolygenSchema,
+    scheme_name: str,
+    attribute: str,
+    origins: SourceSet,
+) -> Tuple[AttributeMapping, ...]:
+    """The ``(LD, LS, LA)`` columns a tagged value could have come from.
+
+    Filters the polygen attribute's ``MA`` set down to the mappings whose
+    database appears in the cell's originating tag set.
+    """
+    scheme = schema.scheme(scheme_name)
+    return tuple(
+        mapping
+        for mapping in scheme.mappings(attribute)
+        if mapping.database in origins
+    )
+
+
+def cell_provenance(
+    schema: PolygenSchema,
+    scheme_name: str,
+    attribute: str,
+    cell: Cell,
+) -> str:
+    """A human-readable provenance sentence for one cell.
+
+    >>> # "Genentech originates from (AD, BUSINESS, BNAME), (CD, FIRM, FNAME);
+    >>> #  intermediate sources: AD, CD"
+    """
+    columns = local_columns_for(schema, scheme_name, attribute, cell.origins)
+    if cell.is_nil:
+        origin_text = "has no value (nil)"
+    elif columns:
+        origin_text = "originates from " + ", ".join(str(m) for m in columns)
+    else:
+        origin_text = "originates from " + ", ".join(sorted(cell.origins)) or "unknown"
+    mediators = ", ".join(sorted(cell.intermediates)) if cell.intermediates else "none"
+    subject = "nil" if cell.is_nil else str(cell.datum)
+    return f"{subject} {origin_text}; intermediate sources: {mediators}"

@@ -1,0 +1,191 @@
+"""Polygen schemes.
+
+A polygen scheme pairs every polygen attribute with its ``MA`` set of local
+attribute mappings (paper, §II):
+
+    P = ((PA1, MA1), ..., (PAn, MAn))
+
+The scheme also records the primary key, which the paper underlines in its
+schema listings and which drives the Outer Natural Primary Join during
+Merge.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence, Tuple
+
+from repro.catalog.mapping import AttributeMapping
+from repro.core.heading import Heading
+from repro.errors import SchemaValidationError, UnknownMappingError
+
+__all__ = ["PolygenScheme"]
+
+
+class PolygenScheme:
+    """One polygen scheme: name, ordered attributes, mappings, primary key.
+
+    >>> scheme = PolygenScheme(
+    ...     "PFINANCE",
+    ...     {
+    ...         "ONAME": [AttributeMapping("CD", "FINANCE", "FNAME")],
+    ...         "YEAR": [AttributeMapping("CD", "FINANCE", "YR")],
+    ...         "PROFIT": [AttributeMapping("CD", "FINANCE", "PROFIT")],
+    ...     },
+    ...     primary_key=["ONAME", "YEAR"],
+    ... )
+    >>> scheme.attributes
+    ('ONAME', 'YEAR', 'PROFIT')
+    """
+
+    def __init__(
+        self,
+        name: str,
+        mappings: Mapping[str, Sequence[AttributeMapping]],
+        primary_key: Sequence[str] = (),
+    ):
+        if not name:
+            raise SchemaValidationError("polygen scheme name must be non-empty")
+        if not mappings:
+            raise SchemaValidationError(f"polygen scheme {name!r} has no attributes")
+        self.name = name
+        self._heading = Heading(tuple(mappings))
+        self._mappings: Dict[str, Tuple[AttributeMapping, ...]] = {}
+        for attribute, mapping_list in mappings.items():
+            entries = tuple(mapping_list)
+            if not entries:
+                raise SchemaValidationError(
+                    f"polygen attribute {name}.{attribute} has an empty mapping set"
+                )
+            locations = [(m.database, m.relation, m.attribute) for m in entries]
+            if len(set(locations)) != len(locations):
+                raise SchemaValidationError(
+                    f"duplicate local mapping for polygen attribute {name}.{attribute}"
+                )
+            self._mappings[attribute] = entries
+        key = tuple(primary_key)
+        for attribute in key:
+            if attribute not in self._heading:
+                raise SchemaValidationError(
+                    f"primary key attribute {attribute!r} not in scheme {name!r}"
+                )
+        self.primary_key: Tuple[str, ...] = key
+
+    # -- attribute-level lookups ----------------------------------------------
+
+    @property
+    def attributes(self) -> Tuple[str, ...]:
+        return self._heading.attributes
+
+    @property
+    def heading(self) -> Heading:
+        return self._heading
+
+    def __contains__(self, attribute: str) -> bool:
+        return attribute in self._heading
+
+    def mappings(self, attribute: str) -> Tuple[AttributeMapping, ...]:
+        """The ``MA`` set for a polygen attribute."""
+        try:
+            return self._mappings[attribute]
+        except KeyError:
+            raise UnknownMappingError(
+                f"polygen attribute {self.name}.{attribute} is not defined"
+            ) from None
+
+    def is_single_source(self, attribute: str) -> bool:
+        """True when ``MA`` has exactly one element — pass one's local-routing
+        case (Figure 3)."""
+        return len(self.mappings(attribute)) == 1
+
+    def single_mapping(self, attribute: str) -> AttributeMapping:
+        entries = self.mappings(attribute)
+        if len(entries) != 1:
+            raise UnknownMappingError(
+                f"polygen attribute {self.name}.{attribute} maps to "
+                f"{len(entries)} local attributes, expected exactly one"
+            )
+        return entries[0]
+
+    # -- relation-level lookups ---------------------------------------------------
+
+    def local_relations(self) -> Tuple[Tuple[str, str], ...]:
+        """All distinct ``(LD, LS)`` pairs referenced by this scheme, in
+        first-mention order (the order the paper retrieves them in)."""
+        seen: Dict[Tuple[str, str], None] = {}
+        for attribute in self.attributes:
+            for mapping in self._mappings[attribute]:
+                seen.setdefault(mapping.location, None)
+        return tuple(seen)
+
+    def relations_for(self, attribute: str) -> Tuple[Tuple[str, str], ...]:
+        """The ``(LD, LS)`` pairs contributing to one polygen attribute."""
+        seen: Dict[Tuple[str, str], None] = {}
+        for mapping in self.mappings(attribute):
+            seen.setdefault(mapping.location, None)
+        return tuple(seen)
+
+    def mappings_at(self, database: str, relation: str) -> Tuple[AttributeMapping, ...]:
+        """All mappings of this scheme that live in one local relation."""
+        out = []
+        for attribute in self.attributes:
+            for mapping in self._mappings[attribute]:
+                if mapping.location == (database, relation):
+                    out.append(mapping)
+        return tuple(out)
+
+    def rename_map(self, database: str, relation: str) -> Dict[str, str]:
+        """local attribute → polygen attribute for one local relation.
+
+        The executor renames a retrieved local relation with this map so
+        every PQP-side operand speaks polygen attribute names.
+        """
+        out: Dict[str, str] = {}
+        for attribute in self.attributes:
+            for mapping in self._mappings[attribute]:
+                if mapping.location == (database, relation):
+                    if mapping.attribute in out:
+                        raise SchemaValidationError(
+                            f"local attribute {mapping.attribute!r} of "
+                            f"{database}.{relation} maps to multiple polygen "
+                            f"attributes of {self.name!r}"
+                        )
+                    out[mapping.attribute] = attribute
+        if not out:
+            raise UnknownMappingError(
+                f"scheme {self.name!r} has no mappings at {database}.{relation}"
+            )
+        return out
+
+    def transform_map(self, database: str, relation: str) -> Dict[str, str]:
+        """local attribute → transform name for one local relation (only
+        attributes that declare a transform)."""
+        out: Dict[str, str] = {}
+        for attribute in self.attributes:
+            for mapping in self._mappings[attribute]:
+                if mapping.location == (database, relation) and mapping.transform:
+                    out[mapping.attribute] = mapping.transform
+        return out
+
+    def polygen_attribute_for(self, database: str, relation: str, local_attribute: str) -> str:
+        """The paper's ``PA(LS, LA)`` helper (Figure 4, footnote 12): map a
+        local column back to its polygen attribute."""
+        for attribute in self.attributes:
+            for mapping in self._mappings[attribute]:
+                if mapping.location == (database, relation) and mapping.attribute == local_attribute:
+                    return attribute
+        raise UnknownMappingError(
+            f"no polygen attribute of {self.name!r} maps to "
+            f"{database}.{relation}.{local_attribute}"
+        )
+
+    def __repr__(self) -> str:
+        return f"PolygenScheme({self.name!r}, attributes={list(self.attributes)!r})"
+
+    def describe(self) -> str:
+        """Multi-line rendering in the paper's mapping-table style."""
+        lines = [f"The {self.name} Polygen Scheme"]
+        for attribute in self.attributes:
+            rendered = ", ".join(str(m) for m in self._mappings[attribute])
+            marker = "*" if attribute in self.primary_key else ""
+            lines.append(f"  {attribute}{marker}: {{{rendered}}}")
+        return "\n".join(lines)

@@ -1,0 +1,141 @@
+"""Polygen schema (de)serialization.
+
+The paper's central engineering claim is that its translation mechanism
+"separates the mapping algorithm from the mapping data.  As a result,
+adding a new database to the existing system does not require modifying
+the existing procedural view definitions" (§I).  For that claim to hold in
+practice the mapping data must live *outside* the program — so the catalog
+round-trips through plain dictionaries / JSON documents.
+
+Document shape::
+
+    {
+      "schemes": [
+        {
+          "name": "PORGANIZATION",
+          "primary_key": ["ONAME"],
+          "attributes": [
+            {"name": "ONAME",
+             "mappings": [
+               {"database": "AD", "relation": "BUSINESS", "attribute": "BNAME"},
+               {"database": "CD", "relation": "FIRM", "attribute": "FNAME"}]},
+            {"name": "HEADQUARTERS",
+             "mappings": [
+               {"database": "CD", "relation": "FIRM", "attribute": "HQ",
+                "transform": "city_state_to_state"}]}
+          ]
+        }
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.catalog.mapping import AttributeMapping
+from repro.catalog.schema import PolygenSchema
+from repro.catalog.scheme import PolygenScheme
+from repro.errors import SchemaValidationError
+
+__all__ = [
+    "schema_to_dict",
+    "schema_from_dict",
+    "schema_to_json",
+    "schema_from_json",
+]
+
+
+def _mapping_to_dict(mapping: AttributeMapping) -> Dict[str, Any]:
+    out: Dict[str, Any] = {
+        "database": mapping.database,
+        "relation": mapping.relation,
+        "attribute": mapping.attribute,
+    }
+    if mapping.transform:
+        out["transform"] = mapping.transform
+    return out
+
+
+def _mapping_from_dict(document: Dict[str, Any], context: str) -> AttributeMapping:
+    try:
+        return AttributeMapping(
+            database=document["database"],
+            relation=document["relation"],
+            attribute=document["attribute"],
+            transform=document.get("transform"),
+        )
+    except KeyError as missing:
+        raise SchemaValidationError(
+            f"mapping in {context} lacks required key {missing}"
+        ) from None
+
+
+def schema_to_dict(schema: PolygenSchema) -> Dict[str, Any]:
+    """Serialize a polygen schema to a plain dictionary."""
+    return {
+        "schemes": [
+            {
+                "name": scheme.name,
+                "primary_key": list(scheme.primary_key),
+                "attributes": [
+                    {
+                        "name": attribute,
+                        "mappings": [
+                            _mapping_to_dict(m) for m in scheme.mappings(attribute)
+                        ],
+                    }
+                    for attribute in scheme.attributes
+                ],
+            }
+            for scheme in schema
+        ]
+    }
+
+
+def schema_from_dict(document: Dict[str, Any]) -> PolygenSchema:
+    """Rebuild a polygen schema from :func:`schema_to_dict`'s shape.
+
+    Validation errors carry enough context to locate the offending entry
+    in a hand-edited document.
+    """
+    if not isinstance(document, dict) or "schemes" not in document:
+        raise SchemaValidationError('a schema document needs a top-level "schemes" list')
+    schema = PolygenSchema()
+    for scheme_doc in document["schemes"]:
+        name = scheme_doc.get("name")
+        if not name:
+            raise SchemaValidationError("every scheme needs a non-empty name")
+        attributes = scheme_doc.get("attributes")
+        if not attributes:
+            raise SchemaValidationError(f"scheme {name!r} declares no attributes")
+        mappings: Dict[str, List[AttributeMapping]] = {}
+        for attribute_doc in attributes:
+            attribute = attribute_doc.get("name")
+            if not attribute:
+                raise SchemaValidationError(f"an attribute of {name!r} lacks a name")
+            mappings[attribute] = [
+                _mapping_from_dict(m, f"{name}.{attribute}")
+                for m in attribute_doc.get("mappings", [])
+            ]
+        schema.add(
+            PolygenScheme(
+                name, mappings, primary_key=scheme_doc.get("primary_key", [])
+            )
+        )
+    return schema
+
+
+def schema_to_json(schema: PolygenSchema, indent: int = 2) -> str:
+    """Serialize to a JSON string."""
+    return json.dumps(schema_to_dict(schema), indent=indent, sort_keys=False)
+
+
+def schema_from_json(text: str) -> PolygenSchema:
+    """Parse a JSON schema document."""
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SchemaValidationError(f"invalid schema JSON: {exc}") from exc
+    return schema_from_dict(document)

@@ -1,0 +1,64 @@
+"""The polygen core model: source-tagged cells, tuples, relations and the
+polygen algebra (paper, §II).
+
+The public surface of this package:
+
+- :class:`~repro.core.cell.Cell`, :data:`~repro.core.cell.NIL`,
+  :class:`~repro.core.cell.ConflictPolicy`
+- :class:`~repro.core.row.PolygenTuple`
+- :class:`~repro.core.heading.Heading`
+- :class:`~repro.core.relation.PolygenRelation`
+- :class:`~repro.core.predicate.Theta` and the comparand types
+- the six primitives in :mod:`repro.core.algebra`
+- the derived operators in :mod:`repro.core.derived`
+- expression trees in :mod:`repro.core.expression`
+"""
+
+from repro.core.algebra import coalesce, difference, product, project, rename, restrict, union
+from repro.core.cell import NIL, Cell, ConflictPolicy
+from repro.core.derived import (
+    RHS_SUFFIX,
+    intersect,
+    join,
+    merge,
+    outer_join,
+    outer_natural_primary_join,
+    outer_natural_total_join,
+    select,
+)
+from repro.core.heading import Heading
+from repro.core.predicate import AttributeRef, Literal, Theta
+from repro.core.relation import PolygenRelation
+from repro.core.row import PolygenTuple
+from repro.core.tags import EMPTY_SOURCES, SourceSet, render_sources, sources
+
+__all__ = [
+    "Cell",
+    "NIL",
+    "ConflictPolicy",
+    "PolygenTuple",
+    "Heading",
+    "PolygenRelation",
+    "Theta",
+    "AttributeRef",
+    "Literal",
+    "SourceSet",
+    "EMPTY_SOURCES",
+    "sources",
+    "render_sources",
+    "project",
+    "product",
+    "restrict",
+    "union",
+    "difference",
+    "coalesce",
+    "rename",
+    "select",
+    "join",
+    "intersect",
+    "outer_join",
+    "outer_natural_primary_join",
+    "outer_natural_total_join",
+    "merge",
+    "RHS_SUFFIX",
+]

@@ -1,0 +1,316 @@
+"""Polygen algebra expressions (ASTs).
+
+The Polygen Query Processor consumes *polygen algebraic expressions* such as
+the paper's example (§III)::
+
+    ((((PALUMNUS [DEGREE = "MBA"]) [AID# = AID#] PCAREER)
+        [ONAME = ONAME] PORGANIZATION) [CEO = ANAME]) [ONAME, CEO]
+
+This module defines the expression tree produced by
+:mod:`repro.algebra_lang` (and by the SQL translator), a renderer back to
+the paper's bracket notation, and a direct evaluator over the polygen
+algebra — useful for algebra-level experiments that bypass query
+translation.  The PQP itself does not evaluate expression trees; it
+linearizes them into a Polygen Operation Matrix first (§III, Table 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Sequence, Tuple
+
+from repro.core import algebra, derived
+from repro.core.cell import ConflictPolicy
+from repro.core.predicate import AttributeRef, Literal, Theta
+from repro.core.relation import PolygenRelation
+from repro.errors import InvalidOperandError
+
+__all__ = [
+    "Expression",
+    "SchemeRef",
+    "Select",
+    "Restrict",
+    "Join",
+    "Project",
+    "Union",
+    "Difference",
+    "Product",
+    "Intersect",
+    "Coalesce",
+    "evaluate",
+    "walk",
+    "referenced_schemes",
+]
+
+
+class Expression:
+    """Base class for polygen algebra expression nodes."""
+
+    __slots__ = ()
+
+    def children(self) -> Tuple["Expression", ...]:
+        return ()
+
+    def render(self) -> str:
+        raise NotImplementedError
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+@dataclass(frozen=True, slots=True)
+class SchemeRef(Expression):
+    """A reference to a polygen scheme (a leaf of the expression tree)."""
+
+    name: str
+
+    def render(self) -> str:
+        return self.name
+
+
+def _render_literal(value: Any) -> str:
+    if isinstance(value, str):
+        return f'"{value}"'
+    return str(value)
+
+
+@dataclass(frozen=True, slots=True)
+class Select(Expression):
+    """``child [attribute θ literal]`` — Restrict against a constant."""
+
+    child: Expression
+    attribute: str
+    theta: Theta
+    value: Any
+
+    def children(self) -> Tuple[Expression, ...]:
+        return (self.child,)
+
+    def render(self) -> str:
+        return (
+            f"({self.child.render()} "
+            f"[{self.attribute} {self.theta.symbol} {_render_literal(self.value)}])"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class Restrict(Expression):
+    """``child [x θ y]`` with both attributes drawn from the same relation."""
+
+    child: Expression
+    left_attribute: str
+    theta: Theta
+    right_attribute: str
+
+    def children(self) -> Tuple[Expression, ...]:
+        return (self.child,)
+
+    def render(self) -> str:
+        return (
+            f"({self.child.render()} "
+            f"[{self.left_attribute} {self.theta.symbol} {self.right_attribute}])"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class Join(Expression):
+    """``left [x θ y] right`` — the restriction of a Cartesian product."""
+
+    left: Expression
+    left_attribute: str
+    theta: Theta
+    right_attribute: str
+    right: Expression
+
+    def children(self) -> Tuple[Expression, ...]:
+        return (self.left, self.right)
+
+    def render(self) -> str:
+        return (
+            f"({self.left.render()} "
+            f"[{self.left_attribute} {self.theta.symbol} {self.right_attribute}] "
+            f"{self.right.render()})"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class Project(Expression):
+    """``child [x1, ..., xn]`` — projection onto an attribute sublist."""
+
+    child: Expression
+    attributes: Tuple[str, ...]
+
+    def __init__(self, child: Expression, attributes: Sequence[str]):
+        object.__setattr__(self, "child", child)
+        object.__setattr__(self, "attributes", tuple(attributes))
+
+    def children(self) -> Tuple[Expression, ...]:
+        return (self.child,)
+
+    def render(self) -> str:
+        return f"({self.child.render()} [{', '.join(self.attributes)}])"
+
+
+@dataclass(frozen=True, slots=True)
+class Union(Expression):
+    left: Expression
+    right: Expression
+
+    def children(self) -> Tuple[Expression, ...]:
+        return (self.left, self.right)
+
+    def render(self) -> str:
+        return f"({self.left.render()} UNION {self.right.render()})"
+
+
+@dataclass(frozen=True, slots=True)
+class Difference(Expression):
+    left: Expression
+    right: Expression
+
+    def children(self) -> Tuple[Expression, ...]:
+        return (self.left, self.right)
+
+    def render(self) -> str:
+        return f"({self.left.render()} MINUS {self.right.render()})"
+
+
+@dataclass(frozen=True, slots=True)
+class Product(Expression):
+    left: Expression
+    right: Expression
+
+    def children(self) -> Tuple[Expression, ...]:
+        return (self.left, self.right)
+
+    def render(self) -> str:
+        return f"({self.left.render()} TIMES {self.right.render()})"
+
+
+@dataclass(frozen=True, slots=True)
+class Intersect(Expression):
+    left: Expression
+    right: Expression
+
+    def children(self) -> Tuple[Expression, ...]:
+        return (self.left, self.right)
+
+    def render(self) -> str:
+        return f"({self.left.render()} INTERSECT {self.right.render()})"
+
+
+@dataclass(frozen=True, slots=True)
+class Coalesce(Expression):
+    """``child [x COALESCE y AS w]`` — the sixth primitive as an expression."""
+
+    child: Expression
+    left_attribute: str
+    right_attribute: str
+    output: str
+
+    def children(self) -> Tuple[Expression, ...]:
+        return (self.child,)
+
+    def render(self) -> str:
+        return (
+            f"({self.child.render()} "
+            f"[{self.left_attribute} COALESCE {self.right_attribute} AS {self.output}])"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Traversal and evaluation
+# ---------------------------------------------------------------------------
+
+
+def walk(expression: Expression) -> Iterator[Expression]:
+    """Yield ``expression`` and all descendants, depth-first, post-order.
+
+    Post-order matches the paper's Polygen Operation Matrix: operand rows
+    precede the rows that consume them (Table 1).
+    """
+    for child in expression.children():
+        yield from walk(child)
+    yield expression
+
+
+def referenced_schemes(expression: Expression) -> Tuple[str, ...]:
+    """The polygen scheme names referenced by an expression, in first-use order."""
+    seen: dict[str, None] = {}
+    for node in walk(expression):
+        if isinstance(node, SchemeRef):
+            seen.setdefault(node.name, None)
+    return tuple(seen)
+
+
+def evaluate(
+    expression: Expression,
+    resolve: Callable[[str], PolygenRelation],
+    policy: ConflictPolicy = ConflictPolicy.DROP,
+) -> PolygenRelation:
+    """Evaluate an expression tree directly over the polygen algebra.
+
+    ``resolve`` maps a scheme name to a (already tagged) polygen relation.
+    This bypasses the PQP's translation pipeline — no LQP routing, no
+    merging of multi-source schemes — and is intended for algebra-level
+    tests and experiments.  For full polygen query processing use
+    :class:`repro.pqp.processor.PolygenQueryProcessor`.
+    """
+    if isinstance(expression, SchemeRef):
+        return resolve(expression.name)
+    if isinstance(expression, Select):
+        child = evaluate(expression.child, resolve, policy)
+        return algebra.restrict(
+            child, expression.attribute, expression.theta, Literal(expression.value)
+        )
+    if isinstance(expression, Restrict):
+        child = evaluate(expression.child, resolve, policy)
+        return algebra.restrict(
+            child,
+            expression.left_attribute,
+            expression.theta,
+            AttributeRef(expression.right_attribute),
+        )
+    if isinstance(expression, Join):
+        left = evaluate(expression.left, resolve, policy)
+        right = evaluate(expression.right, resolve, policy)
+        return derived.join(
+            left,
+            right,
+            expression.left_attribute,
+            expression.theta,
+            expression.right_attribute,
+        )
+    if isinstance(expression, Project):
+        child = evaluate(expression.child, resolve, policy)
+        return algebra.project(child, expression.attributes)
+    if isinstance(expression, Union):
+        return algebra.union(
+            evaluate(expression.left, resolve, policy),
+            evaluate(expression.right, resolve, policy),
+        )
+    if isinstance(expression, Difference):
+        return algebra.difference(
+            evaluate(expression.left, resolve, policy),
+            evaluate(expression.right, resolve, policy),
+        )
+    if isinstance(expression, Product):
+        return algebra.product(
+            evaluate(expression.left, resolve, policy),
+            evaluate(expression.right, resolve, policy),
+        )
+    if isinstance(expression, Intersect):
+        return derived.intersect(
+            evaluate(expression.left, resolve, policy),
+            evaluate(expression.right, resolve, policy),
+        )
+    if isinstance(expression, Coalesce):
+        child = evaluate(expression.child, resolve, policy)
+        return algebra.coalesce(
+            child,
+            expression.left_attribute,
+            expression.right_attribute,
+            w=expression.output,
+            policy=policy,
+        )
+    raise InvalidOperandError(f"cannot evaluate expression node {expression!r}")

@@ -1,0 +1,143 @@
+"""Relation headings (ordered attribute lists).
+
+The polygen model keeps the classical relational notion of a *heading*: an
+ordered list of uniquely named attributes.  Order matters for display (the
+paper prints relations with a fixed column order) but not for identity of the
+data model; helpers for reordering are provided for union compatibility.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence, Tuple
+
+from repro.errors import (
+    AttributeCollisionError,
+    DuplicateAttributeError,
+    HeadingError,
+    UnknownAttributeError,
+)
+
+__all__ = ["Heading"]
+
+
+class Heading:
+    """An immutable, ordered list of unique attribute names.
+
+    >>> h = Heading(["ONAME", "CEO"])
+    >>> h.index("CEO")
+    1
+    >>> list(h)
+    ['ONAME', 'CEO']
+    """
+
+    __slots__ = ("_attributes", "_index")
+
+    def __init__(self, attributes: Iterable[str]):
+        attrs = tuple(attributes)
+        if not attrs:
+            raise HeadingError("a heading must contain at least one attribute")
+        index: dict[str, int] = {}
+        for position, name in enumerate(attrs):
+            if not isinstance(name, str) or not name:
+                raise HeadingError(f"attribute names must be non-empty strings, got {name!r}")
+            if name in index:
+                raise DuplicateAttributeError(f"duplicate attribute {name!r} in heading")
+            index[name] = position
+        self._attributes: Tuple[str, ...] = attrs
+        self._index: Mapping[str, int] = index
+
+    # -- container protocol --------------------------------------------------
+
+    @property
+    def attributes(self) -> Tuple[str, ...]:
+        """The attribute names, in declaration order."""
+        return self._attributes
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._attributes)
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._index
+
+    def __getitem__(self, position: int) -> str:
+        return self._attributes[position]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Heading):
+            return self._attributes == other._attributes
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._attributes)
+
+    def __repr__(self) -> str:
+        return f"Heading({list(self._attributes)!r})"
+
+    # -- lookups --------------------------------------------------------------
+
+    def index(self, name: str) -> int:
+        """Position of ``name``, raising :class:`UnknownAttributeError` if absent."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise UnknownAttributeError(name, self._attributes) from None
+
+    def indices(self, names: Sequence[str]) -> Tuple[int, ...]:
+        """Positions of each of ``names``, in the given order."""
+        return tuple(self.index(name) for name in names)
+
+    def require(self, *names: str) -> None:
+        """Raise unless every name is present."""
+        for name in names:
+            self.index(name)
+
+    # -- derivation -------------------------------------------------------------
+
+    def project(self, names: Sequence[str]) -> "Heading":
+        """A new heading containing ``names`` in the given order."""
+        self.require(*names)
+        return Heading(names)
+
+    def concat(self, other: "Heading") -> "Heading":
+        """Concatenate two headings; their attribute sets must be disjoint.
+
+        This is the heading rule of the Cartesian product.  Colliding names
+        must be renamed (qualified) by the caller first.
+        """
+        overlap = set(self._attributes) & set(other._attributes)
+        if overlap:
+            raise AttributeCollisionError(
+                "cannot concatenate headings sharing attributes: "
+                + ", ".join(sorted(overlap))
+            )
+        return Heading(self._attributes + other._attributes)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Heading":
+        """A new heading with attributes renamed per ``mapping``.
+
+        Unmapped attributes keep their names.  The result must still be a
+        valid heading (no duplicates).
+        """
+        for name in mapping:
+            self.index(name)
+        return Heading(tuple(mapping.get(name, name) for name in self._attributes))
+
+    def replace(self, old: str, new: str) -> "Heading":
+        """Rename a single attribute, keeping its position."""
+        return self.rename({old: new})
+
+    def remove(self, names: Sequence[str]) -> "Heading":
+        """A new heading without ``names`` (order of the rest preserved)."""
+        self.require(*names)
+        drop = set(names)
+        kept = tuple(name for name in self._attributes if name not in drop)
+        if not kept:
+            raise HeadingError("cannot remove every attribute from a heading")
+        return Heading(kept)
+
+    def shared_with(self, other: "Heading") -> Tuple[str, ...]:
+        """Attributes present in both headings, in this heading's order."""
+        return tuple(name for name in self._attributes if name in other)

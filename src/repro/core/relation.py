@@ -1,0 +1,202 @@
+"""Polygen relations.
+
+A polygen relation of degree *n* is a finite set of *n*-tuples of cells
+(paper, §II).  This class stores tuples in insertion order for reproducible
+display, while enforcing set semantics: exact duplicate tuples (equal data
+*and* tags) are collapsed at construction.
+
+Tuples that agree on data but differ in tags may coexist inside a relation;
+the Project and Union operators merge them per the paper's definitions.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Mapping, Sequence, Tuple
+
+from repro.core.cell import Cell
+from repro.core.heading import Heading
+from repro.core.row import PolygenTuple
+from repro.core.tags import SourceSet
+
+from repro.errors import DegreeMismatchError
+
+__all__ = ["PolygenRelation"]
+
+
+class PolygenRelation:
+    """An immutable source-tagged relation.
+
+    Build directly from :class:`PolygenTuple` rows, or use
+    :meth:`from_data` to tag plain Python rows uniformly — handy for tests
+    and for the LQP retrieval path, where a whole local relation is tagged
+    with one originating database.
+    """
+
+    __slots__ = ("_heading", "_tuples")
+
+    def __init__(self, heading: Heading | Sequence[str], tuples: Iterable[PolygenTuple] = ()):
+        if not isinstance(heading, Heading):
+            heading = Heading(heading)
+        self._heading = heading
+        seen: dict[PolygenTuple, None] = {}
+        degree = len(heading)
+        for row in tuples:
+            if len(row) != degree:
+                raise DegreeMismatchError(
+                    f"tuple of degree {len(row)} in relation of degree {degree}"
+                )
+            seen.setdefault(row, None)
+        self._tuples: Tuple[PolygenTuple, ...] = tuple(seen)
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def from_data(
+        cls,
+        heading: Heading | Sequence[str],
+        rows: Iterable[Sequence[Any]],
+        origins: Iterable[str] = (),
+        intermediates: Iterable[str] = (),
+    ) -> "PolygenRelation":
+        """Build a relation from plain data rows, tagging every cell alike.
+
+        ``None`` data become nil cells with *empty* origins (a nil datum has
+        no originating source), keeping the given intermediates.
+
+        >>> r = PolygenRelation.from_data(["A"], [["x"], [None]], origins=["AD"])
+        >>> [cell.render() for cell in r.tuples[0]]
+        ['x, {AD}, {}']
+        >>> [cell.render() for cell in r.tuples[1]]
+        ['nil, {}, {}']
+        """
+        origin_set = frozenset(origins)
+        inter_set = frozenset(intermediates)
+        built = []
+        for row in rows:
+            cells = []
+            for value in row:
+                if value is None:
+                    cells.append(Cell(None, frozenset(), inter_set))
+                else:
+                    cells.append(Cell(value, origin_set, inter_set))
+            built.append(PolygenTuple(cells))
+        return cls(heading, built)
+
+    @classmethod
+    def from_cells(
+        cls,
+        heading: Heading | Sequence[str],
+        rows: Iterable[Sequence[Cell]],
+    ) -> "PolygenRelation":
+        """Build a relation from rows of pre-constructed cells."""
+        return cls(heading, (PolygenTuple(row) for row in rows))
+
+    def empty_like(self) -> "PolygenRelation":
+        """An empty relation with this relation's heading."""
+        return PolygenRelation(self._heading, ())
+
+    # -- accessors ------------------------------------------------------------
+
+    @property
+    def heading(self) -> Heading:
+        return self._heading
+
+    @property
+    def attributes(self) -> Tuple[str, ...]:
+        return self._heading.attributes
+
+    @property
+    def tuples(self) -> Tuple[PolygenTuple, ...]:
+        return self._tuples
+
+    @property
+    def degree(self) -> int:
+        """Number of attributes (paper: the relation's *degree*)."""
+        return len(self._heading)
+
+    @property
+    def cardinality(self) -> int:
+        """Number of tuples."""
+        return len(self._tuples)
+
+    def __iter__(self) -> Iterator[PolygenTuple]:
+        return iter(self._tuples)
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __bool__(self) -> bool:
+        # A relation is always truthy; emptiness is cardinality == 0.  This
+        # avoids the classic `if relation:` bug on empty results.
+        return True
+
+    def column(self, attribute: str) -> Tuple[Cell, ...]:
+        """The column ``p[x]`` as a tuple of cells."""
+        position = self._heading.index(attribute)
+        return tuple(row[position] for row in self._tuples)
+
+    def data_rows(self) -> Tuple[Tuple[Any, ...], ...]:
+        """All data portions, in storage order."""
+        return tuple(row.data for row in self._tuples)
+
+    def all_origins(self) -> SourceSet:
+        """``p(o)``: the union of every cell's originating set (paper, §II,
+        used by the Difference operator)."""
+        out: frozenset[str] = frozenset()
+        for row in self._tuples:
+            out |= row.origins()
+        return out
+
+    def all_intermediates(self) -> SourceSet:
+        """Union of every cell's intermediate set."""
+        out: frozenset[str] = frozenset()
+        for row in self._tuples:
+            out |= row.intermediates()
+        return out
+
+    def contributing_sources(self) -> SourceSet:
+        """Every local database that contributed to this relation, either as
+        an originating or as an intermediate source."""
+        return self.all_origins() | self.all_intermediates()
+
+    # -- comparisons ------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        """Set equality: same heading, same set of (deduplicated) tuples."""
+        if not isinstance(other, PolygenRelation):
+            return NotImplemented
+        return self._heading == other._heading and set(self._tuples) == set(other._tuples)
+
+    def __hash__(self) -> int:
+        return hash((self._heading, frozenset(self._tuples)))
+
+    def same_data(self, other: "PolygenRelation") -> bool:
+        """Equality of the data portions only (tags ignored)."""
+        if self._heading != other._heading:
+            return False
+        return set(self.data_rows()) == set(other.data_rows())
+
+    # -- derivation ---------------------------------------------------------------
+
+    def rename(self, mapping: Mapping[str, str]) -> "PolygenRelation":
+        """Rename attributes; data and tags are untouched."""
+        return PolygenRelation(self._heading.rename(mapping), self._tuples)
+
+    def replace_tuples(self, tuples: Iterable[PolygenTuple]) -> "PolygenRelation":
+        """Same heading, different tuples (internal helper for operators)."""
+        return PolygenRelation(self._heading, tuples)
+
+    def sorted_by_data(self) -> "PolygenRelation":
+        """Tuples ordered by their data portion (nil sorts last); useful for
+        deterministic display of results."""
+
+        def key(row: PolygenTuple):
+            return tuple((value is None, str(value)) for value in row.data)
+
+        return PolygenRelation(self._heading, sorted(self._tuples, key=key))
+
+    def __repr__(self) -> str:
+        return (
+            f"PolygenRelation({list(self._heading.attributes)!r}, "
+            f"cardinality={self.cardinality})"
+        )

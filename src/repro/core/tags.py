@@ -1,0 +1,63 @@
+"""Source-tag sets.
+
+A *source tag* is a set of local-database names.  The paper attaches two such
+sets to every cell of a polygen relation:
+
+- ``c(o)`` — the *originating* sources: the local databases from which the
+  datum itself was retrieved, and
+- ``c(i)`` — the *intermediate* sources: the local databases whose data led
+  to the *selection* of the datum (updated by Restrict, Difference and the
+  operators derived from them).
+
+Tags are plain ``frozenset`` instances of strings so that they hash, compare
+and combine with ordinary set algebra.  This module centralizes construction
+and rendering so that the rest of the library never hand-builds tag sets.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable
+
+__all__ = ["SourceSet", "EMPTY_SOURCES", "sources", "render_sources"]
+
+SourceSet = FrozenSet[str]
+
+#: The empty tag set.  Freshly retrieved base relations carry this as their
+#: intermediate-source portion (paper, Table 4 and Tables A1-A3).
+EMPTY_SOURCES: SourceSet = frozenset()
+
+
+def sources(*names: str | Iterable[str]) -> SourceSet:
+    """Build a tag set from names and/or iterables of names.
+
+    >>> sources("AD", "CD") == frozenset({"AD", "CD"})
+    True
+    >>> sources(["AD", "PD"], "CD") == frozenset({"AD", "PD", "CD"})
+    True
+    >>> sources() is EMPTY_SOURCES
+    True
+    """
+    if not names:
+        return EMPTY_SOURCES
+    collected: set[str] = set()
+    for name in names:
+        if isinstance(name, str):
+            collected.add(name)
+        else:
+            collected.update(name)
+    if not collected:
+        return EMPTY_SOURCES
+    return frozenset(collected)
+
+
+def render_sources(tag: SourceSet) -> str:
+    """Render a tag set in the paper's ``{AD, PD, CD}`` notation.
+
+    Members are sorted for deterministic output.
+
+    >>> render_sources(sources("CD", "AD"))
+    '{AD, CD}'
+    >>> render_sources(EMPTY_SOURCES)
+    '{}'
+    """
+    return "{" + ", ".join(sorted(tag)) + "}"

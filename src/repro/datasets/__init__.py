@@ -1,0 +1,15 @@
+"""Datasets: the paper's worked-example federation and synthetic generators."""
+
+from repro.datasets.paper import (
+    build_paper_federation,
+    paper_databases,
+    paper_identity_resolver,
+    paper_polygen_schema,
+)
+
+__all__ = [
+    "paper_databases",
+    "paper_polygen_schema",
+    "paper_identity_resolver",
+    "build_paper_federation",
+]

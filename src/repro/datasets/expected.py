@@ -1,0 +1,483 @@
+"""The paper's printed result tables, transcribed as polygen relations.
+
+These are the *expected* outputs of the worked example (§IV and Appendix A)
+— the paper's evaluation artifacts.  Integration tests and the benchmark
+harness compare live pipeline output against these relations cell-by-cell
+(datum, originating set, intermediate set).
+
+Transcription conventions (full details in EXPERIMENTS.md):
+
+- ``Citicorp`` is canonical everywhere (the paper prints ``CitiCorp`` in
+  tables derived from BUSINESS/FIRM and ``Citicorp`` in its final Table 9;
+  our PQP canonicalizes at retrieval, the paper canonicalizes implicitly at
+  the join).
+- Column headers use polygen attribute names (DEGREE, ONAME, POSITION…);
+  the paper's Tables 4–5 print local names (DEG, BNAME, POS…) but switches
+  to polygen names by Table 7.  Data and tags are unaffected.
+- Table A7 is transcribed with the Restrict-style intermediate update
+  applied to matched tuples immediately — the convention the paper itself
+  uses in Table A4.  (The paper's printed A7 defers that update for matched
+  tuples to the coalesce step in A8; both conventions yield identical A8,
+  A9 and Table 6.)
+- ``nil`` cells are ``(None, {}, I)`` exactly as printed.
+"""
+
+from __future__ import annotations
+
+from repro.core.cell import Cell
+from repro.core.relation import PolygenRelation
+
+__all__ = [
+    "expected_table_4",
+    "expected_table_5",
+    "expected_table_6",
+    "expected_table_7",
+    "expected_table_8",
+    "expected_table_9",
+    "expected_table_a1",
+    "expected_table_a2",
+    "expected_table_a3",
+    "expected_table_a4",
+    "expected_table_a5",
+    "expected_table_a6",
+    "expected_table_a7",
+    "expected_table_a8",
+    "expected_table_a9",
+]
+
+
+def _c(datum, origins: str = "", intermediates: str = "") -> Cell:
+    """Compact cell literal: tag sets as space-separated database names."""
+    return Cell.of(datum, origins.split(), intermediates.split())
+
+
+def _rel(heading, rows) -> PolygenRelation:
+    return PolygenRelation.from_cells(heading, rows)
+
+
+# ---------------------------------------------------------------------------
+# Table 4 — ALUMNUS[DEG = "MBA"] executed at AD, tagged on arrival
+# ---------------------------------------------------------------------------
+
+
+def expected_table_4() -> PolygenRelation:
+    rows = [
+        ("012", "John McCauley", "IS"),
+        ("123", "Bob Swanson", "MGT"),
+        ("234", "Stu Madnick", "IS"),
+        ("456", "Dave Horton", "IS"),
+        ("567", "John Reed", "MGT"),
+    ]
+    return _rel(
+        ["AID#", "ANAME", "DEGREE", "MAJOR"],
+        [
+            [_c(aid, "AD"), _c(name, "AD"), _c("MBA", "AD"), _c(major, "AD")]
+            for aid, name, major in rows
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table 5 — Retrieve CAREER, Join with R(1): every cell ({AD}, {AD})
+# ---------------------------------------------------------------------------
+
+
+def expected_table_5() -> PolygenRelation:
+    rows = [
+        ("012", "John McCauley", "IS", "Citicorp", "MIS Director"),
+        ("123", "Bob Swanson", "MGT", "Genentech", "CEO"),
+        ("234", "Stu Madnick", "IS", "Langley Castle", "CEO"),
+        ("456", "Dave Horton", "IS", "Ford", "Manager"),
+        ("567", "John Reed", "MGT", "Citicorp", "CEO"),
+        ("234", "Stu Madnick", "IS", "MIT", "Professor"),
+    ]
+    return _rel(
+        ["AID#", "ANAME", "DEGREE", "MAJOR", "ONAME", "POSITION"],
+        [
+            [
+                _c(aid, "AD", "AD"),
+                _c(name, "AD", "AD"),
+                _c("MBA", "AD", "AD"),
+                _c(major, "AD", "AD"),
+                _c(organization, "AD", "AD"),
+                _c(position, "AD", "AD"),
+            ]
+            for aid, name, major, organization, position in rows
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table 6 (= Table A9) — Merge of BUSINESS, CORPORATION and FIRM
+# ---------------------------------------------------------------------------
+
+#: (ONAME cells..., row pattern) — transcription of Table 6 / Table A9.
+_TABLE_6_ROWS = [
+    # name, name_o, industry, industry_o, hq, hq_o, ceo, ceo_o, inters
+    ("Langley Castle", "AD CD", "Hotel", "AD", "MA", "CD", "Stu Madnick", "CD", "AD CD"),
+    ("IBM", "AD PD CD", "High Tech", "AD PD", "NY", "PD CD", "John Ackers", "CD", "AD PD CD"),
+    ("MIT", "AD", "Education", "AD", None, "", None, "", "AD"),
+    ("Citicorp", "AD PD CD", "Banking", "AD PD", "NY", "PD CD", "John Reed", "CD", "AD PD CD"),
+    ("Oracle", "AD PD CD", "High Tech", "AD PD", "CA", "PD CD", "Lawrence Ellison", "CD", "AD PD CD"),
+    ("Ford", "AD CD", "Automobile", "AD", "MI", "CD", "Donald Peterson", "CD", "AD CD"),
+    ("DEC", "AD PD CD", "High Tech", "AD PD", "MA", "PD CD", "Ken Olsen", "CD", "AD PD CD"),
+    ("BP", "AD", "Energy", "AD", None, "", None, "", "AD"),
+    ("Genentech", "AD CD", "High Tech", "AD", "CA", "CD", "Bob Swanson", "CD", "AD CD"),
+    ("Apple", "PD CD", "High Tech", "PD", "CA", "PD CD", "John Sculley", "CD", "PD CD"),
+    ("AT&T", "PD CD", "High Tech", "PD", "NY", "PD CD", "Robert Allen", "CD", "PD CD"),
+    ("Banker's Trust", "PD CD", "Finance", "PD", "NY", "PD CD", "Charles Sanford", "CD", "PD CD"),
+]
+
+
+def expected_table_6() -> PolygenRelation:
+    return _rel(
+        ["ONAME", "INDUSTRY", "HEADQUARTERS", "CEO"],
+        [
+            [
+                _c(name, name_o, inters),
+                _c(industry, industry_o, inters),
+                _c(hq, hq_o, inters),
+                _c(ceo, ceo_o, inters),
+            ]
+            for (
+                name, name_o, industry, industry_o, hq, hq_o, ceo, ceo_o, inters
+            ) in _TABLE_6_ROWS
+        ],
+    )
+
+
+def expected_table_a9() -> PolygenRelation:
+    """Table A9 is Table 6 (the appendix derives it step by step)."""
+    return expected_table_6()
+
+
+# ---------------------------------------------------------------------------
+# Table 7 — Join of Table 5 (R(3)) with Table 6 (R(7)) on ONAME
+# ---------------------------------------------------------------------------
+
+_TABLE_7_ROWS = [
+    # aid, aname, major, oname, oname_o, position, industry, industry_o,
+    # hq, hq_o, ceo, ceo_o, inters
+    ("012", "John McCauley", "IS", "Citicorp", "AD PD CD", "MIS Director",
+     "Banking", "AD PD", "NY", "PD CD", "John Reed", "CD", "AD PD CD"),
+    ("123", "Bob Swanson", "MGT", "Genentech", "AD CD", "CEO",
+     "High Tech", "AD", "CA", "CD", "Bob Swanson", "CD", "AD CD"),
+    ("234", "Stu Madnick", "IS", "Langley Castle", "AD CD", "CEO",
+     "Hotel", "AD", "MA", "CD", "Stu Madnick", "CD", "AD CD"),
+    ("456", "Dave Horton", "IS", "Ford", "AD CD", "Manager",
+     "Automobile", "AD", "MI", "CD", "Donald Peterson", "CD", "AD CD"),
+    ("567", "John Reed", "MGT", "Citicorp", "AD PD CD", "CEO",
+     "Banking", "AD PD", "NY", "PD CD", "John Reed", "CD", "AD PD CD"),
+    ("234", "Stu Madnick", "IS", "MIT", "AD", "Professor",
+     "Education", "AD", None, "", None, "", "AD"),
+]
+
+_TABLE_7_HEADING = [
+    "AID#", "ANAME", "DEGREE", "MAJOR", "ONAME", "POSITION",
+    "INDUSTRY", "HEADQUARTERS", "CEO",
+]
+
+
+def _table_7_row(spec) -> list:
+    (aid, aname, major, oname, oname_o, position,
+     industry, industry_o, hq, hq_o, ceo, ceo_o, inters) = spec
+    return [
+        _c(aid, "AD", inters),
+        _c(aname, "AD", inters),
+        _c("MBA", "AD", inters),
+        _c(major, "AD", inters),
+        _c(oname, oname_o, inters),
+        _c(position, "AD", inters),
+        _c(industry, industry_o, inters),
+        _c(hq, hq_o, inters),
+        _c(ceo, ceo_o, inters),
+    ]
+
+
+def expected_table_7() -> PolygenRelation:
+    return _rel(_TABLE_7_HEADING, [_table_7_row(spec) for spec in _TABLE_7_ROWS])
+
+
+def expected_table_8() -> PolygenRelation:
+    """Table 8 — Table 7 restricted to CEO = ANAME (rows 123, 234/Langley
+    Castle, 567; the compared cells' origins are already intermediates)."""
+    rows = [
+        spec for spec in _TABLE_7_ROWS
+        if spec[10] is not None and spec[1] == spec[10]  # ANAME == CEO
+    ]
+    assert len(rows) == 3, "paper's Table 8 has exactly three tuples"
+    return _rel(_TABLE_7_HEADING, [_table_7_row(spec) for spec in rows])
+
+
+def expected_table_9() -> PolygenRelation:
+    """Table 9 — the final projection [ONAME, CEO]."""
+    return _rel(
+        ["ONAME", "CEO"],
+        [
+            [_c("Genentech", "AD CD", "AD CD"), _c("Bob Swanson", "CD", "AD CD")],
+            [_c("Langley Castle", "AD CD", "AD CD"), _c("Stu Madnick", "CD", "AD CD")],
+            [_c("Citicorp", "AD PD CD", "AD PD CD"), _c("John Reed", "CD", "AD PD CD")],
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Appendix A — the Merge walk-through, step by step
+# ---------------------------------------------------------------------------
+
+
+def expected_table_a1() -> PolygenRelation:
+    """BUSINESS retrieved from AD and tagged: every cell ({AD}, {})."""
+    rows = [
+        ("Langley Castle", "Hotel"),
+        ("IBM", "High Tech"),
+        ("MIT", "Education"),
+        ("Citicorp", "Banking"),
+        ("Oracle", "High Tech"),
+        ("Ford", "Automobile"),
+        ("DEC", "High Tech"),
+        ("BP", "Energy"),
+        ("Genentech", "High Tech"),
+    ]
+    return _rel(
+        ["BNAME", "IND"],
+        [[_c(name, "AD"), _c(industry, "AD")] for name, industry in rows],
+    )
+
+
+def expected_table_a2() -> PolygenRelation:
+    """CORPORATION retrieved from PD: every cell ({PD}, {})."""
+    rows = [
+        ("Apple", "High Tech", "CA"),
+        ("Oracle", "High Tech", "CA"),
+        ("AT&T", "High Tech", "NY"),
+        ("IBM", "High Tech", "NY"),
+        ("Citicorp", "Banking", "NY"),
+        ("DEC", "High Tech", "MA"),
+        ("Banker's Trust", "Finance", "NY"),
+    ]
+    return _rel(
+        ["CNAME", "TRADE", "STATE"],
+        [[_c(n, "PD"), _c(t, "PD"), _c(s, "PD")] for n, t, s in rows],
+    )
+
+
+def expected_table_a3() -> PolygenRelation:
+    """FIRM retrieved from CD: domain-mapped HQ (bare states), ({CD}, {})."""
+    rows = [
+        ("AT&T", "Robert Allen", "NY"),
+        ("Langley Castle", "Stu Madnick", "MA"),
+        ("Banker's Trust", "Charles Sanford", "NY"),
+        ("Citicorp", "John Reed", "NY"),
+        ("Ford", "Donald Peterson", "MI"),
+        ("IBM", "John Ackers", "NY"),
+        ("Apple", "John Sculley", "CA"),
+        ("Oracle", "Lawrence Ellison", "CA"),
+        ("DEC", "Ken Olsen", "MA"),
+        ("Genentech", "Bob Swanson", "CA"),
+    ]
+    return _rel(
+        ["FNAME", "CEO", "HQ"],
+        [[_c(n, "CD"), _c(c, "CD"), _c(h, "CD")] for n, c, h in rows],
+    )
+
+
+#: name, industry, (in AD?, in PD?), trade/state rows for the A4–A6 chain.
+_A4_MATCHED = [
+    # bname, ind, cname, trade, state
+    ("IBM", "High Tech", "High Tech", "NY"),
+    ("Citicorp", "Banking", "Banking", "NY"),
+    ("Oracle", "High Tech", "High Tech", "CA"),
+    ("DEC", "High Tech", "High Tech", "MA"),
+]
+_A4_LEFT_ONLY = [
+    ("Langley Castle", "Hotel"),
+    ("MIT", "Education"),
+    ("Ford", "Automobile"),
+    ("BP", "Energy"),
+    ("Genentech", "High Tech"),
+]
+_A4_RIGHT_ONLY = [
+    ("Apple", "High Tech", "CA"),
+    ("AT&T", "High Tech", "NY"),
+    ("Banker's Trust", "Finance", "NY"),
+]
+
+
+def expected_table_a4() -> PolygenRelation:
+    """The outer join of A1 and A2 on BNAME = CNAME."""
+    rows = []
+    for name, industry in _A4_LEFT_ONLY:
+        rows.append(
+            [
+                _c(name, "AD", "AD"),
+                _c(industry, "AD", "AD"),
+                _c(None, "", "AD"),
+                _c(None, "", "AD"),
+                _c(None, "", "AD"),
+            ]
+        )
+    for name, industry, trade, state in _A4_MATCHED:
+        rows.append(
+            [
+                _c(name, "AD", "AD PD"),
+                _c(industry, "AD", "AD PD"),
+                _c(name, "PD", "AD PD"),
+                _c(trade, "PD", "AD PD"),
+                _c(state, "PD", "AD PD"),
+            ]
+        )
+    for name, trade, state in _A4_RIGHT_ONLY:
+        rows.append(
+            [
+                _c(None, "", "PD"),
+                _c(None, "", "PD"),
+                _c(name, "PD", "PD"),
+                _c(trade, "PD", "PD"),
+                _c(state, "PD", "PD"),
+            ]
+        )
+    return _rel(["BNAME", "IND", "CNAME", "TRADE", "STATE"], rows)
+
+
+def expected_table_a5() -> PolygenRelation:
+    """A4 with BNAME © CNAME coalesced into ONAME (the ONPJ of A1, A2)."""
+    rows = []
+    for name, industry in _A4_LEFT_ONLY:
+        rows.append(
+            [
+                _c(name, "AD", "AD"),
+                _c(industry, "AD", "AD"),
+                _c(None, "", "AD"),
+                _c(None, "", "AD"),
+            ]
+        )
+    for name, industry, trade, state in _A4_MATCHED:
+        rows.append(
+            [
+                _c(name, "AD PD", "AD PD"),
+                _c(industry, "AD", "AD PD"),
+                _c(trade, "PD", "AD PD"),
+                _c(state, "PD", "AD PD"),
+            ]
+        )
+    for name, trade, state in _A4_RIGHT_ONLY:
+        rows.append(
+            [
+                _c(name, "PD", "PD"),
+                _c(None, "", "PD"),
+                _c(trade, "PD", "PD"),
+                _c(state, "PD", "PD"),
+            ]
+        )
+    return _rel(["ONAME", "IND", "TRADE", "STATE"], rows)
+
+
+def expected_table_a6() -> PolygenRelation:
+    """A5 with IND © TRADE coalesced into INDUSTRY and STATE mapped to the
+    polygen attribute HEADQUARTERS (the ONTJ of A1, A2)."""
+    rows = []
+    for name, industry in _A4_LEFT_ONLY:
+        rows.append(
+            [_c(name, "AD", "AD"), _c(industry, "AD", "AD"), _c(None, "", "AD")]
+        )
+    for name, industry, _trade, state in _A4_MATCHED:
+        rows.append(
+            [
+                _c(name, "AD PD", "AD PD"),
+                _c(industry, "AD PD", "AD PD"),
+                _c(state, "PD", "AD PD"),
+            ]
+        )
+    for name, trade, state in _A4_RIGHT_ONLY:
+        rows.append(
+            [_c(name, "PD", "PD"), _c(trade, "PD", "PD"), _c(state, "PD", "PD")]
+        )
+    return _rel(["ONAME", "INDUSTRY", "HEADQUARTERS"], rows)
+
+
+#: A6 rows annotated for the A7/A8 chain:
+#: (name, name_origins, industry, industry_origins, hq, hq_origins,
+#:  firm_row or None) where firm_row = (ceo, firm_hq).
+_A7_SPECS = [
+    ("Langley Castle", "AD", "Hotel", "AD", None, "", ("Stu Madnick", "MA")),
+    ("MIT", "AD", "Education", "AD", None, "", None),
+    ("Ford", "AD", "Automobile", "AD", None, "", ("Donald Peterson", "MI")),
+    ("BP", "AD", "Energy", "AD", None, "", None),
+    ("Genentech", "AD", "High Tech", "AD", None, "", ("Bob Swanson", "CA")),
+    ("IBM", "AD PD", "High Tech", "AD PD", "NY", "PD", ("John Ackers", "NY")),
+    ("Citicorp", "AD PD", "Banking", "AD PD", "NY", "PD", ("John Reed", "NY")),
+    ("Oracle", "AD PD", "High Tech", "AD PD", "CA", "PD", ("Lawrence Ellison", "CA")),
+    ("DEC", "AD PD", "High Tech", "AD PD", "MA", "PD", ("Ken Olsen", "MA")),
+    ("Apple", "PD", "High Tech", "PD", "CA", "PD", ("John Sculley", "CA")),
+    ("AT&T", "PD", "High Tech", "PD", "NY", "PD", ("Robert Allen", "NY")),
+    ("Banker's Trust", "PD", "Finance", "PD", "NY", "PD", ("Charles Sanford", "NY")),
+]
+
+
+def expected_table_a7() -> PolygenRelation:
+    """The outer join of A6 and A3 on ONAME = FNAME.
+
+    Matched tuples carry the Restrict-style intermediate update immediately
+    (the convention of Table A4); see the module docstring.
+    """
+    rows = []
+    for name, name_o, industry, industry_o, hq, hq_o, firm in _A7_SPECS:
+        if firm is None:
+            inters = name_o  # unmatched: only the left key's origins mediate
+            rows.append(
+                [
+                    _c(name, name_o, inters),
+                    _c(industry, industry_o, inters),
+                    _c(hq, hq_o, inters),
+                    _c(None, "", inters),
+                    _c(None, "", inters),
+                    _c(None, "", inters),
+                ]
+            )
+        else:
+            ceo, firm_hq = firm
+            inters = name_o + " CD"
+            rows.append(
+                [
+                    _c(name, name_o, inters),
+                    _c(industry, industry_o, inters),
+                    _c(hq, hq_o, inters),
+                    _c(name, "CD", inters),
+                    _c(ceo, "CD", inters),
+                    _c(firm_hq, "CD", inters),
+                ]
+            )
+    return _rel(
+        ["ONAME", "INDUSTRY", "HEADQUARTERS", "FNAME", "CEO", "HQ"], rows
+    )
+
+
+def expected_table_a8() -> PolygenRelation:
+    """A7 with ONAME © FNAME coalesced (the ONPJ of A6 and A3)."""
+    rows = []
+    for name, name_o, industry, industry_o, hq, hq_o, firm in _A7_SPECS:
+        if firm is None:
+            inters = name_o
+            rows.append(
+                [
+                    _c(name, name_o, inters),
+                    _c(industry, industry_o, inters),
+                    _c(hq, hq_o, inters),
+                    _c(None, "", inters),
+                    _c(None, "", inters),
+                ]
+            )
+        else:
+            ceo, firm_hq = firm
+            inters = name_o + " CD"
+            rows.append(
+                [
+                    _c(name, name_o + " CD", inters),
+                    _c(industry, industry_o, inters),
+                    _c(hq, hq_o, inters),
+                    _c(ceo, "CD", inters),
+                    _c(firm_hq, "CD", inters),
+                ]
+            )
+    return _rel(["ONAME", "INDUSTRY", "HEADQUARTERS", "CEO", "HQ"], rows)

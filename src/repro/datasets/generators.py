@@ -1,0 +1,180 @@
+"""Synthetic federation generators.
+
+The paper's motivation is "a federated database environment with hundreds
+of databases"; its worked example has three.  These generators scale the
+example's *shape* — N autonomous databases describing overlapping sets of
+organizations, one polygen scheme merging them, plus per-database private
+attributes — so the benchmark harness can measure merge cost, tagging
+overhead and optimizer effect as functions of federation size.
+
+Everything is deterministic given the spec's ``seed``.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.catalog.mapping import AttributeMapping
+from repro.catalog.schema import PolygenSchema
+from repro.catalog.scheme import PolygenScheme
+from repro.lqp.registry import LQPRegistry
+from repro.lqp.relational_lqp import RelationalLQP
+from repro.pqp.processor import PolygenQueryProcessor
+from repro.relational.database import LocalDatabase
+from repro.relational.schema import RelationSchema
+
+__all__ = ["FederationSpec", "GeneratedFederation", "generate_federation"]
+
+_INDUSTRIES = (
+    "High Tech",
+    "Banking",
+    "Energy",
+    "Hotel",
+    "Education",
+    "Automobile",
+    "Finance",
+    "Retail",
+    "Media",
+    "Biotech",
+)
+
+_STATES = ("NY", "MA", "CA", "MI", "TX", "WA", "IL", "GA")
+
+
+@dataclass(frozen=True)
+class FederationSpec:
+    """Shape parameters for a synthetic federation.
+
+    - ``databases`` — number of autonomous local databases,
+    - ``organizations`` — size of the shared organization universe,
+    - ``coverage`` — fraction of the universe each database describes
+      (sampled independently per database, so databases overlap),
+    - ``people_per_database`` — rows in each database's private PERSON
+      relation (used for join workloads),
+    - ``seed`` — RNG seed; equal specs generate equal federations.
+    """
+
+    databases: int = 3
+    organizations: int = 100
+    coverage: float = 0.6
+    people_per_database: int = 50
+    seed: int = 1990
+
+    def __post_init__(self):
+        if self.databases < 1:
+            raise ValueError("a federation needs at least one database")
+        if not 0.0 < self.coverage <= 1.0:
+            raise ValueError("coverage must be in (0, 1]")
+        if self.organizations < 1:
+            raise ValueError("the organization universe cannot be empty")
+
+
+@dataclass
+class GeneratedFederation:
+    """A generated federation plus everything needed to query it."""
+
+    spec: FederationSpec
+    databases: Dict[str, LocalDatabase]
+    schema: PolygenSchema
+    #: organization names in the shared universe, in generation order.
+    universe: Tuple[str, ...]
+
+    def registry(self) -> LQPRegistry:
+        """A fresh LQP registry over the generated databases."""
+        registry = LQPRegistry()
+        for database in self.databases.values():
+            registry.register(RelationalLQP(database))
+        return registry
+
+    def processor(self, **kwargs) -> PolygenQueryProcessor:
+        """A ready-to-run PQP over a fresh registry."""
+        return PolygenQueryProcessor(self.schema, self.registry(), **kwargs)
+
+    def database_names(self) -> Tuple[str, ...]:
+        return tuple(self.databases)
+
+
+def _organization_name(index: int) -> str:
+    return f"Org-{index:05d}"
+
+
+def _person_name(rng: random.Random) -> str:
+    first = "".join(rng.choices(string.ascii_uppercase, k=1)) + "".join(
+        rng.choices(string.ascii_lowercase, k=5)
+    )
+    last = "".join(rng.choices(string.ascii_uppercase, k=1)) + "".join(
+        rng.choices(string.ascii_lowercase, k=7)
+    )
+    return f"{first} {last}"
+
+
+def generate_federation(spec: FederationSpec) -> GeneratedFederation:
+    """Generate a deterministic synthetic federation.
+
+    Per local database ``D<i>``:
+
+    - ``ORG(NAME, IND, ST)`` — a sample of the organization universe with
+      industry and state; NAME/IND/ST map to the shared GORGANIZATION
+      polygen scheme (NAME is its primary key).  All databases agree on an
+      organization's industry and state (the paper assumes conflicts are
+      resolved upstream; see :class:`~repro.core.cell.ConflictPolicy` for
+      what happens when they are not).
+    - ``PERSON(PID, PNAME, EMPLOYER)`` — private rows joining people to
+      organizations; mapped to a per-database ``GPERSON<i>`` scheme.
+    """
+    rng = random.Random(spec.seed)
+    universe = tuple(_organization_name(i) for i in range(spec.organizations))
+    industry_of = {name: rng.choice(_INDUSTRIES) for name in universe}
+    state_of = {name: rng.choice(_STATES) for name in universe}
+
+    databases: Dict[str, LocalDatabase] = {}
+    org_mappings: Dict[str, List[AttributeMapping]] = {
+        "NAME": [],
+        "INDUSTRY": [],
+        "HEADQUARTERS": [],
+    }
+    schema = PolygenSchema()
+
+    sample_size = max(1, round(spec.coverage * spec.organizations))
+    for index in range(spec.databases):
+        name = f"D{index:02d}"
+        database = LocalDatabase(name)
+        covered = sorted(rng.sample(universe, sample_size))
+        database.load(
+            RelationSchema("ORG", ["NAME", "IND", "ST"], key=["NAME"]),
+            [(org, industry_of[org], state_of[org]) for org in covered],
+        )
+        people = [
+            (f"{name}-P{i:04d}", _person_name(rng), rng.choice(covered))
+            for i in range(spec.people_per_database)
+        ]
+        database.load(
+            RelationSchema("PERSON", ["PID", "PNAME", "EMPLOYER"], key=["PID"]),
+            people,
+        )
+        databases[name] = database
+
+        org_mappings["NAME"].append(AttributeMapping(name, "ORG", "NAME"))
+        org_mappings["INDUSTRY"].append(AttributeMapping(name, "ORG", "IND"))
+        org_mappings["HEADQUARTERS"].append(AttributeMapping(name, "ORG", "ST"))
+        schema.add(
+            PolygenScheme(
+                f"GPERSON{index:02d}",
+                {
+                    "PID": [AttributeMapping(name, "PERSON", "PID")],
+                    "PNAME": [AttributeMapping(name, "PERSON", "PNAME")],
+                    "EMPLOYER": [AttributeMapping(name, "PERSON", "EMPLOYER")],
+                },
+                primary_key=["PID"],
+            )
+        )
+
+    schema.add(
+        PolygenScheme("GORGANIZATION", org_mappings, primary_key=["NAME"])
+    )
+    return GeneratedFederation(
+        spec=spec, databases=databases, schema=schema, universe=universe
+    )

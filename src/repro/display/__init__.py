@@ -1,0 +1,12 @@
+"""Rendering polygen relations and operation matrices in the paper's style."""
+
+from repro.display.graph import plan_graph, source_graph, to_dot
+from repro.display.render import render_relation, render_relation_markdown
+
+__all__ = [
+    "render_relation",
+    "render_relation_markdown",
+    "plan_graph",
+    "source_graph",
+    "to_dot",
+]

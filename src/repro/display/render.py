@@ -1,0 +1,55 @@
+"""Paper-style rendering of polygen relations.
+
+Each cell prints as ``datum, {origins}, {intermediates}`` — the notation of
+the paper's Tables 4–9 and A1–A9.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.relation import PolygenRelation
+
+__all__ = ["render_relation", "render_relation_markdown"]
+
+
+def _cell_texts(relation: PolygenRelation) -> List[List[str]]:
+    rows = [[str(attribute) for attribute in relation.attributes]]
+    for row in relation:
+        rows.append([cell.render() for cell in row])
+    return rows
+
+
+def render_relation(relation: PolygenRelation, sort: bool = False) -> str:
+    """Fixed-width text table of a polygen relation.
+
+    >>> from repro.core.relation import PolygenRelation
+    >>> r = PolygenRelation.from_data(["ONAME"], [["Genentech"]], origins=["AD"])
+    >>> print(render_relation(r))
+    ONAME
+    -------------------
+    Genentech, {AD}, {}
+    """
+    if sort:
+        relation = relation.sorted_by_data()
+    table = _cell_texts(relation)
+    widths = [max(len(row[i]) for row in table) for i in range(relation.degree)]
+    lines = []
+    for line_number, row in enumerate(table):
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)).rstrip())
+        if line_number == 0:
+            lines.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
+    return "\n".join(lines)
+
+
+def render_relation_markdown(relation: PolygenRelation, sort: bool = False) -> str:
+    """GitHub-flavored markdown table of a polygen relation."""
+    if sort:
+        relation = relation.sorted_by_data()
+    table = _cell_texts(relation)
+    header, *body = table
+    lines = ["| " + " | ".join(header) + " |"]
+    lines.append("|" + "|".join(" --- " for _ in header) + "|")
+    for row in body:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)

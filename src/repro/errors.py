@@ -1,0 +1,234 @@
+"""Exception hierarchy for the polygen reproduction.
+
+Every error raised by this library derives from :class:`PolygenError`, so
+applications can catch the whole family with a single ``except`` clause while
+still being able to discriminate the precise failure mode.
+
+The hierarchy mirrors the layers of the system:
+
+- schema/heading problems (:class:`HeadingError` and friends),
+- algebra evaluation problems (:class:`AlgebraError` and friends),
+- catalog/schema-integration problems (:class:`CatalogError` and friends),
+- parsing problems for the two front-end languages (:class:`ParseError`),
+- query translation and execution problems (:class:`TranslationError`,
+  :class:`ExecutionError`).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "PolygenError",
+    "HeadingError",
+    "UnknownAttributeError",
+    "DuplicateAttributeError",
+    "AttributeCollisionError",
+    "DegreeMismatchError",
+    "AlgebraError",
+    "UnionCompatibilityError",
+    "IncomparableTypesError",
+    "CoalesceConflictError",
+    "InvalidOperandError",
+    "CatalogError",
+    "UnknownSchemeError",
+    "UnknownMappingError",
+    "SchemaValidationError",
+    "IntegrationError",
+    "UnknownTransformError",
+    "ParseError",
+    "SqlParseError",
+    "AlgebraParseError",
+    "TranslationError",
+    "ExecutionError",
+    "UnknownDatabaseError",
+    "UnknownRelationError",
+    "LocalEngineError",
+    "ConstraintViolationError",
+]
+
+
+class PolygenError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+# ---------------------------------------------------------------------------
+# Heading / schema-shape errors
+# ---------------------------------------------------------------------------
+
+
+class HeadingError(PolygenError):
+    """A problem with a relation heading (attribute list)."""
+
+
+class UnknownAttributeError(HeadingError, KeyError):
+    """An attribute name was referenced that the heading does not contain."""
+
+    def __init__(self, attribute: str, heading=None):
+        self.attribute = attribute
+        self.heading = heading
+        detail = f"unknown attribute {attribute!r}"
+        if heading is not None:
+            detail += f" (heading: {', '.join(heading)})"
+        super().__init__(detail)
+
+    def __str__(self) -> str:  # KeyError.__str__ would repr() the message
+        return self.args[0]
+
+
+class DuplicateAttributeError(HeadingError):
+    """A heading was constructed with a repeated attribute name."""
+
+
+class AttributeCollisionError(HeadingError):
+    """Two relations being combined share attribute names that must be
+    disjoint (e.g. the operands of a Cartesian product)."""
+
+
+class DegreeMismatchError(HeadingError):
+    """A tuple's number of cells does not match its relation's degree."""
+
+
+# ---------------------------------------------------------------------------
+# Algebra errors
+# ---------------------------------------------------------------------------
+
+
+class AlgebraError(PolygenError):
+    """A polygen algebra operation was applied to invalid operands."""
+
+
+class UnionCompatibilityError(AlgebraError):
+    """Union/Difference operands are not union-compatible (paper, §II)."""
+
+
+class IncomparableTypesError(AlgebraError, TypeError):
+    """An ordering comparison (``<``, ``<=`` …) was attempted between data of
+    incompatible Python types (e.g. a string and an integer)."""
+
+
+class CoalesceConflictError(AlgebraError):
+    """Coalesce met two non-nil, unequal data under ``ConflictPolicy.ERROR``."""
+
+    def __init__(self, left, right, attribute: str | None = None):
+        self.left = left
+        self.right = right
+        self.attribute = attribute
+        where = f" in attribute {attribute!r}" if attribute else ""
+        super().__init__(f"coalesce conflict{where}: {left!r} != {right!r}")
+
+
+class InvalidOperandError(AlgebraError):
+    """An operator received a structurally invalid operand (wrong arity,
+    missing key, literal where an attribute was required, …)."""
+
+
+# ---------------------------------------------------------------------------
+# Catalog / schema-integration errors
+# ---------------------------------------------------------------------------
+
+
+class CatalogError(PolygenError):
+    """A problem with the polygen schema / attribute-mapping catalog."""
+
+
+class UnknownSchemeError(CatalogError, KeyError):
+    """A polygen scheme name is not defined in the polygen schema."""
+
+    def __init__(self, name: str):
+        self.name = name
+        super().__init__(f"unknown polygen scheme {name!r}")
+
+    def __str__(self) -> str:
+        return self.args[0]
+
+
+class UnknownMappingError(CatalogError):
+    """No (LD, LS, LA) mapping exists for the requested polygen attribute."""
+
+
+class SchemaValidationError(CatalogError):
+    """A polygen schema failed structural validation."""
+
+
+class IntegrationError(PolygenError):
+    """A schema-integration service (identity/domain mapping) failed."""
+
+
+class UnknownTransformError(IntegrationError, KeyError):
+    """A domain-mapping transform name is not registered."""
+
+    def __init__(self, name: str):
+        self.name = name
+        super().__init__(f"unknown domain transform {name!r}")
+
+    def __str__(self) -> str:
+        return self.args[0]
+
+
+# ---------------------------------------------------------------------------
+# Front-end language errors
+# ---------------------------------------------------------------------------
+
+
+class ParseError(PolygenError):
+    """Base class for lexer/parser errors of the front-end languages."""
+
+    def __init__(self, message: str, position: int | None = None, text: str | None = None):
+        self.position = position
+        self.text = text
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+
+
+class SqlParseError(ParseError):
+    """The SQL front-end rejected a query string."""
+
+
+class AlgebraParseError(ParseError):
+    """The polygen algebra expression language rejected an expression."""
+
+
+# ---------------------------------------------------------------------------
+# Translation / execution errors
+# ---------------------------------------------------------------------------
+
+
+class TranslationError(PolygenError):
+    """The SQL-to-algebra translator or the Polygen Operation Interpreter
+    could not map a query onto the polygen schema."""
+
+
+class ExecutionError(PolygenError):
+    """The PQP executor failed to evaluate a query execution plan."""
+
+
+class UnknownDatabaseError(ExecutionError, KeyError):
+    """An execution location names a local database with no registered LQP."""
+
+    def __init__(self, name: str):
+        self.name = name
+        super().__init__(f"no LQP registered for local database {name!r}")
+
+    def __str__(self) -> str:
+        return self.args[0]
+
+
+class UnknownRelationError(ExecutionError, KeyError):
+    """A local database does not contain the requested relation."""
+
+    def __init__(self, relation: str, database: str | None = None):
+        self.relation = relation
+        self.database = database
+        where = f" in database {database!r}" if database else ""
+        super().__init__(f"unknown local relation {relation!r}{where}")
+
+    def __str__(self) -> str:
+        return self.args[0]
+
+
+class LocalEngineError(PolygenError):
+    """A failure inside the local (untagged) relational engine substrate."""
+
+
+class ConstraintViolationError(LocalEngineError):
+    """A local insert violated a key or schema constraint."""

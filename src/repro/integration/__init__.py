@@ -1,0 +1,34 @@
+"""Schema-integration services.
+
+The paper *assumes* two hard problems have been solved before polygen query
+processing begins and that their outputs are "available for the PQP to use"
+(§I, Research Background and Assumptions):
+
+- the **inter-database instance identifier mismatch** problem — the same
+  entity spelled differently across databases (``IBM`` vs ``I.B.M.``; in the
+  paper's own data, ``CitiCorp`` in BUSINESS/FIRM vs ``Citicorp`` in
+  CAREER/CORPORATION), and
+- the **domain mismatch** problem — unit, scale and representation
+  differences (``"Cambridge, MA"`` in FIRM.HQ vs the bare state ``MA``
+  expected by the HEADQUARTERS polygen attribute; ``"1.7 bil"`` profit
+  strings).
+
+This package materializes both services: :class:`~repro.integration.identity.IdentityResolver`
+canonicalizes instance identifiers, and :mod:`repro.integration.domains`
+provides a registry of named, serializable domain transforms that attribute
+mappings can reference.
+"""
+
+from repro.integration.domains import (
+    DomainTransform,
+    TransformRegistry,
+    default_registry,
+)
+from repro.integration.identity import IdentityResolver
+
+__all__ = [
+    "IdentityResolver",
+    "DomainTransform",
+    "TransformRegistry",
+    "default_registry",
+]

@@ -1,0 +1,172 @@
+"""Domain mappings: named value transforms for mismatched local domains.
+
+"The domain mismatch problem such as unit ($ vs ¥), scale (in billions vs in
+millions), and description interpretation … has been resolved in the schema
+integration phase and the domain mapping information is also available to
+the PQP" (paper, §I).  In this reproduction the *domain mapping information*
+is a named transform attached to an attribute mapping in the polygen schema;
+the PQP applies it to each value of that local column at retrieval time.
+
+Transforms are referenced **by name** so a polygen schema stays a pure data
+structure (serializable, inspectable) — the data-driven design the paper
+argues for.  A :class:`TransformRegistry` resolves names to callables; the
+module-level :func:`default_registry` ships the transforms the paper's data
+requires plus common unit/scale conversions.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, Tuple
+
+from repro.errors import IntegrationError, UnknownTransformError
+
+__all__ = [
+    "DomainTransform",
+    "TransformRegistry",
+    "default_registry",
+    "city_state_to_state",
+    "money_text_to_float",
+    "strip_whitespace",
+    "uppercase",
+    "millions_to_units",
+    "billions_to_units",
+]
+
+
+@dataclass(frozen=True)
+class DomainTransform:
+    """A named, documented value transform."""
+
+    name: str
+    fn: Callable[[Any], Any]
+    description: str
+
+    def __call__(self, value: Any) -> Any:
+        if value is None:
+            return None
+        try:
+            return self.fn(value)
+        except Exception as exc:  # surface which transform failed, on what
+            raise IntegrationError(
+                f"domain transform {self.name!r} failed on {value!r}: {exc}"
+            ) from exc
+
+
+# ---------------------------------------------------------------------------
+# Transform implementations
+# ---------------------------------------------------------------------------
+
+
+def city_state_to_state(value: str) -> str:
+    """``"Cambridge, MA"`` → ``"MA"``; a bare state passes through.
+
+    The paper's FIRM.HQ column stores "city, state" strings, but the
+    HEADQUARTERS polygen attribute coalesces them with CORPORATION.STATE
+    (bare state codes) — Table A3 shows FIRM arriving at the PQP with bare
+    states, so the mapping happens during retrieval.
+    """
+    text = str(value).strip()
+    if "," in text:
+        return text.rsplit(",", 1)[1].strip()
+    return text
+
+
+_MONEY = re.compile(
+    r"^\s*(?P<sign>-?)\s*\$?\s*(?P<number>\d+(?:\.\d+)?)\s*(?P<unit>bil|mil|k)?\.?\s*$",
+    re.IGNORECASE,
+)
+_MONEY_UNITS = {None: 1.0, "k": 1e3, "mil": 1e6, "bil": 1e9}
+
+
+def money_text_to_float(value: Any) -> float:
+    """``"1.7 bil"`` → ``1.7e9``; ``"648 mil"`` → ``6.48e8``; numbers pass.
+
+    Handles the paper's FINANCE.PROFIT notation, optional ``$`` and sign.
+    """
+    if isinstance(value, (int, float)):
+        return float(value)
+    match = _MONEY.match(str(value))
+    if not match:
+        raise ValueError(f"unrecognized money text {value!r}")
+    magnitude = float(match.group("number")) * _MONEY_UNITS[
+        (match.group("unit") or "").lower() or None
+    ]
+    return -magnitude if match.group("sign") else magnitude
+
+
+def strip_whitespace(value: Any) -> Any:
+    return value.strip() if isinstance(value, str) else value
+
+
+def uppercase(value: Any) -> Any:
+    return value.upper() if isinstance(value, str) else value
+
+
+def millions_to_units(value: Any) -> float:
+    """Scale conversion: a figure reported *in millions* → base units."""
+    return float(value) * 1e6
+
+
+def billions_to_units(value: Any) -> float:
+    """Scale conversion: a figure reported *in billions* → base units."""
+    return float(value) * 1e9
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+
+class TransformRegistry:
+    """Name → :class:`DomainTransform` resolution for attribute mappings."""
+
+    def __init__(self) -> None:
+        self._transforms: Dict[str, DomainTransform] = {}
+
+    def register(self, name: str, fn: Callable[[Any], Any], description: str) -> DomainTransform:
+        if name in self._transforms:
+            raise IntegrationError(f"domain transform {name!r} already registered")
+        transform = DomainTransform(name, fn, description)
+        self._transforms[name] = transform
+        return transform
+
+    def get(self, name: str) -> DomainTransform:
+        try:
+            return self._transforms[name]
+        except KeyError:
+            raise UnknownTransformError(name) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._transforms
+
+    def __iter__(self) -> Iterator[Tuple[str, DomainTransform]]:
+        return iter(self._transforms.items())
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(self._transforms)
+
+
+def default_registry() -> TransformRegistry:
+    """A fresh registry with the standard transforms registered."""
+    registry = TransformRegistry()
+    registry.register(
+        "city_state_to_state",
+        city_state_to_state,
+        'extract the state from a "city, state" string',
+    )
+    registry.register(
+        "money_text_to_float",
+        money_text_to_float,
+        'parse money text like "1.7 bil" into base-unit floats',
+    )
+    registry.register("strip_whitespace", strip_whitespace, "trim surrounding whitespace")
+    registry.register("uppercase", uppercase, "uppercase string values")
+    registry.register(
+        "millions_to_units", millions_to_units, "scale a figure reported in millions"
+    )
+    registry.register(
+        "billions_to_units", billions_to_units, "scale a figure reported in billions"
+    )
+    return registry

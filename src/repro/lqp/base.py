@@ -1,0 +1,48 @@
+"""The abstract Local Query Processor interface.
+
+The PQP needs exactly two operations from an LQP (paper, §III, Table 3):
+
+- **Retrieve** — "an LQP Restrict operation without any restricting
+  condition": ship a whole local relation to the PQP, and
+- **Select** — execute a single-comparison restriction locally and ship the
+  result (Table 3, row 1: ``Select ALUMNUS DEG = "MBA"`` at AD).
+
+Concrete LQPs encapsulate however their backing store answers those two
+requests — an in-memory engine, CSV documents, or anything else.  Results
+are *untagged* local relations; tagging happens when the data arrives at
+the PQP (:mod:`repro.lqp.tagging`).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Tuple
+
+from repro.core.predicate import Theta
+from repro.relational.relation import Relation
+
+__all__ = ["LocalQueryProcessor"]
+
+
+class LocalQueryProcessor(abc.ABC):
+    """Interface every local query processor implements."""
+
+    @property
+    @abc.abstractmethod
+    def name(self) -> str:
+        """The local database name (the paper's LD, e.g. ``"AD"``)."""
+
+    @abc.abstractmethod
+    def relation_names(self) -> Tuple[str, ...]:
+        """Names of the local relations this LQP can serve."""
+
+    @abc.abstractmethod
+    def retrieve(self, relation_name: str) -> Relation:
+        """Ship a whole local relation (Restrict with no condition)."""
+
+    @abc.abstractmethod
+    def select(self, relation_name: str, attribute: str, theta: Theta, value: Any) -> Relation:
+        """Execute ``relation[attribute θ value]`` locally and ship the result."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"

@@ -1,0 +1,100 @@
+"""Cost accounting for LQP traffic.
+
+The 1990 paper reports no performance numbers, but our benchmark harness
+characterizes the implementation: how many local queries a plan issues, how
+many tuples it ships, and what that would cost over a network.  The
+:class:`AccountingLQP` decorator wraps any LQP and records
+:class:`TransferStats`; a :class:`CostModel` converts them into simulated
+latency so optimizer ablations can report comparable costs without wall
+clocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Tuple
+
+from repro.core.predicate import Theta
+from repro.lqp.base import LocalQueryProcessor
+from repro.relational.relation import Relation
+
+__all__ = ["CostModel", "TransferStats", "AccountingLQP"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """A linear cost model for PQP↔LQP traffic.
+
+    ``per_query`` models round-trip/setup latency of one local query;
+    ``per_tuple`` models marshalling + transfer of one result tuple.
+    Units are arbitrary (call them milliseconds).
+    """
+
+    per_query: float = 1.0
+    per_tuple: float = 0.01
+
+    def cost(self, queries: int, tuples: int) -> float:
+        return self.per_query * queries + self.per_tuple * tuples
+
+
+@dataclass
+class TransferStats:
+    """Mutable traffic counters for one LQP."""
+
+    queries: int = 0
+    retrieves: int = 0
+    selects: int = 0
+    tuples_shipped: int = 0
+
+    def record(self, kind: str, result: Relation) -> None:
+        self.queries += 1
+        if kind == "retrieve":
+            self.retrieves += 1
+        else:
+            self.selects += 1
+        self.tuples_shipped += result.cardinality
+
+    def merged_with(self, other: "TransferStats") -> "TransferStats":
+        return TransferStats(
+            queries=self.queries + other.queries,
+            retrieves=self.retrieves + other.retrieves,
+            selects=self.selects + other.selects,
+            tuples_shipped=self.tuples_shipped + other.tuples_shipped,
+        )
+
+    def reset(self) -> None:
+        self.queries = self.retrieves = self.selects = self.tuples_shipped = 0
+
+
+class AccountingLQP(LocalQueryProcessor):
+    """Wraps an LQP, recording every request and its result size."""
+
+    def __init__(self, inner: LocalQueryProcessor, cost_model: CostModel | None = None):
+        self._inner = inner
+        self.stats = TransferStats()
+        self.cost_model = cost_model or CostModel()
+
+    @property
+    def name(self) -> str:
+        return self._inner.name
+
+    @property
+    def inner(self) -> LocalQueryProcessor:
+        return self._inner
+
+    def relation_names(self) -> Tuple[str, ...]:
+        return self._inner.relation_names()
+
+    def retrieve(self, relation_name: str) -> Relation:
+        result = self._inner.retrieve(relation_name)
+        self.stats.record("retrieve", result)
+        return result
+
+    def select(self, relation_name: str, attribute: str, theta: Theta, value: Any) -> Relation:
+        result = self._inner.select(relation_name, attribute, theta, value)
+        self.stats.record("select", result)
+        return result
+
+    def simulated_cost(self) -> float:
+        """Accumulated cost under this LQP's cost model."""
+        return self.cost_model.cost(self.stats.queries, self.stats.tuples_shipped)

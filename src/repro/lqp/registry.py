@@ -1,0 +1,72 @@
+"""The LQP registry: how the PQP routes local operations.
+
+An Intermediate Operation Matrix row carries an execution location (EL);
+when the EL names a local database the executor looks its LQP up here.
+Every registered LQP is wrapped in an :class:`~repro.lqp.cost.AccountingLQP`
+so benchmark runs can interrogate traffic without any extra wiring.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+from repro.errors import ExecutionError, UnknownDatabaseError
+from repro.lqp.base import LocalQueryProcessor
+from repro.lqp.cost import AccountingLQP, CostModel, TransferStats
+
+__all__ = ["LQPRegistry"]
+
+
+class LQPRegistry:
+    """Name → LQP lookup with built-in traffic accounting."""
+
+    def __init__(self) -> None:
+        self._lqps: Dict[str, AccountingLQP] = {}
+
+    def register(
+        self, lqp: LocalQueryProcessor, cost_model: CostModel | None = None
+    ) -> AccountingLQP:
+        """Register an LQP under its database name.  Returns the accounting
+        wrapper actually stored (useful for reading stats later)."""
+        if lqp.name in self._lqps:
+            raise ExecutionError(f"an LQP is already registered for {lqp.name!r}")
+        wrapped = AccountingLQP(lqp, cost_model)
+        self._lqps[lqp.name] = wrapped
+        return wrapped
+
+    def get(self, database: str) -> AccountingLQP:
+        try:
+            return self._lqps[database]
+        except KeyError:
+            raise UnknownDatabaseError(database) from None
+
+    def __contains__(self, database: str) -> bool:
+        return database in self._lqps
+
+    def __iter__(self) -> Iterator[AccountingLQP]:
+        return iter(self._lqps.values())
+
+    def __len__(self) -> int:
+        return len(self._lqps)
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(self._lqps)
+
+    # -- accounting -----------------------------------------------------------
+
+    def stats(self) -> Dict[str, TransferStats]:
+        """Per-database traffic counters."""
+        return {name: lqp.stats for name, lqp in self._lqps.items()}
+
+    def total_stats(self) -> TransferStats:
+        total = TransferStats()
+        for lqp in self:
+            total = total.merged_with(lqp.stats)
+        return total
+
+    def total_cost(self) -> float:
+        return sum(lqp.simulated_cost() for lqp in self)
+
+    def reset_stats(self) -> None:
+        for lqp in self:
+            lqp.stats.reset()

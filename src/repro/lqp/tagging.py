@@ -1,0 +1,88 @@
+"""Tagging and materialization of retrieved local data.
+
+"Sources are tagged after data has been retrieved from each database"
+(paper, §I assumptions).  When a local relation arrives at the PQP it is
+turned into a polygen base relation in four steps:
+
+1. **domain mapping** — each column's declared transform converts local
+   values into the polygen attribute's domain (e.g. ``"Cambridge, MA"`` →
+   ``"MA"``, visible in Table A3),
+2. **instance identity resolution** — variant identifiers are canonicalized
+   (``CitiCorp`` → ``Citicorp``) so cross-database equality behaves,
+3. **renaming & projection** — local attribute names become polygen
+   attribute names per the scheme's ``(LD, LS, LA)`` mappings; columns the
+   scheme does not map are dropped,
+4. **tagging** — every cell receives ``c(o) = {LD}`` and ``c(i) = {}``
+   (Tables 4 and A1–A3); nil data get empty origins.
+"""
+
+from __future__ import annotations
+
+from repro.catalog.scheme import PolygenScheme
+from repro.core.relation import PolygenRelation
+from repro.integration.domains import TransformRegistry, default_registry
+from repro.integration.identity import IdentityResolver
+from repro.relational.relation import Relation
+
+__all__ = ["tag_local_relation", "materialize"]
+
+
+def tag_local_relation(relation: Relation, database: str) -> PolygenRelation:
+    """Tag an untagged local relation as originating wholly from ``database``.
+
+    Attribute names are kept as-is; use :func:`materialize` for the full
+    scheme-aware pipeline.
+    """
+    return PolygenRelation.from_data(
+        relation.heading, relation.rows, origins=[database]
+    )
+
+
+def materialize(
+    relation: Relation,
+    database: str,
+    scheme: PolygenScheme,
+    resolver: IdentityResolver | None = None,
+    transforms: TransformRegistry | None = None,
+    relation_name: str | None = None,
+) -> PolygenRelation:
+    """Turn a shipped local relation into a polygen base relation.
+
+    ``relation_name`` identifies which local relation of ``database`` the
+    data came from (needed to pick the scheme's mappings); it defaults to
+    the only relation of ``scheme`` at ``database``.
+    """
+    if relation_name is None:
+        candidates = [ls for ld, ls in scheme.local_relations() if ld == database]
+        if len(candidates) != 1:
+            raise ValueError(
+                f"scheme {scheme.name!r} maps {len(candidates)} relations in "
+                f"{database!r}; pass relation_name explicitly"
+            )
+        relation_name = candidates[0]
+
+    resolver = resolver or IdentityResolver.identity()
+    registry = transforms or default_registry()
+    transform_names = scheme.transform_map(database, relation_name)
+    transform_fns = {
+        attribute: registry.get(name) for attribute, name in transform_names.items()
+    }
+
+    def convert(attribute: str, value):
+        transform = transform_fns.get(attribute)
+        if transform is not None:
+            value = transform(value)
+        return resolver.resolve(value)
+
+    converted = relation.map_values(convert)
+
+    rename_map = scheme.rename_map(database, relation_name)
+    mapped_locals = [name for name in converted.attributes if name in rename_map]
+    if mapped_locals != list(converted.attributes):
+        # Drop unmapped columns: the polygen scheme defines the visible
+        # attributes of a polygen base relation.
+        from repro.relational.algebra import project as local_project
+
+        converted = local_project(converted, mapped_locals)
+    renamed = converted.rename(rename_map)
+    return tag_local_relation(renamed, database)

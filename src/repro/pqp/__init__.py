@@ -1,0 +1,53 @@
+"""The Polygen Query Processor (PQP).
+
+The paper's query-translation pipeline (§III, Figure 2):
+
+1. the **Syntax Analyzer** linearizes a polygen algebraic expression into a
+   Polygen Operation Matrix (POM — Table 1),
+2. the two-pass **Polygen Operation Interpreter** expands the POM against
+   the polygen schema into an Intermediate Operation Matrix (IOM — Tables 2
+   and 3; Figures 3 and 4),
+3. the **Query Optimizer** rewrites the IOM (the paper leaves its details
+   out of scope; ours performs safe rewrites: retrieve/merge deduplication
+   and dead-row pruning),
+4. the **executor** evaluates the IOM, routing local rows to LQPs and
+   performing polygen operations in the PQP (§IV).
+
+:class:`~repro.pqp.processor.PolygenQueryProcessor` is the facade over the
+whole pipeline.
+"""
+
+from repro.pqp.executor import Executor
+from repro.pqp.interpreter import PolygenOperationInterpreter
+from repro.pqp.matrix import (
+    IntermediateOperationMatrix,
+    LocalOperand,
+    MatrixRow,
+    Operation,
+    PolygenOperationMatrix,
+    ResultOperand,
+    SchemeOperand,
+)
+from repro.pqp.optimizer import OptimizationReport, QueryOptimizer
+from repro.pqp.processor import PolygenQueryProcessor, QueryResult
+from repro.pqp.schedule import PlanSchedule, schedule_plan
+from repro.pqp.syntax_analyzer import SyntaxAnalyzer
+
+__all__ = [
+    "Operation",
+    "MatrixRow",
+    "SchemeOperand",
+    "LocalOperand",
+    "ResultOperand",
+    "PolygenOperationMatrix",
+    "IntermediateOperationMatrix",
+    "SyntaxAnalyzer",
+    "PolygenOperationInterpreter",
+    "QueryOptimizer",
+    "OptimizationReport",
+    "Executor",
+    "PolygenQueryProcessor",
+    "QueryResult",
+    "PlanSchedule",
+    "schedule_plan",
+]

@@ -1,0 +1,239 @@
+"""The IOM executor: evaluates a query execution plan (paper, §IV).
+
+Rows whose execution location names a local database are shipped to that
+database's LQP (Retrieve, or a single-comparison Select) and the returned
+data is *materialized* — domain-mapped, identity-resolved, renamed to
+polygen attributes and tagged ``({LD}, {})`` per cell.  Rows located at the
+PQP evaluate the polygen algebra over earlier results.
+
+Beyond the relations themselves the executor tracks **attribute lineage**:
+for every attribute of every intermediate result, the set of polygen
+schemes it flowed through.  The provenance explainer uses this to realize
+the paper's §IV observation (3) — mapping a tagged cell back to concrete
+``(LD, LS, LA)`` columns — without guessing which scheme an attribute
+belongs to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Tuple
+
+from repro.catalog.schema import PolygenSchema
+from repro.core import algebra, derived
+from repro.core.cell import ConflictPolicy
+from repro.core.predicate import AttributeRef, Literal
+from repro.core.relation import PolygenRelation
+from repro.errors import ExecutionError
+from repro.integration.domains import TransformRegistry, default_registry
+from repro.integration.identity import IdentityResolver
+from repro.lqp.registry import LQPRegistry
+from repro.lqp.tagging import materialize
+from repro.pqp.matrix import (
+    IntermediateOperationMatrix,
+    LocalOperand,
+    MatrixRow,
+    Operation,
+    ResultOperand,
+)
+
+__all__ = ["Executor", "ExecutionTrace"]
+
+#: attribute name → polygen schemes the attribute flowed through.
+Lineage = Dict[str, FrozenSet[str]]
+
+
+@dataclass
+class ExecutionTrace:
+    """Everything the executor produced for one plan."""
+
+    relation: PolygenRelation
+    #: every intermediate result, keyed by R(#) index.
+    results: Dict[int, PolygenRelation]
+    #: attribute lineage of the final relation.
+    lineage: Lineage
+
+    def result(self, index: int) -> PolygenRelation:
+        try:
+            return self.results[index]
+        except KeyError:
+            raise ExecutionError(f"no result R({index}) in this trace") from None
+
+
+class Executor:
+    """Evaluates Intermediate Operation Matrices."""
+
+    def __init__(
+        self,
+        schema: PolygenSchema,
+        registry: LQPRegistry,
+        resolver: IdentityResolver | None = None,
+        transforms: TransformRegistry | None = None,
+        policy: ConflictPolicy = ConflictPolicy.DROP,
+    ):
+        self._schema = schema
+        self._registry = registry
+        self._resolver = resolver or IdentityResolver.identity()
+        self._transforms = transforms or default_registry()
+        self._policy = policy
+
+    # ------------------------------------------------------------------
+
+    def execute(self, iom: IntermediateOperationMatrix) -> ExecutionTrace:
+        """Evaluate every row in order; the last row is the query result."""
+        if not len(iom):
+            raise ExecutionError("cannot execute an empty operation matrix")
+        results: Dict[int, PolygenRelation] = {}
+        lineages: Dict[int, Lineage] = {}
+        for row in iom:
+            try:
+                relation, lineage = self._execute_row(row, results, lineages)
+            except ExecutionError:
+                raise
+            except Exception as exc:
+                raise ExecutionError(
+                    f"row {row.result} ({row.op.value}) failed: {exc}"
+                ) from exc
+            results[row.result.index] = relation
+            lineages[row.result.index] = lineage
+        final = iom.rows[-1].result.index
+        return ExecutionTrace(results[final], results, lineages[final])
+
+    # ------------------------------------------------------------------
+
+    def _execute_row(
+        self,
+        row: MatrixRow,
+        results: Dict[int, PolygenRelation],
+        lineages: Dict[int, Lineage],
+    ) -> Tuple[PolygenRelation, Lineage]:
+        if row.is_local:
+            return self._execute_local(row)
+        return self._execute_at_pqp(row, results, lineages)
+
+    def _execute_local(self, row: MatrixRow) -> Tuple[PolygenRelation, Lineage]:
+        if not isinstance(row.lhr, LocalOperand):
+            raise ExecutionError(
+                f"local row {row.result} must name a local relation, got {row.lhr!r}"
+            )
+        lqp = self._registry.get(row.el)
+        if row.op is Operation.RETRIEVE:
+            shipped = lqp.retrieve(row.lhr.relation)
+        elif row.op is Operation.SELECT:
+            if not isinstance(row.rha, Literal):
+                raise ExecutionError(
+                    f"local Select {row.result} requires a literal comparand"
+                )
+            shipped = lqp.select(row.lhr.relation, row.lha, row.theta, row.rha.value)
+        else:
+            raise ExecutionError(
+                f"operation {row.op.value} cannot execute at LQP {row.el!r}"
+            )
+        scheme = self._schema.scheme(row.scheme)
+        relation = materialize(
+            shipped,
+            row.el,
+            scheme,
+            resolver=self._resolver,
+            transforms=self._transforms,
+            relation_name=row.lhr.relation,
+        )
+        lineage = {attribute: frozenset({scheme.name}) for attribute in relation.attributes}
+        return relation, lineage
+
+    def _execute_at_pqp(
+        self,
+        row: MatrixRow,
+        results: Dict[int, PolygenRelation],
+        lineages: Dict[int, Lineage],
+    ) -> Tuple[PolygenRelation, Lineage]:
+        def resolve(operand) -> Tuple[PolygenRelation, Lineage]:
+            if isinstance(operand, ResultOperand):
+                return results[operand.index], lineages[operand.index]
+            raise ExecutionError(
+                f"PQP row {row.result} references unresolved operand {operand!r}"
+            )
+
+        op = row.op
+        if op is Operation.MERGE:
+            if not isinstance(row.lhr, tuple):
+                raise ExecutionError(f"Merge row {row.result} needs a tuple of inputs")
+            inputs = [resolve(part) for part in row.lhr]
+            scheme = self._schema.scheme(row.scheme)
+            if not scheme.primary_key:
+                raise ExecutionError(
+                    f"scheme {scheme.name!r} has no primary key; Merge undefined"
+                )
+            relation = derived.merge(
+                [relation for relation, _ in inputs],
+                scheme.primary_key,
+                policy=self._policy,
+            )
+            lineage = _union_lineages([lineage for _, lineage in inputs])
+            return relation, lineage
+
+        left, left_lineage = resolve(row.lhr)
+
+        if op is Operation.SELECT:
+            relation = algebra.restrict(left, row.lha, row.theta, row.rha)
+            return relation, dict(left_lineage)
+        if op is Operation.RESTRICT:
+            relation = algebra.restrict(left, row.lha, row.theta, AttributeRef(row.rha))
+            return relation, dict(left_lineage)
+        if op is Operation.PROJECT:
+            relation = algebra.project(left, row.lha)
+            return relation, {name: left_lineage.get(name, frozenset()) for name in row.lha}
+        if op is Operation.COALESCE:
+            output = row.output or row.lha
+            relation = algebra.coalesce(left, row.lha, row.rha, w=output, policy=self._policy)
+            lineage = {
+                name: source for name, source in left_lineage.items()
+                if name not in (row.lha, row.rha)
+            }
+            lineage[output] = left_lineage.get(row.lha, frozenset()) | left_lineage.get(
+                row.rha, frozenset()
+            )
+            return relation, lineage
+
+        right, right_lineage = resolve(row.rhr)
+        if op is Operation.JOIN:
+            relation = derived.join(left, right, row.lha, row.theta, row.rha)
+            return relation, _merge_lineage(left_lineage, right_lineage)
+        if op is Operation.UNION:
+            relation = algebra.union(left, _align(right, left))
+            return relation, _merge_lineage(left_lineage, right_lineage)
+        if op is Operation.DIFFERENCE:
+            relation = algebra.difference(left, _align(right, left))
+            return relation, _merge_lineage(left_lineage, right_lineage)
+        if op is Operation.PRODUCT:
+            relation = algebra.product(left, right)
+            return relation, _merge_lineage(left_lineage, right_lineage)
+        if op is Operation.INTERSECT:
+            relation = derived.intersect(left, _align(right, left))
+            return relation, _merge_lineage(left_lineage, right_lineage)
+        raise ExecutionError(f"unsupported PQP operation {op.value}")
+
+
+def _align(right: PolygenRelation, left: PolygenRelation) -> PolygenRelation:
+    """Reorder ``right``'s columns to ``left``'s heading when both carry the
+    same attribute set — a courtesy for union-compatible operands whose
+    retrieval order differed."""
+    if right.heading == left.heading:
+        return right
+    if set(right.attributes) == set(left.attributes):
+        return algebra.project(right, left.attributes)
+    return right  # let the operator raise its usual compatibility error
+
+
+def _merge_lineage(left: Lineage, right: Lineage) -> Lineage:
+    merged = dict(left)
+    for name, schemes in right.items():
+        merged[name] = merged.get(name, frozenset()) | schemes
+    return merged
+
+
+def _union_lineages(lineages) -> Lineage:
+    merged: Lineage = {}
+    for lineage in lineages:
+        merged = _merge_lineage(merged, lineage)
+    return merged

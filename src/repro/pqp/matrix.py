@@ -1,0 +1,253 @@
+"""Polygen and Intermediate Operation Matrices (paper, §III).
+
+A matrix row is the paper's 7-column record
+
+    PR | OP | LHR | LHA | θ | RHA | RHR
+
+plus, for the Intermediate Operation Matrix, the execution location EL and
+(our addition) the polygen-scheme context a local operation serves — needed
+by the executor to rename and transform retrieved data; the paper carries
+this context implicitly in its prose.
+
+Operands are typed rather than stringly:
+
+- :class:`SchemeOperand` — a polygen scheme name (POM only),
+- :class:`LocalOperand` — a local relation name (IOM rows executed at an LQP),
+- :class:`ResultOperand` — ``R(#)``, a previously produced polygen relation,
+- ``None`` — the paper's ``nil``,
+- a tuple of :class:`ResultOperand` — the input set of a Merge row.
+
+The right-hand attribute column holds an attribute name (``str``) or a
+:class:`repro.core.predicate.Literal` (the paper renders literals quoted,
+e.g. ``"MBA"``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from enum import Enum
+from typing import Any, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.core.predicate import Literal, Theta
+
+__all__ = [
+    "Operation",
+    "SchemeOperand",
+    "LocalOperand",
+    "ResultOperand",
+    "Operand",
+    "MatrixRow",
+    "PolygenOperationMatrix",
+    "IntermediateOperationMatrix",
+    "PQP_LOCATION",
+]
+
+#: The execution-location marker for operations performed by the PQP itself.
+PQP_LOCATION = "PQP"
+
+
+class Operation(Enum):
+    """Operations a matrix row can carry.
+
+    The paper's example uses Select, Join, Restrict, Project, Retrieve and
+    Merge; the remaining members cover the full algebra so any expression
+    the language can state is translatable.
+    """
+
+    SELECT = "Select"
+    RESTRICT = "Restrict"
+    JOIN = "Join"
+    PROJECT = "Project"
+    RETRIEVE = "Retrieve"
+    MERGE = "Merge"
+    UNION = "Union"
+    DIFFERENCE = "Difference"
+    PRODUCT = "Product"
+    INTERSECT = "Intersect"
+    COALESCE = "Coalesce"
+
+
+@dataclass(frozen=True, slots=True)
+class SchemeOperand:
+    """A polygen scheme reference (resolved away by the interpreter)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class LocalOperand:
+    """A local relation name; its database is the row's EL column."""
+
+    relation: str
+
+    def __str__(self) -> str:
+        return self.relation
+
+
+@dataclass(frozen=True, slots=True)
+class ResultOperand:
+    """``R(#)`` — the result of an earlier row (1-based, per the paper)."""
+
+    index: int
+
+    def __str__(self) -> str:
+        return f"R({self.index})"
+
+
+Operand = Union[SchemeOperand, LocalOperand, ResultOperand, Tuple[ResultOperand, ...], None]
+
+
+def _render_operand(operand: Operand) -> str:
+    if operand is None:
+        return "nil"
+    if isinstance(operand, tuple):
+        return ", ".join(str(part) for part in operand)
+    return str(operand)
+
+
+def _render_attribute(value: Any) -> str:
+    if value is None:
+        return "nil"
+    if isinstance(value, Literal):
+        return str(value)
+    if isinstance(value, tuple):
+        return ", ".join(value)
+    return str(value)
+
+
+@dataclass(frozen=True)
+class MatrixRow:
+    """One row of a POM or IOM."""
+
+    result: ResultOperand
+    op: Operation
+    lhr: Operand
+    lha: Any = None            # attribute name, tuple of names (Project), or None
+    theta: Optional[Theta] = None
+    rha: Any = None            # attribute name, Literal, or None
+    rhr: Operand = None
+    el: Optional[str] = None   # execution location (IOM only)
+    scheme: Optional[str] = None   # polygen-scheme context for local rows / merges
+    output: Optional[str] = None   # Coalesce output attribute
+
+    @property
+    def is_local(self) -> bool:
+        """True when this row executes at an LQP."""
+        return self.el is not None and self.el != PQP_LOCATION
+
+    def referenced_results(self) -> Tuple[ResultOperand, ...]:
+        """Every ``R(#)`` this row consumes."""
+        refs: List[ResultOperand] = []
+        for operand in (self.lhr, self.rhr):
+            if isinstance(operand, ResultOperand):
+                refs.append(operand)
+            elif isinstance(operand, tuple):
+                refs.extend(operand)
+        return tuple(refs)
+
+    def with_remapped_results(self, mapping) -> "MatrixRow":
+        """Rewrite ``R(#)`` references through ``mapping`` (old index → new
+        index); used by the optimizer."""
+
+        def remap(operand: Operand) -> Operand:
+            if isinstance(operand, ResultOperand):
+                return ResultOperand(mapping.get(operand.index, operand.index))
+            if isinstance(operand, tuple):
+                return tuple(
+                    ResultOperand(mapping.get(part.index, part.index)) for part in operand
+                )
+            return operand
+
+        return replace(
+            self,
+            result=remap(self.result),
+            lhr=remap(self.lhr),
+            rhr=remap(self.rhr),
+        )
+
+    def cells(self, with_el: bool) -> Tuple[str, ...]:
+        """The row rendered as display cells (paper column order)."""
+        base = (
+            str(self.result),
+            self.op.value,
+            _render_operand(self.lhr),
+            _render_attribute(self.lha),
+            self.theta.symbol if self.theta else "nil",
+            _render_attribute(self.rha),
+            _render_operand(self.rhr),
+        )
+        return base + ((self.el or "nil",) if with_el else ())
+
+
+class _Matrix:
+    """Common container behaviour for POM and IOM."""
+
+    HEADERS: Tuple[str, ...] = ()
+    WITH_EL = False
+
+    def __init__(self, rows: Sequence[MatrixRow] = ()):
+        self._rows: List[MatrixRow] = list(rows)
+
+    def append(self, row: MatrixRow) -> MatrixRow:
+        self._rows.append(row)
+        return row
+
+    @property
+    def rows(self) -> Tuple[MatrixRow, ...]:
+        return tuple(self._rows)
+
+    def __iter__(self) -> Iterator[MatrixRow]:
+        return iter(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __getitem__(self, index: int) -> MatrixRow:
+        return self._rows[index]
+
+    def row_for(self, operand: ResultOperand) -> MatrixRow:
+        """The row that produces ``operand`` (R(#) indices are 1-based)."""
+        return self._rows[operand.index - 1]
+
+    def render(self) -> str:
+        """Fixed-width table in the paper's layout."""
+        table = [self.HEADERS] + [row.cells(self.WITH_EL) for row in self._rows]
+        widths = [max(len(line[i]) for line in table) for i in range(len(self.HEADERS))]
+        lines = []
+        for line_number, line in enumerate(table):
+            lines.append("  ".join(cell.ljust(width) for cell, width in zip(line, widths)).rstrip())
+            if line_number == 0:
+                lines.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+class PolygenOperationMatrix(_Matrix):
+    """The Syntax Analyzer's output (paper, Table 1)."""
+
+    HEADERS = ("PR", "OP", "LHR", "LHA", "0", "RHA", "RHR")
+    WITH_EL = False
+
+
+class IntermediateOperationMatrix(_Matrix):
+    """The Polygen Operation Interpreter's output (paper, Tables 2 and 3)."""
+
+    HEADERS = ("PR", "OP", "LHR", "LHA", "0", "RHA", "RHR", "EL")
+    WITH_EL = True
+
+    def local_rows(self) -> Tuple[MatrixRow, ...]:
+        return tuple(row for row in self if row.is_local)
+
+    def pqp_rows(self) -> Tuple[MatrixRow, ...]:
+        return tuple(row for row in self if not row.is_local)
+
+    def databases_touched(self) -> Tuple[str, ...]:
+        seen = {}
+        for row in self.local_rows():
+            seen.setdefault(row.el, None)
+        return tuple(seen)

@@ -1,0 +1,127 @@
+"""The Query Optimizer (paper, §III).
+
+"Finally, the Query Optimizer examines the Intermediate Operation Matrix
+and generates a query execution plan.  Details of the Query Optimizer is
+also beyond the scope of this paper."  The paper's example simply executes
+Table 3 as-is ("without further optimization").
+
+We implement the safe, plan-level rewrites a PQP wants in practice — each
+preserves the result relation *including its tags*:
+
+- **retrieve deduplication** — identical ``(Retrieve, LS, LD, scheme)``
+  rows collapse to one LQP round-trip (self-joins and repeated scheme
+  references otherwise re-ship whole relations),
+- **merge deduplication** — Merge rows over the same input set and scheme
+  collapse likewise,
+- **dead-row pruning** — rows whose results are never consumed (a
+  by-product of deduplication) are dropped and the plan renumbered.
+
+Both rewrites are idempotent and compose; :class:`OptimizationReport`
+records what changed so benchmarks can quantify the effect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.pqp.matrix import (
+    IntermediateOperationMatrix,
+    LocalOperand,
+    MatrixRow,
+    Operation,
+)
+
+__all__ = ["QueryOptimizer", "OptimizationReport"]
+
+
+@dataclass(frozen=True)
+class OptimizationReport:
+    """What an optimization run did to a plan."""
+
+    original_rows: int
+    optimized_rows: int
+    retrieves_deduplicated: int
+    merges_deduplicated: int
+    rows_pruned: int
+
+    @property
+    def rows_saved(self) -> int:
+        return self.original_rows - self.optimized_rows
+
+
+class QueryOptimizer:
+    """Safe plan rewrites over the Intermediate Operation Matrix."""
+
+    def optimize(
+        self, iom: IntermediateOperationMatrix
+    ) -> Tuple[IntermediateOperationMatrix, OptimizationReport]:
+        """Apply all rewrites; returns the new plan and a report."""
+        rows = list(iom.rows)
+        rows, retrieves = self._dedupe(rows, self._retrieve_key)
+        rows, merges = self._dedupe(rows, self._merge_key)
+        rows, pruned = self._prune(rows)
+        optimized = IntermediateOperationMatrix(rows)
+        report = OptimizationReport(
+            original_rows=len(iom),
+            optimized_rows=len(optimized),
+            retrieves_deduplicated=retrieves,
+            merges_deduplicated=merges,
+            rows_pruned=pruned,
+        )
+        return optimized, report
+
+    # -- keys ------------------------------------------------------------------
+
+    @staticmethod
+    def _retrieve_key(row: MatrixRow):
+        if row.op is Operation.RETRIEVE and isinstance(row.lhr, LocalOperand):
+            return (row.lhr.relation, row.el, row.scheme)
+        return None
+
+    @staticmethod
+    def _merge_key(row: MatrixRow):
+        if row.op is Operation.MERGE and isinstance(row.lhr, tuple):
+            return (frozenset(part.index for part in row.lhr), row.scheme)
+        return None
+
+    # -- rewrites -----------------------------------------------------------------
+
+    @staticmethod
+    def _dedupe(rows: List[MatrixRow], key_fn) -> Tuple[List[MatrixRow], int]:
+        """Redirect duplicate rows' consumers to the first occurrence.
+
+        Duplicates stay in place (pruning removes them) so R(#) numbering is
+        only rewritten once, in :meth:`_prune`.
+        """
+        seen: Dict[object, int] = {}
+        redirect: Dict[int, int] = {}
+        deduplicated = 0
+        out: List[MatrixRow] = []
+        for row in rows:
+            row = row.with_remapped_results(redirect)
+            key = key_fn(row)
+            if key is not None:
+                if key in seen:
+                    redirect[row.result.index] = seen[key]
+                    deduplicated += 1
+                    continue
+                seen[key] = row.result.index
+            out.append(row)
+        return out, deduplicated
+
+    @staticmethod
+    def _prune(rows: List[MatrixRow]) -> Tuple[List[MatrixRow], int]:
+        """Drop rows never consumed (keeping the final row) and renumber."""
+        if not rows:
+            return rows, 0
+        needed = {rows[-1].result.index}
+        for row in reversed(rows):
+            if row.result.index in needed:
+                for ref in row.referenced_results():
+                    needed.add(ref.index)
+        kept = [row for row in rows if row.result.index in needed]
+        pruned = len(rows) - len(kept)
+        renumber = {row.result.index: position + 1 for position, row in enumerate(kept)}
+        renumbered = [row.with_remapped_results(renumber) for row in kept]
+        return renumbered, pruned

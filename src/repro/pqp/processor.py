@@ -1,0 +1,150 @@
+"""The Polygen Query Processor facade.
+
+Wires the whole pipeline of Figure 2 — Syntax Analyzer → Polygen Operation
+Interpreter → Query Optimizer → executor — behind three entry points:
+
+- :meth:`PolygenQueryProcessor.run_sql` — a SQL polygen query string,
+- :meth:`PolygenQueryProcessor.run_algebra` — a polygen algebraic
+  expression (text in the paper's bracket notation, or an expression tree),
+- :meth:`PolygenQueryProcessor.run_plan` — a pre-built IOM (used by the
+  benchmark harness to execute Table 3 verbatim).
+
+Every run returns a :class:`QueryResult` carrying the result relation and
+all intermediate artifacts (expression, POM, IOM, execution trace), so
+callers can display any stage of the paper's worked example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.algebra_lang.parser import parse_expression
+from repro.catalog.schema import PolygenSchema
+from repro.core.cell import ConflictPolicy
+from repro.core.expression import Expression
+from repro.core.relation import PolygenRelation
+from repro.integration.domains import TransformRegistry, default_registry
+from repro.integration.identity import IdentityResolver
+from repro.lqp.registry import LQPRegistry
+from repro.pqp.executor import ExecutionTrace, Executor
+from repro.pqp.interpreter import PolygenOperationInterpreter
+from repro.pqp.matrix import IntermediateOperationMatrix, PolygenOperationMatrix
+from repro.pqp.optimizer import OptimizationReport, QueryOptimizer
+from repro.pqp.syntax_analyzer import SyntaxAnalyzer
+from repro.translate.translator import TranslationResult, translate_sql
+
+__all__ = ["PolygenQueryProcessor", "QueryResult"]
+
+
+@dataclass
+class QueryResult:
+    """The answer to a polygen query plus every pipeline artifact."""
+
+    relation: PolygenRelation
+    expression: Optional[Expression]
+    pom: Optional[PolygenOperationMatrix]
+    iom: IntermediateOperationMatrix
+    trace: ExecutionTrace
+    sql: Optional[str] = None
+    translation: Optional[TranslationResult] = None
+    optimization: Optional[OptimizationReport] = None
+
+    @property
+    def lineage(self):
+        """attribute → polygen schemes it flowed through."""
+        return self.trace.lineage
+
+    def render(self) -> str:
+        """The result relation in the paper's tagged-table style."""
+        from repro.display.render import render_relation
+
+        return render_relation(self.relation)
+
+
+class PolygenQueryProcessor:
+    """The PQP: translate, plan, optimize and execute polygen queries."""
+
+    def __init__(
+        self,
+        schema: PolygenSchema,
+        registry: LQPRegistry,
+        resolver: IdentityResolver | None = None,
+        transforms: TransformRegistry | None = None,
+        policy: ConflictPolicy = ConflictPolicy.DROP,
+        optimize: bool = True,
+        materialize_full_scheme: bool = False,
+    ):
+        self.schema = schema
+        self.registry = registry
+        self._analyzer = SyntaxAnalyzer()
+        self._interpreter = PolygenOperationInterpreter(
+            schema, materialize_full_scheme=materialize_full_scheme
+        )
+        self._optimizer = QueryOptimizer() if optimize else None
+        self._executor = Executor(
+            schema,
+            registry,
+            resolver=resolver or IdentityResolver.identity(),
+            transforms=transforms or default_registry(),
+            policy=policy,
+        )
+
+    # -- pipeline stages (usable piecemeal) ------------------------------------
+
+    def analyze(self, expression: Expression | str) -> Tuple[Expression, PolygenOperationMatrix]:
+        """Expression (or bracket-notation text) → POM (paper, Table 1)."""
+        tree = parse_expression(expression) if isinstance(expression, str) else expression
+        return tree, self._analyzer.analyze(tree)
+
+    def plan(self, pom: PolygenOperationMatrix) -> IntermediateOperationMatrix:
+        """POM → IOM via the two-pass interpreter (paper, Tables 2–3)."""
+        return self._interpreter.interpret(pom)
+
+    def optimize(
+        self, iom: IntermediateOperationMatrix
+    ) -> Tuple[IntermediateOperationMatrix, Optional[OptimizationReport]]:
+        if self._optimizer is None:
+            return iom, None
+        return self._optimizer.optimize(iom)
+
+    # -- entry points --------------------------------------------------------------
+
+    def run_sql(self, sql: str) -> QueryResult:
+        """Translate and execute a SQL polygen query."""
+        translation = translate_sql(sql, self.schema)
+        result = self.run_algebra(translation.expression)
+        result.sql = sql
+        result.translation = translation
+        return result
+
+    def run_algebra(self, expression: Expression | str) -> QueryResult:
+        """Execute a polygen algebraic expression."""
+        tree, pom = self.analyze(expression)
+        iom = self.plan(pom)
+        iom, report = self.optimize(iom)
+        trace = self._executor.execute(iom)
+        return QueryResult(
+            relation=trace.relation,
+            expression=tree,
+            pom=pom,
+            iom=iom,
+            trace=trace,
+            optimization=report,
+        )
+
+    def run_plan(self, iom: IntermediateOperationMatrix) -> QueryResult:
+        """Execute a pre-built IOM without analysis or optimization.
+
+        This is how the benchmark harness evaluates the paper's Table 3
+        exactly as printed ("let us assume that Table 3 is used as a query
+        execution plan, i.e., without further optimization").
+        """
+        trace = self._executor.execute(iom)
+        return QueryResult(
+            relation=trace.relation,
+            expression=None,
+            pom=None,
+            iom=iom,
+            trace=trace,
+        )

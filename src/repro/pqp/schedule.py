@@ -1,0 +1,182 @@
+"""Plan scheduling: simulated cost of an IOM under a latency model.
+
+The paper's architecture (Figure 1) routes local queries to autonomous
+LQPs, which naturally run in parallel — the PQP only needs a result when a
+downstream row consumes it.  This module builds the dependency DAG of an
+Intermediate Operation Matrix and computes:
+
+- the **serial** cost (every row one after another — what a naive PQP does),
+- the **parallel makespan** (rows start as soon as their inputs are ready;
+  local rows at *different* databases overlap, rows at the *same* database
+  queue on that LQP),
+- the **critical path** of rows that bounds the makespan.
+
+Costs come from a per-row model: local rows pay the LQP's
+:class:`~repro.lqp.cost.CostModel` (per-query latency + per-tuple shipping,
+using measured tuple counts when an execution trace is supplied); PQP rows
+pay a configurable CPU estimate per input tuple.  The scheduling bench uses
+this to show how federation width buys parallelism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.lqp.cost import CostModel
+from repro.pqp.executor import ExecutionTrace
+from repro.pqp.matrix import IntermediateOperationMatrix, MatrixRow, ResultOperand
+
+__all__ = ["PlanSchedule", "ScheduledRow", "schedule_plan"]
+
+#: Default tuple-count guess when no execution trace is available.
+_DEFAULT_TUPLES = 10
+
+
+@dataclass(frozen=True)
+class ScheduledRow:
+    """One plan row with its simulated timing."""
+
+    row: MatrixRow
+    cost: float
+    start: float
+    finish: float
+
+    @property
+    def location(self) -> str:
+        return self.row.el or "PQP"
+
+
+@dataclass(frozen=True)
+class PlanSchedule:
+    """The simulated schedule of one plan."""
+
+    rows: Tuple[ScheduledRow, ...]
+    serial_cost: float
+    makespan: float
+    critical_path: Tuple[ScheduledRow, ...]
+
+    @property
+    def speedup(self) -> float:
+        """Serial cost over parallel makespan (≥ 1)."""
+        if self.makespan == 0:
+            return 1.0
+        return self.serial_cost / self.makespan
+
+    def render(self) -> str:
+        lines = ["PR      op         at    start   finish  cost"]
+        for scheduled in self.rows:
+            lines.append(
+                f"{str(scheduled.row.result):6s}  "
+                f"{scheduled.row.op.value:9s}  "
+                f"{scheduled.location:4s}  "
+                f"{scheduled.start:6.2f}  {scheduled.finish:7.2f}  {scheduled.cost:5.2f}"
+            )
+        lines.append(
+            f"serial cost {self.serial_cost:.2f}, makespan {self.makespan:.2f}, "
+            f"speedup {self.speedup:.2f}x"
+        )
+        lines.append(
+            "critical path: " + " -> ".join(str(s.row.result) for s in self.critical_path)
+        )
+        return "\n".join(lines)
+
+
+def _row_cost(
+    row: MatrixRow,
+    trace: Optional[ExecutionTrace],
+    local_costs: Dict[str, CostModel],
+    default_cost: CostModel,
+    pqp_cost_per_tuple: float,
+) -> float:
+    produced = _DEFAULT_TUPLES
+    if trace is not None and row.result.index in trace.results:
+        produced = trace.results[row.result.index].cardinality
+    if row.is_local:
+        model = local_costs.get(row.el, default_cost)
+        return model.cost(queries=1, tuples=produced)
+    consumed = 0
+    if trace is not None:
+        for ref in row.referenced_results():
+            if ref.index in trace.results:
+                consumed += trace.results[ref.index].cardinality
+    else:
+        consumed = _DEFAULT_TUPLES * max(1, len(row.referenced_results()))
+    return pqp_cost_per_tuple * max(consumed, 1)
+
+
+def schedule_plan(
+    iom: IntermediateOperationMatrix,
+    trace: Optional[ExecutionTrace] = None,
+    local_costs: Optional[Dict[str, CostModel]] = None,
+    default_cost: CostModel = CostModel(per_query=1.0, per_tuple=0.01),
+    pqp_cost_per_tuple: float = 0.002,
+) -> PlanSchedule:
+    """Simulate a plan's execution schedule.
+
+    Dependencies: a row starts after every row it references finishes.
+    Resource constraint: rows executing at the same local database are
+    serialized on that LQP (a single-connection assumption matching the
+    paper's prototype); PQP rows are serialized on the PQP.
+    """
+    costs: Dict[int, float] = {
+        row.result.index: _row_cost(
+            row, trace, local_costs or {}, default_cost, pqp_cost_per_tuple
+        )
+        for row in iom
+    }
+
+    graph = nx.DiGraph()
+    for row in iom:
+        graph.add_node(row.result.index)
+        for ref in row.referenced_results():
+            graph.add_edge(ref.index, row.result.index)
+
+    resource_free: Dict[str, float] = {}
+    start: Dict[int, float] = {}
+    finish: Dict[int, float] = {}
+    critical_pred: Dict[int, Optional[int]] = {}
+
+    for index in nx.topological_sort(graph):
+        row = iom.row_for(ResultOperand(index))
+        ready = 0.0
+        critical_pred[index] = None
+        for predecessor in graph.predecessors(index):
+            if finish[predecessor] >= ready:
+                ready = finish[predecessor]
+                critical_pred[index] = predecessor
+        location = row.el or "PQP"
+        begin = max(ready, resource_free.get(location, 0.0))
+        start[index] = begin
+        finish[index] = begin + costs[index]
+        resource_free[location] = finish[index]
+
+    scheduled = tuple(
+        ScheduledRow(
+            row=row,
+            cost=costs[row.result.index],
+            start=start[row.result.index],
+            finish=finish[row.result.index],
+        )
+        for row in iom
+    )
+    serial_cost = sum(costs.values())
+    makespan = max(finish.values()) if finish else 0.0
+
+    # Walk the critical path back from the last-finishing row.
+    path: List[ScheduledRow] = []
+    by_index = {item.row.result.index: item for item in scheduled}
+    cursor: Optional[int] = max(finish, key=finish.get) if finish else None
+    while cursor is not None:
+        path.append(by_index[cursor])
+        cursor = critical_pred[cursor]
+    path.reverse()
+
+    return PlanSchedule(
+        rows=scheduled,
+        serial_cost=serial_cost,
+        makespan=makespan,
+        critical_path=tuple(path),
+    )

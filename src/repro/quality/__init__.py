@@ -1,0 +1,31 @@
+"""Data-quality extensions built on source tags.
+
+The paper's conclusion positions the polygen model as "a theoretical
+foundation" for follow-up problems: "knowing the data source credibility
+will enable the user or the query processor to further resolve potential
+conflicts amongst the data retrieved from different sources", and "the
+cardinality inconsistency problem which is inherent in heterogeneous
+database systems" (referential integrity cannot be enforced across
+autonomous databases).  This package implements both follow-ups:
+
+- :mod:`repro.quality.credibility` — per-database credibility scores,
+  tuple/cell scoring and ranking, and credibility-driven conflict
+  resolution for Coalesce/Merge;
+- :mod:`repro.quality.diagnostics` — cross-database referential integrity
+  (dangling reference) detection over tagged relations.
+"""
+
+from repro.quality.credibility import (
+    CredibilityModel,
+    credibility_coalesce,
+    credibility_merge,
+)
+from repro.quality.diagnostics import ReferenceReport, dangling_references
+
+__all__ = [
+    "CredibilityModel",
+    "credibility_coalesce",
+    "credibility_merge",
+    "ReferenceReport",
+    "dangling_references",
+]

@@ -1,0 +1,171 @@
+"""Source credibility: scoring, ranking and conflict resolution.
+
+"Knowing the data source will enable a user … to apply their own judgment
+to the credibility of the information" (paper, §I).  A
+:class:`CredibilityModel` assigns each local database a score in [0, 1];
+because every polygen cell carries its originating databases, the model can
+score cells, tuples and whole relations, and can arbitrate Coalesce
+conflicts in favour of the more credible source — the data-conflict
+resolution the paper's conclusion anticipates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from repro.core.cell import Cell
+from repro.core.derived import RHS_SUFFIX, outer_join
+from repro.core.relation import PolygenRelation
+from repro.core.row import PolygenTuple
+from repro.errors import InvalidOperandError, PolygenError
+
+__all__ = ["CredibilityModel", "credibility_coalesce", "credibility_merge"]
+
+
+class CredibilityModel:
+    """Per-database credibility scores in ``[0, 1]``.
+
+    ``default`` is used for databases with no explicit score — a neutral
+    0.5 unless configured otherwise.
+
+    >>> model = CredibilityModel({"CD": 0.9, "AD": 0.6})
+    >>> model.score("CD")
+    0.9
+    """
+
+    def __init__(self, scores: Mapping[str, float] | None = None, default: float = 0.5):
+        self._scores: Dict[str, float] = {}
+        self.default = self._validated(default)
+        for database, score in (scores or {}).items():
+            self.set_score(database, score)
+
+    @staticmethod
+    def _validated(score: float) -> float:
+        if not 0.0 <= score <= 1.0:
+            raise PolygenError(f"credibility scores live in [0, 1], got {score}")
+        return float(score)
+
+    def set_score(self, database: str, score: float) -> None:
+        self._scores[database] = self._validated(score)
+
+    def score(self, database: str) -> float:
+        return self._scores.get(database, self.default)
+
+    # -- scoring tagged objects --------------------------------------------------
+
+    def cell_score(self, cell: Cell) -> float:
+        """Credibility of one cell: the best score among its origins.
+
+        A multiply-sourced cell is corroborated, so the *maximum* origin
+        score is used; a nil cell (no origins) scores 0.
+        """
+        if not cell.origins:
+            return 0.0
+        return max(self.score(database) for database in cell.origins)
+
+    def tuple_score(self, row: PolygenTuple) -> float:
+        """Weakest-link credibility of a tuple: the minimum over its
+        non-nil cells (a conclusion is only as credible as its least
+        credible constituent)."""
+        scores = [self.cell_score(cell) for cell in row if not cell.is_nil]
+        return min(scores) if scores else 0.0
+
+    def rank(self, relation: PolygenRelation) -> List[Tuple[float, PolygenTuple]]:
+        """Tuples with scores, most credible first (ties: data order)."""
+        scored = [(self.tuple_score(row), row) for row in relation]
+        return sorted(scored, key=lambda pair: -pair[0])
+
+    def filter(self, relation: PolygenRelation, threshold: float) -> PolygenRelation:
+        """Keep only tuples scoring at least ``threshold``."""
+        return relation.replace_tuples(
+            row for row in relation if self.tuple_score(row) >= threshold
+        )
+
+
+def credibility_coalesce(
+    relation: PolygenRelation,
+    x: str,
+    y: str,
+    model: CredibilityModel,
+    w: str | None = None,
+) -> PolygenRelation:
+    """Coalesce ``x`` and ``y`` into ``w``, resolving conflicts by
+    credibility.
+
+    Agreeing or one-sided cells behave exactly like the paper's Coalesce;
+    conflicting non-nil cells keep the more credible side's datum and
+    origins, and record the losing side's sources as *intermediate* sources
+    (they influenced the comparison, not the datum) — keeping the polygen
+    invariant that ``c(o)`` only names databases the datum actually came
+    from.  Exact ties keep the left side (deterministic).
+    """
+    if x == y:
+        raise InvalidOperandError("coalesce requires two distinct attributes")
+    if w is None:
+        w = x
+    x_pos = relation.heading.index(x)
+    y_pos = relation.heading.index(y)
+    heading = relation.heading.replace(x, w).remove([y])
+
+    rows = []
+    for row in relation:
+        left, right = row[x_pos], row[y_pos]
+        combined = left.coalesce_with(right)
+        if combined is None:  # genuine conflict — arbitrate
+            if model.cell_score(right) > model.cell_score(left):
+                winner, loser = right, left
+            else:
+                winner, loser = left, right
+            combined = Cell(
+                winner.datum,
+                winner.origins,
+                winner.intermediates | loser.intermediates | loser.origins,
+            )
+        cells = [
+            combined if i == x_pos else cell
+            for i, cell in enumerate(row)
+            if i != y_pos
+        ]
+        rows.append(PolygenTuple(cells))
+    return PolygenRelation(heading, rows)
+
+
+def credibility_merge(
+    relations: Iterable[PolygenRelation],
+    key: Sequence[str],
+    model: CredibilityModel,
+) -> PolygenRelation:
+    """Merge with credibility-arbitrated conflicts.
+
+    The same fold of outer natural total joins as
+    :func:`repro.core.derived.merge`, but every Coalesce resolves conflicts
+    through ``model`` instead of dropping tuples — so overlapping databases
+    that disagree still produce one best-effort composite row.
+    """
+    operands = list(relations)
+    if not operands:
+        raise InvalidOperandError("merge requires at least one relation")
+    for relation in operands:
+        relation.heading.require(*key)
+
+    merged = operands[0]
+    for relation in operands[1:]:
+        shared = [
+            name for name in merged.attributes
+            if name in relation.heading and name not in key
+        ]
+        qualification = {
+            name: name + RHS_SUFFIX
+            for name in relation.attributes
+            if name in merged.heading
+        }
+        right = relation.rename(qualification) if qualification else relation
+        joined = outer_join(
+            merged, right, [(name, qualification.get(name, name)) for name in key]
+        )
+        for name in key:
+            joined = credibility_coalesce(joined, name, qualification[name], model, w=name)
+        for name in shared:
+            joined = credibility_coalesce(joined, name, qualification[name], model, w=name)
+        merged = joined
+    return merged

@@ -1,0 +1,111 @@
+"""Cross-database integrity diagnostics.
+
+"The cardinality inconsistency problem … exists in heterogeneous database
+systems because the referential integrity is not enforceable over multiple
+pre-existing databases which have been developed and administered
+independently" (paper, §V, footnote 13).  With source tags, a PQP can at
+least *detect* the problem: find referencing values with no referent, and
+say which database each dangling value came from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Tuple
+
+from repro.core.relation import PolygenRelation
+
+__all__ = ["ReferenceReport", "dangling_references"]
+
+
+@dataclass(frozen=True)
+class DanglingValue:
+    """One referencing value with no matching referent."""
+
+    value: object
+    #: databases the dangling value originated from.
+    origins: FrozenSet[str]
+    #: number of referencing tuples carrying it.
+    occurrences: int
+
+
+@dataclass(frozen=True)
+class ReferenceReport:
+    """Outcome of a cross-database referential integrity check."""
+
+    referencing_attribute: str
+    referenced_attribute: str
+    total_values: int
+    dangling: Tuple[DanglingValue, ...]
+
+    @property
+    def is_consistent(self) -> bool:
+        return not self.dangling
+
+    @property
+    def dangling_count(self) -> int:
+        return len(self.dangling)
+
+    def render(self) -> str:
+        if self.is_consistent:
+            return (
+                f"{self.referencing_attribute} → {self.referenced_attribute}: "
+                f"consistent ({self.total_values} values checked)"
+            )
+        lines = [
+            f"{self.referencing_attribute} → {self.referenced_attribute}: "
+            f"{self.dangling_count} dangling of {self.total_values} values"
+        ]
+        for item in self.dangling:
+            sources = ", ".join(sorted(item.origins)) or "unknown"
+            lines.append(
+                f"  {item.value!r} (from {sources}, {item.occurrences} tuple(s))"
+            )
+        return "\n".join(lines)
+
+
+def dangling_references(
+    referencing: PolygenRelation,
+    referencing_attribute: str,
+    referenced: PolygenRelation,
+    referenced_attribute: str,
+) -> ReferenceReport:
+    """Find referencing values absent from the referenced relation.
+
+    Both relations are tagged, so each dangling value reports the databases
+    it originated from — in a large federation that tells an administrator
+    *which* source to reconcile.
+
+    >>> # e.g. CAREER.BNAME values with no BUSINESS.BNAME referent
+    """
+    referenced_values = {
+        cell.datum
+        for cell in referenced.column(referenced_attribute)
+        if not cell.is_nil
+    }
+    found: Dict[object, Dict[str, object]] = {}
+    position = referencing.heading.index(referencing_attribute)
+    total: Dict[object, None] = {}
+    for row in referencing:
+        cell = row[position]
+        if cell.is_nil:
+            continue
+        total.setdefault(cell.datum, None)
+        if cell.datum in referenced_values:
+            continue
+        entry = found.setdefault(
+            cell.datum, {"origins": frozenset(), "occurrences": 0}
+        )
+        entry["origins"] = entry["origins"] | cell.origins
+        entry["occurrences"] = entry["occurrences"] + 1
+
+    dangling = tuple(
+        DanglingValue(value, entry["origins"], entry["occurrences"])
+        for value, entry in sorted(found.items(), key=lambda item: str(item[0]))
+    )
+    return ReferenceReport(
+        referencing_attribute=referencing_attribute,
+        referenced_attribute=referenced_attribute,
+        total_values=len(total),
+        dangling=dangling,
+    )

@@ -1,0 +1,42 @@
+"""The local relational engine substrate.
+
+The paper assumes each Local Query Processor fronts a conventional,
+*untagged* relational DBMS ("to the PQP, each LQP behaves as a local
+relational system").  This package is that DBMS: schemas with key
+constraints, in-memory relations, a small relational algebra and a
+:class:`~repro.relational.database.LocalDatabase` container.
+
+Nothing in here knows about source tags — tagging happens at the PQP
+boundary when retrieved data arrives (see :mod:`repro.lqp.tagging`).
+"""
+
+from repro.relational.algebra import (
+    difference,
+    join,
+    product,
+    project,
+    rename,
+    select,
+    union,
+)
+from repro.relational.conditions import Comparison, Condition, Conjunction, TrueCondition
+from repro.relational.database import LocalDatabase
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationSchema
+
+__all__ = [
+    "Relation",
+    "RelationSchema",
+    "LocalDatabase",
+    "Condition",
+    "Comparison",
+    "Conjunction",
+    "TrueCondition",
+    "select",
+    "project",
+    "join",
+    "union",
+    "difference",
+    "product",
+    "rename",
+]

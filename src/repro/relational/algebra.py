@@ -1,0 +1,107 @@
+"""Classical (untagged) relational algebra for the local engine.
+
+These operators mirror :mod:`repro.core.algebra` without any source-tag
+bookkeeping.  They serve two purposes: executing operations *inside* an LQP
+(where the paper's model has no tags yet), and providing the untagged
+"global model" baseline that the benchmark harness compares against.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from repro.core.heading import Heading
+from repro.core.predicate import Theta
+from repro.errors import (
+    AttributeCollisionError,
+    InvalidOperandError,
+    UnionCompatibilityError,
+)
+from repro.relational.conditions import Condition
+from repro.relational.relation import Relation
+
+__all__ = [
+    "select",
+    "select_where",
+    "project",
+    "product",
+    "join",
+    "union",
+    "difference",
+    "rename",
+]
+
+
+def select(relation: Relation, attribute: str, theta: Theta, value: Any) -> Relation:
+    """``σ[attribute θ value]`` against a constant."""
+    position = relation.heading.index(attribute)
+    return relation.replace_rows(
+        row for row in relation if theta.evaluate(row[position], value)
+    )
+
+
+def select_where(relation: Relation, condition: Condition) -> Relation:
+    """Selection with an arbitrary condition tree."""
+    attributes = relation.heading.attributes
+    return relation.replace_rows(
+        row for row in relation if condition.evaluate(dict(zip(attributes, row)))
+    )
+
+
+def project(relation: Relation, attributes: Sequence[str]) -> Relation:
+    """``π[attributes]`` with set deduplication."""
+    if not attributes:
+        raise InvalidOperandError("project requires at least one attribute")
+    positions = relation.heading.indices(attributes)
+    return Relation(
+        Heading(attributes),
+        (tuple(row[i] for i in positions) for row in relation),
+    )
+
+
+def product(left: Relation, right: Relation) -> Relation:
+    """Cartesian product; headings must be disjoint."""
+    heading = left.heading.concat(right.heading)
+    return Relation(heading, (l + r for l in left for r in right))
+
+
+def join(left: Relation, right: Relation, left_attr: str, theta: Theta, right_attr: str) -> Relation:
+    """θ-join; for ``=`` an index is built on the right operand."""
+    overlap = set(left.attributes) & set(right.attributes)
+    if overlap:
+        raise AttributeCollisionError(
+            "join operands share attributes: " + ", ".join(sorted(overlap))
+        )
+    heading = left.heading.concat(right.heading)
+    li = left.heading.index(left_attr)
+    ri = right.heading.index(right_attr)
+    if theta is Theta.EQ:
+        index: dict[Any, list] = {}
+        for row in right:
+            if row[ri] is not None:
+                index.setdefault(row[ri], []).append(row)
+        return Relation(
+            heading,
+            (l + r for l in left for r in index.get(l[li], ())),
+        )
+    return Relation(
+        heading,
+        (l + r for l in left for r in right if theta.evaluate(l[li], r[ri])),
+    )
+
+
+def union(left: Relation, right: Relation) -> Relation:
+    if left.heading != right.heading:
+        raise UnionCompatibilityError("union operands must share a heading")
+    return Relation(left.heading, tuple(left) + tuple(right))
+
+
+def difference(left: Relation, right: Relation) -> Relation:
+    if left.heading != right.heading:
+        raise UnionCompatibilityError("difference operands must share a heading")
+    drop = set(right.rows)
+    return left.replace_rows(row for row in left if row not in drop)
+
+
+def rename(relation: Relation, mapping: Mapping[str, str]) -> Relation:
+    return relation.rename(mapping)

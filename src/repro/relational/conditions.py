@@ -1,0 +1,97 @@
+"""Selection conditions for the local engine.
+
+The Intermediate Operation Matrix only ever ships a single comparison to an
+LQP (e.g. ``Select ALUMNUS DEG = "MBA"``), but local applications and the
+examples benefit from conjunctions, so a tiny condition tree is provided.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence, Tuple
+
+from repro.core.predicate import Theta
+
+__all__ = ["Condition", "Comparison", "Conjunction", "TrueCondition"]
+
+
+class Condition:
+    """Base class for local selection conditions."""
+
+    __slots__ = ()
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        raise NotImplementedError
+
+    def attributes(self) -> Tuple[str, ...]:
+        """Attribute names referenced by this condition."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True, slots=True)
+class TrueCondition(Condition):
+    """The always-true condition — a Retrieve is a Restrict with this
+    condition (paper, §II)."""
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        return True
+
+    def attributes(self) -> Tuple[str, ...]:
+        return ()
+
+    def __str__(self) -> str:
+        return "TRUE"
+
+
+@dataclass(frozen=True, slots=True)
+class Comparison(Condition):
+    """``attribute θ constant`` or ``attribute θ attribute``.
+
+    When ``right_attribute`` is set the comparison is between two columns of
+    the same relation; otherwise ``value`` is a constant.
+    """
+
+    attribute: str
+    theta: Theta
+    value: Any = None
+    right_attribute: str | None = None
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        left = row.get(self.attribute)
+        right = row.get(self.right_attribute) if self.right_attribute else self.value
+        return self.theta.evaluate(left, right)
+
+    def attributes(self) -> Tuple[str, ...]:
+        if self.right_attribute:
+            return (self.attribute, self.right_attribute)
+        return (self.attribute,)
+
+    def __str__(self) -> str:
+        if self.right_attribute:
+            return f"{self.attribute} {self.theta.symbol} {self.right_attribute}"
+        rendered = f'"{self.value}"' if isinstance(self.value, str) else str(self.value)
+        return f"{self.attribute} {self.theta.symbol} {rendered}"
+
+
+@dataclass(frozen=True)
+class Conjunction(Condition):
+    """A conjunction (AND) of conditions; empty conjunction is true."""
+
+    parts: Tuple[Condition, ...]
+
+    def __init__(self, parts: Sequence[Condition]):
+        object.__setattr__(self, "parts", tuple(parts))
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        return all(part.evaluate(row) for part in self.parts)
+
+    def attributes(self) -> Tuple[str, ...]:
+        out: list[str] = []
+        for part in self.parts:
+            out.extend(part.attributes())
+        return tuple(dict.fromkeys(out))
+
+    def __str__(self) -> str:
+        if not self.parts:
+            return "TRUE"
+        return " AND ".join(str(part) for part in self.parts)

@@ -1,0 +1,118 @@
+"""In-memory local databases.
+
+A :class:`LocalDatabase` plays the role of one autonomous database in the
+federation — the paper's AD, PD and CD.  It owns named relations with
+schemas and (optionally) primary-key enforcement, and supports the small
+query surface an LQP needs: full retrieval and single-comparison selection.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Sequence, Tuple
+
+from repro.core.predicate import Theta
+from repro.errors import ConstraintViolationError, UnknownRelationError
+from repro.relational import algebra
+from repro.relational.conditions import Condition
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationSchema
+
+__all__ = ["LocalDatabase"]
+
+
+class LocalDatabase:
+    """A named collection of local relations.
+
+    >>> db = LocalDatabase("AD")
+    >>> _ = db.create(RelationSchema("BUSINESS", ["BNAME", "IND"], key=["BNAME"]))
+    >>> db.insert("BUSINESS", [("IBM", "High Tech")])
+    >>> db.relation("BUSINESS").cardinality
+    1
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self._schemas: Dict[str, RelationSchema] = {}
+        self._relations: Dict[str, Relation] = {}
+
+    # -- schema management ---------------------------------------------------
+
+    def create(self, schema: RelationSchema) -> "LocalDatabase":
+        """Register an (initially empty) relation.  Returns self for chaining."""
+        if schema.name in self._schemas:
+            raise ConstraintViolationError(
+                f"relation {schema.name!r} already exists in database {self.name!r}"
+            )
+        self._schemas[schema.name] = schema
+        self._relations[schema.name] = Relation(schema.heading)
+        return self
+
+    def schema(self, relation_name: str) -> RelationSchema:
+        try:
+            return self._schemas[relation_name]
+        except KeyError:
+            raise UnknownRelationError(relation_name, self.name) from None
+
+    def relation_names(self) -> Tuple[str, ...]:
+        return tuple(self._schemas)
+
+    def __contains__(self, relation_name: str) -> bool:
+        return relation_name in self._schemas
+
+    # -- data management ---------------------------------------------------------
+
+    def insert(self, relation_name: str, rows: Iterable[Sequence[Any]]) -> None:
+        """Insert rows, enforcing degree and primary-key uniqueness."""
+        schema = self.schema(relation_name)
+        current = self._relations[relation_name]
+        key_positions = schema.key_indices()
+        existing_keys = {
+            tuple(row[i] for i in key_positions) for row in current
+        } if key_positions else set()
+
+        new_rows = list(current.rows)
+        for row in rows:
+            row_tuple = tuple(row)
+            if len(row_tuple) != schema.degree:
+                raise ConstraintViolationError(
+                    f"row of degree {len(row_tuple)} for relation "
+                    f"{relation_name!r} of degree {schema.degree}"
+                )
+            if key_positions:
+                key = tuple(row_tuple[i] for i in key_positions)
+                if any(part is None for part in key):
+                    raise ConstraintViolationError(
+                        f"nil key value for relation {relation_name!r}: {key!r}"
+                    )
+                if key in existing_keys:
+                    raise ConstraintViolationError(
+                        f"duplicate key {key!r} for relation {relation_name!r}"
+                    )
+                existing_keys.add(key)
+            new_rows.append(row_tuple)
+        self._relations[relation_name] = Relation(schema.heading, new_rows)
+
+    def load(self, schema: RelationSchema, rows: Iterable[Sequence[Any]]) -> "LocalDatabase":
+        """Create and populate a relation in one step (dataset builders)."""
+        self.create(schema)
+        self.insert(schema.name, rows)
+        return self
+
+    # -- query surface ---------------------------------------------------------
+
+    def relation(self, relation_name: str) -> Relation:
+        """Full retrieval — the paper's Retrieve is a Restrict with no
+        condition."""
+        if relation_name not in self._relations:
+            raise UnknownRelationError(relation_name, self.name)
+        return self._relations[relation_name]
+
+    def select(self, relation_name: str, attribute: str, theta: Theta, value: Any) -> Relation:
+        """Single-comparison selection executed locally."""
+        return algebra.select(self.relation(relation_name), attribute, theta, value)
+
+    def select_where(self, relation_name: str, condition: Condition) -> Relation:
+        return algebra.select_where(self.relation(relation_name), condition)
+
+    def __repr__(self) -> str:
+        return f"LocalDatabase({self.name!r}, relations={list(self._schemas)!r})"

@@ -1,0 +1,116 @@
+"""Untagged (classical) relations for the local engine substrate.
+
+Rows are plain tuples of Python values; ``None`` encodes SQL-style missing
+data.  Set semantics: exact duplicate rows collapse at construction, and
+insertion order is preserved for reproducible display.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Mapping, Sequence, Tuple
+
+from repro.core.heading import Heading
+from repro.errors import DegreeMismatchError
+
+__all__ = ["Relation"]
+
+
+class Relation:
+    """An immutable, untagged relation.
+
+    >>> r = Relation(["BNAME", "IND"], [("IBM", "High Tech")])
+    >>> r.cardinality
+    1
+    """
+
+    __slots__ = ("_heading", "_rows")
+
+    def __init__(self, heading: Heading | Sequence[str], rows: Iterable[Sequence[Any]] = ()):
+        if not isinstance(heading, Heading):
+            heading = Heading(heading)
+        self._heading = heading
+        degree = len(heading)
+        seen: dict[Tuple[Any, ...], None] = {}
+        for row in rows:
+            row_tuple = tuple(row)
+            if len(row_tuple) != degree:
+                raise DegreeMismatchError(
+                    f"row of degree {len(row_tuple)} in relation of degree {degree}"
+                )
+            seen.setdefault(row_tuple, None)
+        self._rows: Tuple[Tuple[Any, ...], ...] = tuple(seen)
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def heading(self) -> Heading:
+        return self._heading
+
+    @property
+    def attributes(self) -> Tuple[str, ...]:
+        return self._heading.attributes
+
+    @property
+    def rows(self) -> Tuple[Tuple[Any, ...], ...]:
+        return self._rows
+
+    @property
+    def degree(self) -> int:
+        return len(self._heading)
+
+    @property
+    def cardinality(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Tuple[Any, ...]]:
+        return iter(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __bool__(self) -> bool:
+        return True
+
+    def column(self, attribute: str) -> Tuple[Any, ...]:
+        position = self._heading.index(attribute)
+        return tuple(row[position] for row in self._rows)
+
+    def row_dict(self, row: Sequence[Any]) -> Mapping[str, Any]:
+        """A name → value view of one row (used by condition evaluation)."""
+        return dict(zip(self._heading.attributes, row))
+
+    # -- comparison -----------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return self._heading == other._heading and set(self._rows) == set(other._rows)
+
+    def __hash__(self) -> int:
+        return hash((self._heading, frozenset(self._rows)))
+
+    # -- derivation -----------------------------------------------------------
+
+    def rename(self, mapping: Mapping[str, str]) -> "Relation":
+        return Relation(self._heading.rename(mapping), self._rows)
+
+    def replace_rows(self, rows: Iterable[Sequence[Any]]) -> "Relation":
+        return Relation(self._heading, rows)
+
+    def map_values(self, transform) -> "Relation":
+        """Apply ``transform(attribute, value)`` to every cell.
+
+        Used by the PQP boundary to run instance-identity resolution and
+        domain mappings over freshly retrieved local data.
+        """
+        attributes = self._heading.attributes
+        return Relation(
+            self._heading,
+            (
+                tuple(transform(attribute, value) for attribute, value in zip(attributes, row))
+                for row in self._rows
+            ),
+        )
+
+    def __repr__(self) -> str:
+        return f"Relation({list(self._heading.attributes)!r}, cardinality={self.cardinality})"

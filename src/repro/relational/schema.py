@@ -1,0 +1,69 @@
+"""Local relation schemas.
+
+A :class:`RelationSchema` describes one relation of a local database: its
+name, attribute list and primary key.  The paper underlines key attributes
+in its schema listings (e.g. ``ALUMNUS(AID#, ANAME, DEG, MAJ)`` with AID#
+underlined); we carry that as an explicit ``key`` tuple so the local engine
+can enforce entity integrity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.core.heading import Heading
+from repro.errors import SchemaValidationError
+
+__all__ = ["RelationSchema"]
+
+
+@dataclass(frozen=True)
+class RelationSchema:
+    """An immutable local relation schema.
+
+    >>> s = RelationSchema("ALUMNUS", ["AID#", "ANAME", "DEG", "MAJ"], key=["AID#"])
+    >>> s.heading.attributes
+    ('AID#', 'ANAME', 'DEG', 'MAJ')
+    >>> s.key
+    ('AID#',)
+    """
+
+    name: str
+    attributes: Tuple[str, ...]
+    key: Tuple[str, ...] = ()
+
+    def __init__(self, name: str, attributes: Sequence[str], key: Sequence[str] = ()):
+        if not name or not isinstance(name, str):
+            raise SchemaValidationError(f"relation name must be a non-empty string: {name!r}")
+        heading = Heading(attributes)  # validates uniqueness / non-emptiness
+        key_tuple = tuple(key)
+        for attribute in key_tuple:
+            if attribute not in heading:
+                raise SchemaValidationError(
+                    f"key attribute {attribute!r} is not in relation {name!r}"
+                )
+        if len(set(key_tuple)) != len(key_tuple):
+            raise SchemaValidationError(f"duplicate key attribute in relation {name!r}")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "attributes", heading.attributes)
+        object.__setattr__(self, "key", key_tuple)
+
+    @property
+    def heading(self) -> Heading:
+        return Heading(self.attributes)
+
+    @property
+    def degree(self) -> int:
+        return len(self.attributes)
+
+    def key_indices(self) -> Tuple[int, ...]:
+        """Positions of the key attributes, in key order."""
+        heading = self.heading
+        return tuple(heading.index(name) for name in self.key)
+
+    def __str__(self) -> str:
+        rendered = ", ".join(
+            f"{name}*" if name in self.key else name for name in self.attributes
+        )
+        return f"{self.name}({rendered})"

@@ -1,0 +1,20 @@
+"""The SQL front-end for polygen queries.
+
+Supports the SQL subset the paper's polygen queries use (§I, §III)::
+
+    SELECT attr [, attr]... | *
+    FROM scheme [, scheme]...
+    [WHERE predicate [AND predicate]...]
+
+    predicate := attr θ (literal | attr)
+               | attr IN ( <nested SELECT> )
+
+Keywords are case-insensitive; string literals accept double or single
+quotes.  :func:`parse_sql` produces the AST in :mod:`repro.sql.ast`; the
+translation to polygen algebra lives in :mod:`repro.translate`.
+"""
+
+from repro.sql.ast import ComparisonPredicate, InPredicate, SelectStatement
+from repro.sql.parser import parse_sql
+
+__all__ = ["parse_sql", "SelectStatement", "ComparisonPredicate", "InPredicate"]

@@ -1,0 +1,70 @@
+"""AST nodes for the polygen SQL subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Tuple, Union
+
+from repro.core.predicate import Theta
+
+__all__ = ["SelectStatement", "ComparisonPredicate", "InPredicate", "Predicate"]
+
+
+@dataclass(frozen=True)
+class ComparisonPredicate:
+    """``attribute θ (literal | attribute)``.
+
+    ``right_is_attribute`` disambiguates ``CEO = ANAME`` (attribute) from
+    ``DEGREE = "MBA"`` (literal) — syntactically, bare names are attributes
+    and quoted strings / numbers are literals.
+    """
+
+    attribute: str
+    theta: Theta
+    right: Any
+    right_is_attribute: bool = False
+
+    def render(self) -> str:
+        right = (
+            self.right
+            if self.right_is_attribute
+            else (f'"{self.right}"' if isinstance(self.right, str) else str(self.right))
+        )
+        return f"{self.attribute} {self.theta.symbol} {right}"
+
+
+@dataclass(frozen=True)
+class InPredicate:
+    """``attribute IN ( <subquery> )``."""
+
+    attribute: str
+    subquery: "SelectStatement"
+
+    def render(self) -> str:
+        return f"{self.attribute} IN ({self.subquery.render()})"
+
+
+Predicate = Union[ComparisonPredicate, InPredicate]
+
+
+@dataclass(frozen=True)
+class SelectStatement:
+    """One (possibly nested) SELECT block.
+
+    ``select_list`` is empty for ``SELECT *``.
+    """
+
+    select_list: Tuple[str, ...]
+    from_tables: Tuple[str, ...]
+    where: Tuple[Predicate, ...] = field(default_factory=tuple)
+
+    @property
+    def is_star(self) -> bool:
+        return not self.select_list
+
+    def render(self) -> str:
+        columns = ", ".join(self.select_list) if self.select_list else "*"
+        text = f"SELECT {columns} FROM {', '.join(self.from_tables)}"
+        if self.where:
+            text += " WHERE " + " AND ".join(p.render() for p in self.where)
+        return text

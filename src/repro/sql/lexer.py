@@ -1,0 +1,113 @@
+"""Lexer for the polygen SQL subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, List
+
+from repro.errors import SqlParseError
+
+__all__ = ["SqlTokenType", "SqlToken", "tokenize_sql", "SQL_KEYWORDS"]
+
+
+class SqlTokenType(Enum):
+    KEYWORD = "keyword"
+    NAME = "name"
+    STRING = "string"
+    NUMBER = "number"
+    THETA = "theta"
+    COMMA = ","
+    LPAREN = "("
+    RPAREN = ")"
+    STAR = "*"
+    END = "end"
+
+
+SQL_KEYWORDS = {"SELECT", "FROM", "WHERE", "AND", "IN"}
+
+_THETA_SYMBOLS = ("<>", "<=", ">=", "!=", "=", "<", ">")
+
+
+@dataclass(frozen=True)
+class SqlToken:
+    type: SqlTokenType
+    value: Any
+    position: int
+
+
+def _is_name_start(ch: str) -> bool:
+    return ch.isalpha() or ch == "_"
+
+
+def _is_name_part(ch: str) -> bool:
+    return ch.isalnum() or ch in "_#"
+
+
+def tokenize_sql(text: str) -> List[SqlToken]:
+    """Tokenize a SQL string; keywords are case-insensitive."""
+    tokens: List[SqlToken] = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == ",":
+            tokens.append(SqlToken(SqlTokenType.COMMA, ch, i))
+            i += 1
+            continue
+        if ch == "(":
+            tokens.append(SqlToken(SqlTokenType.LPAREN, ch, i))
+            i += 1
+            continue
+        if ch == ")":
+            tokens.append(SqlToken(SqlTokenType.RPAREN, ch, i))
+            i += 1
+            continue
+        if ch == "*":
+            tokens.append(SqlToken(SqlTokenType.STAR, ch, i))
+            i += 1
+            continue
+        matched_theta = next(
+            (sym for sym in _THETA_SYMBOLS if text.startswith(sym, i)), None
+        )
+        if matched_theta:
+            tokens.append(SqlToken(SqlTokenType.THETA, matched_theta, i))
+            i += len(matched_theta)
+            continue
+        if ch in "\"'":
+            quote = ch
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 1
+            if j >= n:
+                raise SqlParseError("unterminated string literal", i, text)
+            tokens.append(SqlToken(SqlTokenType.STRING, text[i + 1 : j], i))
+            i = j + 1
+            continue
+        if ch.isdigit() or (ch == "-" and i + 1 < n and text[i + 1].isdigit()):
+            j = i + 1
+            seen_dot = False
+            while j < n and (text[j].isdigit() or (text[j] == "." and not seen_dot)):
+                seen_dot = seen_dot or text[j] == "."
+                j += 1
+            literal = text[i:j]
+            value: Any = float(literal) if "." in literal else int(literal)
+            tokens.append(SqlToken(SqlTokenType.NUMBER, value, i))
+            i = j
+            continue
+        if _is_name_start(ch):
+            j = i + 1
+            while j < n and _is_name_part(text[j]):
+                j += 1
+            word = text[i:j]
+            if word.upper() in SQL_KEYWORDS:
+                tokens.append(SqlToken(SqlTokenType.KEYWORD, word.upper(), i))
+            else:
+                tokens.append(SqlToken(SqlTokenType.NAME, word, i))
+            i = j
+            continue
+        raise SqlParseError(f"unexpected character {ch!r}", i, text)
+    tokens.append(SqlToken(SqlTokenType.END, None, n))
+    return tokens

@@ -1,0 +1,5 @@
+"""SQL → polygen algebra translation (paper, §III)."""
+
+from repro.translate.translator import TranslationResult, translate_sql
+
+__all__ = ["translate_sql", "TranslationResult"]

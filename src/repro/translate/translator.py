@@ -1,0 +1,260 @@
+"""Translating a SQL polygen query into a polygen algebraic expression.
+
+The paper gives one worked translation (§III): the nested-``IN`` MBA-CEOs
+query becomes::
+
+    ((((PALUMNUS [DEGREE = "MBA"]) [AID# = AID#] PCAREER)
+        [ONAME = ONAME] PORGANIZATION) [CEO = ANAME]) [ONAME, CEO]
+
+This module implements a deterministic translation that reproduces that
+expression exactly and generalizes to the whole SQL subset.  The rules, in
+order, per SELECT block:
+
+1. every FROM table starts as its own *component* (a bare scheme reference);
+2. **literal comparisons** become Selects on the component holding the
+   attribute (innermost subqueries therefore turn into selects first, as in
+   ``PALUMNUS [DEGREE = "MBA"]``);
+3. each **IN predicate** translates its subquery recursively (a subquery
+   contributes its working expression *without* a final projection) and
+   joins it to the component holding the outer attribute:
+   ``(sub) [sub_attr = outer_attr] component``;
+4. **attribute-attribute comparisons** become Restricts when both attributes
+   already live in one component, or Joins merging two components otherwise;
+5. the final SELECT list is a Project over the component(s) that hold the
+   requested attributes; multiple surviving components are combined with a
+   Cartesian product.
+
+Attribute references resolve against already-built (non-pristine)
+components *before* untouched FROM tables.  This is how the paper's
+translation binds ``ANAME`` in ``CEO = ANAME`` to the PALUMNUS rows that
+came through the MBA subquery rather than re-joining the outer PALUMNUS —
+the outer PALUMNUS is left untouched and dropped (reported in
+:attr:`TranslationResult.dropped_tables`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Set, Tuple
+
+from repro.catalog.schema import PolygenSchema
+from repro.core.expression import (
+    Expression,
+    Join,
+    Product,
+    Project,
+    Restrict,
+    SchemeRef,
+    Select,
+)
+from repro.core.predicate import Theta
+from repro.errors import TranslationError
+from repro.sql.ast import ComparisonPredicate, InPredicate, SelectStatement
+from repro.sql.parser import parse_sql
+
+__all__ = ["translate_sql", "TranslationResult"]
+
+
+@dataclass(frozen=True)
+class TranslationResult:
+    """The produced expression plus translation diagnostics."""
+
+    expression: Expression
+    #: FROM tables that were never needed: every attribute referencing them
+    #: resolved against an already-joined component (the paper's outer
+    #: PALUMNUS case).
+    dropped_tables: Tuple[str, ...]
+
+    def render(self) -> str:
+        return self.expression.render()
+
+
+class _Component:
+    """One connected piece of the query: an expression plus its visible
+    attributes."""
+
+    __slots__ = ("expression", "attributes", "pristine", "tables")
+
+    def __init__(self, expression: Expression, attributes: Set[str], table: str | None):
+        self.expression = expression
+        self.attributes = set(attributes)
+        self.pristine = True
+        self.tables = [table] if table else []
+
+
+class _Translator:
+    def __init__(self, schema: PolygenSchema):
+        self._schema = schema
+
+    # -- attribute resolution ------------------------------------------------
+
+    def _find(self, components: List[_Component], attribute: str) -> _Component:
+        candidates = [c for c in components if attribute in c.attributes]
+        worked = [c for c in candidates if not c.pristine]
+        if worked:
+            if len(worked) > 1:
+                raise TranslationError(
+                    f"attribute {attribute!r} is ambiguous across joined components"
+                )
+            return worked[0]
+        if not candidates:
+            raise TranslationError(
+                f"attribute {attribute!r} does not appear in any FROM relation"
+            )
+        if len(candidates) > 1:
+            names = ", ".join(t for c in candidates for t in c.tables)
+            raise TranslationError(
+                f"attribute {attribute!r} is ambiguous among FROM relations: {names}"
+            )
+        return candidates[0]
+
+    # -- per-level translation ---------------------------------------------------
+
+    def _components_for(self, statement: SelectStatement) -> List[_Component]:
+        if not statement.from_tables:
+            raise TranslationError("a query needs at least one FROM relation")
+        components = []
+        for table in statement.from_tables:
+            if table not in self._schema:
+                raise TranslationError(f"unknown polygen scheme {table!r} in FROM")
+            scheme = self._schema.scheme(table)
+            components.append(_Component(SchemeRef(table), set(scheme.attributes), table))
+        return components
+
+    def _apply_predicates(
+        self, statement: SelectStatement, components: List[_Component]
+    ) -> Tuple[List[_Component], Tuple[str, ...]]:
+        literals = [
+            p
+            for p in statement.where
+            if isinstance(p, ComparisonPredicate) and not p.right_is_attribute
+        ]
+        ins = [p for p in statement.where if isinstance(p, InPredicate)]
+        attr_pairs = [
+            p
+            for p in statement.where
+            if isinstance(p, ComparisonPredicate) and p.right_is_attribute
+        ]
+
+        dropped: List[str] = []
+
+        for predicate in literals:
+            component = self._find(components, predicate.attribute)
+            component.expression = Select(
+                component.expression, predicate.attribute, predicate.theta, predicate.right
+            )
+            component.pristine = False
+
+        for predicate in ins:
+            sub_component, sub_attribute, sub_dropped = self._subquery(predicate.subquery)
+            dropped.extend(sub_dropped)
+            outer = self._find(components, predicate.attribute)
+            merged = _Component(
+                Join(
+                    sub_component.expression,
+                    sub_attribute,
+                    Theta.EQ,
+                    predicate.attribute,
+                    outer.expression,
+                ),
+                sub_component.attributes | outer.attributes,
+                None,
+            )
+            merged.pristine = False
+            merged.tables = sub_component.tables + outer.tables
+            components[components.index(outer)] = merged
+
+        for predicate in attr_pairs:
+            left = self._find(components, predicate.attribute)
+            right = self._find(components, predicate.right)
+            if left is right:
+                left.expression = Restrict(
+                    left.expression, predicate.attribute, predicate.theta, predicate.right
+                )
+                left.pristine = False
+            else:
+                merged = _Component(
+                    Join(
+                        left.expression,
+                        predicate.attribute,
+                        predicate.theta,
+                        predicate.right,
+                        right.expression,
+                    ),
+                    left.attributes | right.attributes,
+                    None,
+                )
+                merged.pristine = False
+                merged.tables = left.tables + right.tables
+                components[components.index(left)] = merged
+                components.remove(right)
+
+        return components, tuple(dropped)
+
+    def _subquery(self, statement: SelectStatement) -> Tuple[_Component, str, Tuple[str, ...]]:
+        if statement.is_star or len(statement.select_list) != 1:
+            raise TranslationError(
+                "an IN subquery must select exactly one attribute"
+            )
+        components = self._components_for(statement)
+        components, dropped = self._apply_predicates(statement, components)
+        attribute = statement.select_list[0]
+        component = self._find(components, attribute)
+        # A subquery contributes its working relation chain, not a
+        # projection — the paper keeps PALUMNUS's full width flowing through
+        # so later predicates (CEO = ANAME) can see its attributes.
+        unused = [
+            table
+            for other in components
+            if other is not component and other.pristine
+            for table in other.tables
+        ]
+        connected = [c for c in components if not c.pristine and c is not component]
+        if connected:
+            raise TranslationError(
+                "an IN subquery must reduce to a single connected relation chain"
+            )
+        return component, attribute, dropped + tuple(unused)
+
+    # -- entry point --------------------------------------------------------------
+
+    def translate(self, statement: SelectStatement) -> TranslationResult:
+        components = self._components_for(statement)
+        components, dropped = self._apply_predicates(statement, components)
+
+        if statement.is_star:
+            used = [c for c in components if not c.pristine] or components[:1]
+        else:
+            used: List[_Component] = []
+            for attribute in statement.select_list:
+                component = self._find(components, attribute)
+                if component not in used:
+                    used.append(component)
+
+        # Components that carry conditions must reach the result (real SQL
+        # would cross-join them); pristine unused FROM tables are dropped,
+        # which is precisely what the paper does with the outer PALUMNUS.
+        for component in components:
+            if component in used:
+                continue
+            if component.pristine:
+                dropped = dropped + tuple(component.tables)
+            else:
+                used.append(component)
+
+        expression = used[0].expression
+        for component in used[1:]:
+            expression = Product(expression, component.expression)
+
+        if not statement.is_star:
+            expression = Project(expression, statement.select_list)
+        return TranslationResult(expression, dropped)
+
+
+def translate_sql(query: SelectStatement | str, schema: PolygenSchema) -> TranslationResult:
+    """Translate a SQL polygen query (text or AST) into polygen algebra.
+
+    >>> # doctest-style sketch; see tests/translate for the paper's query.
+    """
+    statement = parse_sql(query) if isinstance(query, str) else query
+    return _Translator(schema).translate(statement)

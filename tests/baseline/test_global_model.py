@@ -1,0 +1,86 @@
+"""Unit tests for the untagged global-model baseline.
+
+The load-bearing property: on the same plan the baseline produces exactly
+the polygen result's *data portion* — everything it lacks is the tags.
+"""
+
+import pytest
+
+from repro.baseline.global_model import GlobalQueryProcessor
+from repro.datasets.paper import (
+    build_paper_federation,
+    paper_databases,
+    paper_identity_resolver,
+    paper_polygen_schema,
+)
+from repro.lqp.registry import LQPRegistry
+from repro.lqp.relational_lqp import RelationalLQP
+
+from tests.integration.conftest import PAPER_SQL
+
+
+@pytest.fixture(scope="module")
+def global_pqp():
+    registry = LQPRegistry()
+    for database in paper_databases().values():
+        registry.register(RelationalLQP(database))
+    return GlobalQueryProcessor(
+        paper_polygen_schema(), registry, resolver=paper_identity_resolver()
+    )
+
+
+@pytest.fixture(scope="module")
+def polygen_pqp():
+    return build_paper_federation()
+
+
+class TestPaperQuery:
+    def test_same_data_as_polygen_result(self, global_pqp, polygen_pqp):
+        untagged = global_pqp.run_sql(PAPER_SQL)
+        tagged = polygen_pqp.run_sql(PAPER_SQL)
+        assert set(untagged.relation.rows) == set(tagged.relation.data_rows())
+
+    def test_single_source_illusion(self, global_pqp):
+        # The baseline's answer carries no provenance whatsoever.
+        result = global_pqp.run_sql(PAPER_SQL)
+        assert result.relation.attributes == ("ONAME", "CEO")
+        assert all(isinstance(v, str) for row in result.relation for v in row)
+
+
+class TestOperators:
+    @pytest.mark.parametrize(
+        "algebra",
+        [
+            'PALUMNUS [DEGREE = "MBA"]',
+            "PALUMNUS [ANAME]",
+            "PORGANIZATION [ONAME, INDUSTRY]",
+            '(PALUMNUS [DEGREE = "MBA"]) [AID# = AID#] PCAREER',
+            "(PALUMNUS [MAJOR]) UNION (PSTUDENT [MAJOR])",
+            "(PALUMNUS [MAJOR]) MINUS (PSTUDENT [MAJOR])",
+            "(PALUMNUS [MAJOR]) INTERSECT (PSTUDENT [MAJOR])",
+            "PORGANIZATION [CEO = ANAME] PALUMNUS",
+            "PFINANCE [YEAR = 1989]",
+        ],
+    )
+    def test_data_matches_polygen_pipeline(self, global_pqp, polygen_pqp, algebra):
+        untagged = global_pqp.run_algebra(algebra)
+        tagged = polygen_pqp.run_algebra(algebra)
+        assert set(untagged.relation.rows) == set(tagged.relation.data_rows())
+        assert untagged.relation.attributes == tagged.relation.attributes
+
+    def test_merge_outer_joins_with_nil_padding(self, global_pqp):
+        result = global_pqp.run_algebra("PORGANIZATION [ONAME, CEO]")
+        by_name = dict(result.relation.rows)
+        assert by_name["MIT"] is None  # AD-only organization, no CEO
+        assert by_name["Genentech"] == "Bob Swanson"
+
+    def test_coalesce_conflict_drops_row_like_polygen(self, global_pqp, polygen_pqp):
+        expr = "(PORGANIZATION [ONAME, INDUSTRY]) [ONAME COALESCE INDUSTRY AS X]"
+        untagged = global_pqp.run_algebra(expr)
+        tagged = polygen_pqp.run_algebra(expr)
+        assert set(untagged.relation.rows) == set(tagged.relation.data_rows())
+
+    def test_run_plan_reuses_polygen_iom(self, global_pqp, polygen_pqp):
+        tagged = polygen_pqp.run_sql(PAPER_SQL)
+        untagged = global_pqp.run_plan(tagged.iom)
+        assert set(untagged.relation.rows) == set(tagged.relation.data_rows())

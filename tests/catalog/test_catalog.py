@@ -1,0 +1,229 @@
+"""Unit tests for the polygen schema catalog."""
+
+import pytest
+
+from repro.catalog.mapping import AttributeMapping
+from repro.catalog.reverse import cell_provenance, local_columns_for
+from repro.catalog.schema import PolygenSchema
+from repro.catalog.scheme import PolygenScheme
+from repro.core.cell import Cell
+from repro.errors import SchemaValidationError, UnknownMappingError, UnknownSchemeError
+
+
+def porganization():
+    """The paper's PORGANIZATION polygen scheme, verbatim (§II)."""
+    return PolygenScheme(
+        "PORGANIZATION",
+        {
+            "ONAME": [
+                AttributeMapping("AD", "BUSINESS", "BNAME"),
+                AttributeMapping("PD", "CORPORATION", "CNAME"),
+                AttributeMapping("CD", "FIRM", "FNAME"),
+            ],
+            "INDUSTRY": [
+                AttributeMapping("AD", "BUSINESS", "IND"),
+                AttributeMapping("PD", "CORPORATION", "TRADE"),
+            ],
+            "CEO": [AttributeMapping("CD", "FIRM", "CEO")],
+            "HEADQUARTERS": [
+                AttributeMapping("PD", "CORPORATION", "STATE"),
+                AttributeMapping("CD", "FIRM", "HQ", transform="city_state_to_state"),
+            ],
+        },
+        primary_key=["ONAME"],
+    )
+
+
+class TestAttributeMapping:
+    def test_location(self):
+        m = AttributeMapping("AD", "BUSINESS", "BNAME")
+        assert m.location == ("AD", "BUSINESS")
+
+    def test_str_with_and_without_transform(self):
+        assert str(AttributeMapping("AD", "BUSINESS", "BNAME")) == "(AD, BUSINESS, BNAME)"
+        assert "via city_state_to_state" in str(
+            AttributeMapping("CD", "FIRM", "HQ", transform="city_state_to_state")
+        )
+
+
+class TestPolygenScheme:
+    def test_attributes_in_declaration_order(self):
+        assert porganization().attributes == ("ONAME", "INDUSTRY", "CEO", "HEADQUARTERS")
+
+    def test_primary_key(self):
+        assert porganization().primary_key == ("ONAME",)
+
+    def test_mappings_lookup(self):
+        scheme = porganization()
+        assert len(scheme.mappings("ONAME")) == 3
+        assert scheme.mappings("CEO")[0].location == ("CD", "FIRM")
+
+    def test_unknown_attribute(self):
+        with pytest.raises(UnknownMappingError):
+            porganization().mappings("NOPE")
+
+    def test_single_source_detection(self):
+        scheme = porganization()
+        assert scheme.is_single_source("CEO")
+        assert not scheme.is_single_source("ONAME")
+
+    def test_single_mapping_accessor(self):
+        scheme = porganization()
+        assert scheme.single_mapping("CEO").attribute == "CEO"
+        with pytest.raises(UnknownMappingError):
+            scheme.single_mapping("ONAME")
+
+    def test_local_relations_first_mention_order(self):
+        assert porganization().local_relations() == (
+            ("AD", "BUSINESS"),
+            ("PD", "CORPORATION"),
+            ("CD", "FIRM"),
+        )
+
+    def test_relations_for_attribute(self):
+        assert porganization().relations_for("INDUSTRY") == (
+            ("AD", "BUSINESS"),
+            ("PD", "CORPORATION"),
+        )
+
+    def test_rename_map(self):
+        rename = porganization().rename_map("PD", "CORPORATION")
+        assert rename == {"CNAME": "ONAME", "TRADE": "INDUSTRY", "STATE": "HEADQUARTERS"}
+
+    def test_rename_map_unknown_location(self):
+        with pytest.raises(UnknownMappingError):
+            porganization().rename_map("XX", "NOPE")
+
+    def test_transform_map(self):
+        assert porganization().transform_map("CD", "FIRM") == {"HQ": "city_state_to_state"}
+        assert porganization().transform_map("AD", "BUSINESS") == {}
+
+    def test_polygen_attribute_for(self):
+        scheme = porganization()
+        assert scheme.polygen_attribute_for("CD", "FIRM", "FNAME") == "ONAME"
+        with pytest.raises(UnknownMappingError):
+            scheme.polygen_attribute_for("CD", "FIRM", "NOPE")
+
+    def test_mappings_at(self):
+        at_firm = porganization().mappings_at("CD", "FIRM")
+        assert [m.attribute for m in at_firm] == ["FNAME", "CEO", "HQ"]
+
+    def test_validation_rejects_empty_mapping_set(self):
+        with pytest.raises(SchemaValidationError):
+            PolygenScheme("P", {"A": []})
+
+    def test_validation_rejects_duplicate_mapping(self):
+        m = AttributeMapping("AD", "T", "A")
+        with pytest.raises(SchemaValidationError):
+            PolygenScheme("P", {"A": [m, m]})
+
+    def test_validation_rejects_bad_key(self):
+        with pytest.raises(SchemaValidationError):
+            PolygenScheme(
+                "P", {"A": [AttributeMapping("AD", "T", "A")]}, primary_key=["Z"]
+            )
+
+    def test_describe_mentions_mappings(self):
+        text = porganization().describe()
+        assert "(AD, BUSINESS, BNAME)" in text
+        assert "PORGANIZATION" in text
+
+
+class TestPolygenSchema:
+    def build(self):
+        schema = PolygenSchema([porganization()])
+        schema.add(
+            PolygenScheme(
+                "PALUMNUS",
+                {
+                    "AID#": [AttributeMapping("AD", "ALUMNUS", "AID#")],
+                    "ANAME": [AttributeMapping("AD", "ALUMNUS", "ANAME")],
+                },
+                primary_key=["AID#"],
+            )
+        )
+        return schema
+
+    def test_lookup(self):
+        schema = self.build()
+        assert schema.scheme("PALUMNUS").name == "PALUMNUS"
+        assert "PORGANIZATION" in schema
+        assert len(schema) == 2
+
+    def test_unknown_scheme(self):
+        with pytest.raises(UnknownSchemeError):
+            self.build().scheme("NOPE")
+
+    def test_duplicate_scheme_rejected(self):
+        schema = self.build()
+        with pytest.raises(SchemaValidationError):
+            schema.add(porganization())
+
+    def test_databases_first_use_order(self):
+        assert self.build().databases() == ("AD", "PD", "CD")
+
+    def test_schemes_using(self):
+        schema = self.build()
+        names = [s.name for s in schema.schemes_using("AD")]
+        assert names == ["PORGANIZATION", "PALUMNUS"]
+        assert [s.name for s in schema.schemes_using("CD")] == ["PORGANIZATION"]
+
+    def test_validate_against_good_catalog(self):
+        catalog = {
+            "AD": {
+                "BUSINESS": ("BNAME", "IND"),
+                "ALUMNUS": ("AID#", "ANAME", "DEG", "MAJ"),
+            },
+            "PD": {"CORPORATION": ("CNAME", "TRADE", "STATE")},
+            "CD": {"FIRM": ("FNAME", "CEO", "HQ")},
+        }
+        self.build().validate_against(catalog)  # should not raise
+
+    @pytest.mark.parametrize(
+        "catalog,fragment",
+        [
+            ({}, "unknown database"),
+            ({"AD": {}, "PD": {}, "CD": {}}, "unknown relation"),
+            (
+                {
+                    "AD": {"BUSINESS": ("BNAME",), "ALUMNUS": ("AID#", "ANAME")},
+                    "PD": {"CORPORATION": ("CNAME", "TRADE", "STATE")},
+                    "CD": {"FIRM": ("FNAME", "CEO", "HQ")},
+                },
+                "unknown column",
+            ),
+        ],
+    )
+    def test_validate_against_bad_catalogs(self, catalog, fragment):
+        with pytest.raises(SchemaValidationError) as err:
+            self.build().validate_against(catalog)
+        assert fragment in str(err.value)
+
+
+class TestReverseMapping:
+    def test_local_columns_filtered_by_origins(self):
+        schema = PolygenSchema([porganization()])
+        columns = local_columns_for(
+            schema, "PORGANIZATION", "ONAME", frozenset({"AD", "CD"})
+        )
+        assert [(m.database, m.relation, m.attribute) for m in columns] == [
+            ("AD", "BUSINESS", "BNAME"),
+            ("CD", "FIRM", "FNAME"),
+        ]
+
+    def test_cell_provenance_sentence(self):
+        # Paper §IV observation (3): Genentech with origins {AD, CD}.
+        schema = PolygenSchema([porganization()])
+        cell = Cell.of("Genentech", ["AD", "CD"], ["AD", "CD"])
+        text = cell_provenance(schema, "PORGANIZATION", "ONAME", cell)
+        assert "Genentech" in text
+        assert "(AD, BUSINESS, BNAME)" in text
+        assert "(CD, FIRM, FNAME)" in text
+        assert "AD, CD" in text  # intermediates
+
+    def test_cell_provenance_nil(self):
+        schema = PolygenSchema([porganization()])
+        cell = Cell.nil(["AD"])
+        text = cell_provenance(schema, "PORGANIZATION", "CEO", cell)
+        assert "nil" in text
+        assert "AD" in text

@@ -1,0 +1,301 @@
+"""Unit tests for the six orthogonal primitives of the polygen algebra.
+
+Each test class pins down one primitive's data semantics *and* its tag
+propagation rule as defined in §II of the paper.
+"""
+
+import pytest
+
+from repro.core.algebra import coalesce, difference, product, project, rename, restrict, union
+from repro.core.cell import Cell, ConflictPolicy
+from repro.core.predicate import AttributeRef, Literal, Theta
+from repro.core.relation import PolygenRelation
+from repro.core.tags import sources
+from repro.errors import (
+    AttributeCollisionError,
+    CoalesceConflictError,
+    InvalidOperandError,
+    UnionCompatibilityError,
+)
+
+
+def cell(datum, origins=(), intermediates=()):
+    return Cell.of(datum, origins, intermediates)
+
+
+def rel(heading, cell_rows):
+    return PolygenRelation.from_cells(heading, cell_rows)
+
+
+class TestProject:
+    def test_keeps_requested_columns_in_order(self):
+        r = PolygenRelation.from_data(["A", "B", "C"], [["a", "b", "c"]])
+        out = project(r, ["C", "A"])
+        assert out.attributes == ("C", "A")
+        assert out.data_rows() == (("c", "a"),)
+
+    def test_requires_attributes(self):
+        r = PolygenRelation.from_data(["A"], [["a"]])
+        with pytest.raises(InvalidOperandError):
+            project(r, [])
+
+    def test_unique_tuples_pass_through_unchanged(self):
+        r = rel(["A", "B"], [[cell("a", ["AD"], ["PD"]), cell("b", ["CD"])]])
+        out = project(r, ["A"])
+        assert out.tuples[0][0] == cell("a", ["AD"], ["PD"])
+
+    def test_duplicates_union_tags_attribute_wise(self):
+        # Paper: t'[xj](o) = union of the duplicate tuples' origins, per attribute.
+        r = rel(
+            ["A", "B"],
+            [
+                [cell("x", ["AD"], ["AD"]), cell(1, ["AD"])],
+                [cell("x", ["CD"]), cell(2, ["CD"])],
+            ],
+        )
+        out = project(r, ["A"])
+        assert out.cardinality == 1
+        merged = out.tuples[0][0]
+        assert merged.origins == sources("AD", "CD")
+        assert merged.intermediates == sources("AD")
+
+    def test_dedup_is_on_projected_columns_only(self):
+        r = PolygenRelation.from_data(["A", "B"], [["x", 1], ["x", 2], ["y", 1]])
+        assert project(r, ["A"]).cardinality == 2
+        assert project(r, ["A", "B"]).cardinality == 3
+
+    def test_nil_data_deduplicate_together(self):
+        r = rel(["A"], [[cell(None, [], ["AD"])], [cell(None, [], ["PD"])]])
+        out = project(r, ["A"])
+        assert out.cardinality == 1
+        assert out.tuples[0][0].intermediates == sources("AD", "PD")
+
+    def test_projection_is_idempotent(self):
+        r = PolygenRelation.from_data(["A", "B"], [["x", 1], ["y", 2]], origins=["AD"])
+        once = project(r, ["A"])
+        assert project(once, ["A"]) == once
+
+
+class TestProduct:
+    def test_concatenates_tuples(self):
+        left = PolygenRelation.from_data(["A"], [["a1"], ["a2"]], origins=["AD"])
+        right = PolygenRelation.from_data(["B"], [["b1"], ["b2"]], origins=["CD"])
+        out = product(left, right)
+        assert out.attributes == ("A", "B")
+        assert set(out.data_rows()) == {
+            ("a1", "b1"),
+            ("a1", "b2"),
+            ("a2", "b1"),
+            ("a2", "b2"),
+        }
+
+    def test_tags_untouched(self):
+        left = rel(["A"], [[cell("a", ["AD"], ["PD"])]])
+        right = rel(["B"], [[cell("b", ["CD"])]])
+        out = product(left, right)
+        assert out.tuples[0].cells == (cell("a", ["AD"], ["PD"]), cell("b", ["CD"]))
+
+    def test_rejects_attribute_collision(self):
+        r = PolygenRelation.from_data(["A"], [["x"]])
+        with pytest.raises(AttributeCollisionError):
+            product(r, r)
+
+    def test_empty_operand_gives_empty_product(self):
+        left = PolygenRelation.from_data(["A"], [["x"]])
+        right = PolygenRelation(["B"])
+        assert product(left, right).cardinality == 0
+
+
+class TestRestrict:
+    def setup_method(self):
+        self.r = rel(
+            ["X", "Y", "Z"],
+            [
+                [cell(1, ["AD"]), cell(1, ["PD"]), cell("keep", ["CD"])],
+                [cell(1, ["AD"]), cell(2, ["PD"]), cell("drop", ["CD"])],
+            ],
+        )
+
+    def test_attribute_comparison_filters(self):
+        out = restrict(self.r, "X", Theta.EQ, AttributeRef("Y"))
+        assert out.data_rows() == ((1, 1, "keep"),)
+
+    def test_intermediates_updated_on_every_cell(self):
+        # t'[w](i) = t[w](i) u t[x](o) u t[y](o) for ALL attributes w.
+        out = restrict(self.r, "X", Theta.EQ, AttributeRef("Y"))
+        for c in out.tuples[0]:
+            assert c.intermediates == sources("AD", "PD")
+
+    def test_origins_unchanged(self):
+        out = restrict(self.r, "X", Theta.EQ, AttributeRef("Y"))
+        assert [c.origins for c in out.tuples[0]] == [
+            sources("AD"),
+            sources("PD"),
+            sources("CD"),
+        ]
+
+    def test_literal_comparison_adds_only_attribute_origins(self):
+        out = restrict(self.r, "Z", Theta.EQ, Literal("keep"))
+        for c in out.tuples[0]:
+            assert c.intermediates == sources("CD")
+
+    def test_existing_intermediates_preserved(self):
+        r = rel(["X"], [[cell(1, ["AD"], ["PD"])]])
+        out = restrict(r, "X", Theta.EQ, Literal(1))
+        assert out.tuples[0][0].intermediates == sources("PD", "AD")
+
+    def test_nil_never_satisfies(self):
+        r = rel(["X"], [[cell(None)]])
+        assert restrict(r, "X", Theta.EQ, Literal(None)).cardinality == 0
+
+    def test_ordering_comparisons(self):
+        r = PolygenRelation.from_data(["X"], [[1], [5], [10]], origins=["AD"])
+        out = restrict(r, "X", Theta.GT, Literal(4))
+        assert {row.data[0] for row in out} == {5, 10}
+
+    def test_cell_level_origins_not_column_level(self):
+        # Only the *matching tuple's* cell origins mediate, not the column's.
+        r = rel(
+            ["X"],
+            [[cell(1, ["AD"])], [cell(1, ["PD"])]],
+        )
+        out = restrict(r, "X", Theta.EQ, Literal(1))
+        inters = sorted(tuple(sorted(t[0].intermediates)) for t in out)
+        assert inters == [("AD",), ("PD",)]
+
+
+class TestUnion:
+    def test_requires_union_compatibility(self):
+        a = PolygenRelation.from_data(["A"], [["x"]])
+        b = PolygenRelation.from_data(["B"], [["x"]])
+        with pytest.raises(UnionCompatibilityError):
+            union(a, b)
+
+    def test_disjoint_tuples_kept_verbatim(self):
+        a = rel(["A"], [[cell("x", ["AD"], ["AD"])]])
+        b = rel(["A"], [[cell("y", ["CD"])]])
+        out = union(a, b)
+        assert set(out.data_rows()) == {("x",), ("y",)}
+        by_data = {t.data[0]: t for t in out}
+        assert by_data["x"][0] == cell("x", ["AD"], ["AD"])
+        assert by_data["y"][0] == cell("y", ["CD"])
+
+    def test_shared_data_merges_tags(self):
+        a = rel(["A"], [[cell("x", ["AD"], ["AD"])]])
+        b = rel(["A"], [[cell("x", ["CD"], ["PD"])]])
+        out = union(a, b)
+        assert out.cardinality == 1
+        merged = out.tuples[0][0]
+        assert merged.origins == sources("AD", "CD")
+        assert merged.intermediates == sources("AD", "PD")
+
+    def test_is_commutative(self):
+        a = PolygenRelation.from_data(["A"], [["x"], ["y"]], origins=["AD"])
+        b = PolygenRelation.from_data(["A"], [["y"], ["z"]], origins=["CD"])
+        assert union(a, b) == union(b, a)
+
+    def test_is_idempotent(self):
+        a = PolygenRelation.from_data(["A"], [["x"]], origins=["AD"])
+        assert union(a, a) == a
+
+
+class TestDifference:
+    def test_requires_union_compatibility(self):
+        a = PolygenRelation.from_data(["A"], [["x"]])
+        b = PolygenRelation.from_data(["B"], [["x"]])
+        with pytest.raises(UnionCompatibilityError):
+            difference(a, b)
+
+    def test_filters_on_data_portion(self):
+        a = PolygenRelation.from_data(["A"], [["x"], ["y"]], origins=["AD"])
+        b = PolygenRelation.from_data(["A"], [["y"]], origins=["CD"])
+        out = difference(a, b)
+        assert out.data_rows() == (("x",),)
+
+    def test_subtrahend_origins_become_intermediates(self):
+        # t'[w](i) = t[w](i) u p2(o) for every attribute w.
+        a = rel(["A", "B"], [[cell("x", ["AD"]), cell(1, ["AD"], ["AD"])]])
+        b = rel(
+            ["A", "B"],
+            [
+                [cell("q", ["CD"]), cell(9, ["PD"])],
+                [cell("r", ["PD"]), cell(8, ["PD"])],
+            ],
+        )
+        out = difference(a, b)
+        for c in out.tuples[0]:
+            assert sources("CD", "PD") <= c.intermediates
+        assert out.tuples[0][1].intermediates == sources("AD", "CD", "PD")
+
+    def test_empty_subtrahend_adds_nothing(self):
+        a = rel(["A"], [[cell("x", ["AD"])]])
+        out = difference(a, PolygenRelation(["A"]))
+        assert out.tuples[0][0].intermediates == frozenset()
+
+    def test_tag_differences_do_not_protect_tuples(self):
+        # Difference compares data portions only.
+        a = rel(["A"], [[cell("x", ["AD"])]])
+        b = rel(["A"], [[cell("x", ["CD"])]])
+        assert difference(a, b).cardinality == 0
+
+    def test_self_difference_is_empty(self):
+        a = PolygenRelation.from_data(["A"], [["x"], ["y"]], origins=["AD"])
+        assert difference(a, a).cardinality == 0
+
+
+class TestCoalesce:
+    def test_basic_fold_keeps_x_position_drops_y(self):
+        r = rel(
+            ["A", "X", "B", "Y"],
+            [[cell("a"), cell("v", ["AD"]), cell("b"), cell("v", ["CD"])]],
+        )
+        out = coalesce(r, "X", "Y", w="W")
+        assert out.attributes == ("A", "W", "B")
+        assert out.tuples[0][1].origins == sources("AD", "CD")
+
+    def test_default_output_name_is_x(self):
+        r = rel(["X", "Y"], [[cell("v"), cell("v")]])
+        assert coalesce(r, "X", "Y").attributes == ("X",)
+
+    def test_right_nil_takes_left(self):
+        r = rel(["X", "Y"], [[cell("v", ["AD"], ["AD"]), cell(None, [], ["PD"])]])
+        out = coalesce(r, "X", "Y")
+        assert out.tuples[0][0] == cell("v", ["AD"], ["AD"])
+
+    def test_left_nil_takes_right(self):
+        r = rel(["X", "Y"], [[cell(None, [], ["AD"]), cell("v", ["PD"])]])
+        out = coalesce(r, "X", "Y")
+        assert out.tuples[0][0] == cell("v", ["PD"])
+
+    def test_conflict_dropped_by_default(self):
+        # The paper's set definition covers no conflicting case, so the
+        # tuple vanishes.
+        r = rel(["X", "Y"], [[cell("a"), cell("b")], [cell("c"), cell("c")]])
+        out = coalesce(r, "X", "Y")
+        assert out.data_rows() == (("c",),)
+
+    def test_conflict_error_policy(self):
+        r = rel(["X", "Y"], [[cell("a"), cell("b")]])
+        with pytest.raises(CoalesceConflictError):
+            coalesce(r, "X", "Y", policy=ConflictPolicy.ERROR)
+
+    def test_conflict_prefer_policies(self):
+        r = rel(["X", "Y"], [[cell("a", ["AD"]), cell("b", ["CD"])]])
+        left = coalesce(r, "X", "Y", policy=ConflictPolicy.PREFER_LEFT)
+        right = coalesce(r, "X", "Y", policy=ConflictPolicy.PREFER_RIGHT)
+        assert left.tuples[0][0].datum == "a"
+        assert right.tuples[0][0].datum == "b"
+
+    def test_same_attribute_rejected(self):
+        r = rel(["X"], [[cell("a")]])
+        with pytest.raises(InvalidOperandError):
+            coalesce(r, "X", "X")
+
+
+class TestRename:
+    def test_rename_is_pure(self):
+        r = rel(["BNAME"], [[cell("IBM", ["AD"], ["PD"])]])
+        out = rename(r, {"BNAME": "ONAME"})
+        assert out.attributes == ("ONAME",)
+        assert out.tuples[0][0] == cell("IBM", ["AD"], ["PD"])
+        assert r.attributes == ("BNAME",)  # original untouched

@@ -1,0 +1,157 @@
+"""Unit tests for polygen cells: the (datum, origins, intermediates) triplet."""
+
+import pytest
+
+from repro.core.cell import NIL, Cell, ConflictPolicy
+from repro.core.tags import EMPTY_SOURCES, sources
+from repro.errors import CoalesceConflictError
+
+
+class TestConstruction:
+    def test_of_builds_frozensets(self):
+        cell = Cell.of("IBM", ["AD", "PD"], ["CD"])
+        assert cell.datum == "IBM"
+        assert cell.origins == frozenset({"AD", "PD"})
+        assert cell.intermediates == frozenset({"CD"})
+
+    def test_plain_sets_are_normalized(self):
+        cell = Cell("IBM", {"AD"}, {"PD"})
+        assert isinstance(cell.origins, frozenset)
+        assert isinstance(cell.intermediates, frozenset)
+
+    def test_default_tags_are_empty(self):
+        cell = Cell("IBM")
+        assert cell.origins == EMPTY_SOURCES
+        assert cell.intermediates == EMPTY_SOURCES
+
+    def test_nil_constructor(self):
+        cell = Cell.nil(["AD"])
+        assert cell.is_nil
+        assert cell.origins == EMPTY_SOURCES
+        assert cell.intermediates == sources("AD")
+
+    def test_nil_singleton_is_fully_empty(self):
+        assert NIL.is_nil
+        assert NIL.origins == EMPTY_SOURCES
+        assert NIL.intermediates == EMPTY_SOURCES
+
+    def test_cells_hash_and_compare_by_value(self):
+        a = Cell.of("x", ["AD"], ["PD"])
+        b = Cell.of("x", ["AD"], ["PD"])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_inequality_on_any_component(self):
+        base = Cell.of("x", ["AD"], ["PD"])
+        assert base != Cell.of("y", ["AD"], ["PD"])
+        assert base != Cell.of("x", ["CD"], ["PD"])
+        assert base != Cell.of("x", ["AD"], ["CD"])
+
+
+class TestPredicates:
+    def test_is_nil_only_for_none(self):
+        assert Cell(None).is_nil
+        assert not Cell(0).is_nil
+        assert not Cell("").is_nil
+
+    def test_data_equals_ignores_tags(self):
+        assert Cell.of("x", ["AD"]).data_equals(Cell.of("x", ["CD"], ["PD"]))
+        assert not Cell.of("x").data_equals(Cell.of("y"))
+
+    def test_data_equals_nil_nil(self):
+        assert Cell(None).data_equals(Cell.nil(["AD"]))
+
+
+class TestWithIntermediates:
+    def test_adds_sources(self):
+        cell = Cell.of("x", ["AD"]).with_intermediates(sources("PD"))
+        assert cell.intermediates == sources("PD")
+        assert cell.origins == sources("AD")
+
+    def test_union_not_replace(self):
+        cell = Cell.of("x", ["AD"], ["CD"]).with_intermediates(sources("PD"))
+        assert cell.intermediates == sources("CD", "PD")
+
+    def test_noop_returns_same_object(self):
+        cell = Cell.of("x", ["AD"], ["PD"])
+        assert cell.with_intermediates(sources("PD")) is cell
+        assert cell.with_intermediates(EMPTY_SOURCES) is cell
+
+
+class TestMergeTags:
+    def test_unions_both_portions(self):
+        a = Cell.of("x", ["AD"], ["AD"])
+        b = Cell.of("x", ["CD"], ["PD"])
+        merged = a.merge_tags(b)
+        assert merged.datum == "x"
+        assert merged.origins == sources("AD", "CD")
+        assert merged.intermediates == sources("AD", "PD")
+
+    def test_rejects_different_data(self):
+        with pytest.raises(CoalesceConflictError):
+            Cell.of("x").merge_tags(Cell.of("y"))
+
+
+class TestCoalesce:
+    """The cell-level Coalesce operator (paper, §II)."""
+
+    def test_equal_data_union_tags(self):
+        a = Cell.of("IBM", ["AD"], ["AD"])
+        b = Cell.of("IBM", ["PD"], ["PD"])
+        out = a.coalesce_with(b)
+        assert out.datum == "IBM"
+        assert out.origins == sources("AD", "PD")
+        assert out.intermediates == sources("AD", "PD")
+
+    def test_right_nil_takes_left_verbatim(self):
+        a = Cell.of("Hotel", ["AD"], ["AD"])
+        out = a.coalesce_with(Cell.nil(["PD"]))
+        assert out == a
+
+    def test_left_nil_takes_right_verbatim(self):
+        b = Cell.of("CA", ["PD"], ["PD"])
+        out = Cell.nil(["AD"]).coalesce_with(b)
+        assert out == b
+
+    def test_both_nil_unions_tags(self):
+        out = Cell.nil(["AD"]).coalesce_with(Cell.nil(["PD"]))
+        assert out.is_nil
+        assert out.intermediates == sources("AD", "PD")
+
+    def test_conflict_drop_returns_none(self):
+        assert Cell.of("a").coalesce_with(Cell.of("b")) is None
+
+    def test_conflict_error_policy_raises(self):
+        with pytest.raises(CoalesceConflictError) as err:
+            Cell.of("a").coalesce_with(Cell.of("b"), ConflictPolicy.ERROR, attribute="X")
+        assert "X" in str(err.value)
+
+    def test_conflict_prefer_left(self):
+        a = Cell.of("a", ["AD"], [])
+        b = Cell.of("b", ["CD"], ["PD"])
+        out = a.coalesce_with(b, ConflictPolicy.PREFER_LEFT)
+        assert out.datum == "a"
+        assert out.origins == sources("AD")
+        # The losing side's sources are recorded as intermediates.
+        assert out.intermediates == sources("CD", "PD")
+
+    def test_conflict_prefer_right(self):
+        a = Cell.of("a", ["AD"], [])
+        b = Cell.of("b", ["CD"], [])
+        out = a.coalesce_with(b, ConflictPolicy.PREFER_RIGHT)
+        assert out.datum == "b"
+        assert out.origins == sources("CD")
+        assert out.intermediates == sources("AD")
+
+
+class TestRendering:
+    def test_paper_notation(self):
+        cell = Cell.of("IBM", ["AD"], ["PD", "AD"])
+        assert cell.render() == "IBM, {AD}, {AD, PD}"
+
+    def test_nil_rendering(self):
+        assert Cell.nil(["AD"]).render() == "nil, {}, {AD}"
+
+    def test_repr_contains_render(self):
+        assert "IBM" in repr(Cell.of("IBM", ["AD"]))

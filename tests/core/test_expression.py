@@ -1,0 +1,203 @@
+"""Unit tests for algebra expression trees: rendering, traversal, direct
+evaluation."""
+
+import pytest
+
+from repro.core.expression import (
+    Coalesce,
+    Difference,
+    Intersect,
+    Join,
+    Product,
+    Project,
+    Restrict,
+    SchemeRef,
+    Select,
+    Union,
+    evaluate,
+    referenced_schemes,
+    walk,
+)
+from repro.core.predicate import Theta
+from repro.core.relation import PolygenRelation
+from repro.core.tags import sources
+from repro.errors import InvalidOperandError
+
+
+def paper_expression():
+    """The example polygen algebraic expression of §III."""
+    return Project(
+        Restrict(
+            Join(
+                Join(
+                    Select(SchemeRef("PALUMNUS"), "DEGREE", Theta.EQ, "MBA"),
+                    "AID#",
+                    Theta.EQ,
+                    "AID#",
+                    SchemeRef("PCAREER"),
+                ),
+                "ONAME",
+                Theta.EQ,
+                "ONAME",
+                SchemeRef("PORGANIZATION"),
+            ),
+            "CEO",
+            Theta.EQ,
+            "ANAME",
+        ),
+        ["ONAME", "CEO"],
+    )
+
+
+class TestRendering:
+    def test_paper_expression_renders_in_bracket_notation(self):
+        text = paper_expression().render()
+        assert text == (
+            '(((((PALUMNUS [DEGREE = "MBA"]) [AID# = AID#] PCAREER) '
+            "[ONAME = ONAME] PORGANIZATION) [CEO = ANAME]) [ONAME, CEO])"
+        )
+
+    def test_literal_rendering_for_numbers(self):
+        node = Select(SchemeRef("PFINANCE"), "YEAR", Theta.EQ, 1989)
+        assert node.render() == "(PFINANCE [YEAR = 1989])"
+
+    def test_set_operator_rendering(self):
+        a, b = SchemeRef("A"), SchemeRef("B")
+        assert Union(a, b).render() == "(A UNION B)"
+        assert Difference(a, b).render() == "(A MINUS B)"
+        assert Product(a, b).render() == "(A TIMES B)"
+        assert Intersect(a, b).render() == "(A INTERSECT B)"
+
+    def test_coalesce_rendering(self):
+        node = Coalesce(SchemeRef("R"), "IND", "TRADE", "INDUSTRY")
+        assert node.render() == "(R [IND COALESCE TRADE AS INDUSTRY])"
+
+    def test_str_is_render(self):
+        assert str(SchemeRef("X")) == "X"
+
+
+class TestTraversal:
+    def test_walk_is_post_order(self):
+        expr = paper_expression()
+        kinds = [type(node).__name__ for node in walk(expr)]
+        assert kinds == [
+            "SchemeRef",  # PALUMNUS
+            "Select",
+            "SchemeRef",  # PCAREER
+            "Join",
+            "SchemeRef",  # PORGANIZATION
+            "Join",
+            "Restrict",
+            "Project",
+        ]
+
+    def test_referenced_schemes_first_use_order(self):
+        assert referenced_schemes(paper_expression()) == (
+            "PALUMNUS",
+            "PCAREER",
+            "PORGANIZATION",
+        )
+
+
+class TestEvaluate:
+    def setup_method(self):
+        self.relations = {
+            "R": PolygenRelation.from_data(
+                ["A", "B"], [["x", 1], ["y", 2]], origins=["AD"]
+            ),
+            "S": PolygenRelation.from_data(
+                ["A", "C"], [["x", 10]], origins=["CD"]
+            ),
+            "R2": PolygenRelation.from_data(["A", "B"], [["z", 3]], origins=["PD"]),
+        }
+        self.resolve = self.relations.__getitem__
+
+    def test_scheme_ref_resolves(self):
+        assert evaluate(SchemeRef("R"), self.resolve) == self.relations["R"]
+
+    def test_select(self):
+        out = evaluate(Select(SchemeRef("R"), "B", Theta.EQ, 1), self.resolve)
+        assert out.data_rows() == (("x", 1),)
+
+    def test_restrict(self):
+        r = PolygenRelation.from_data(["A", "B"], [[1, 1], [1, 2]], origins=["AD"])
+        out = evaluate(
+            Restrict(SchemeRef("T"), "A", Theta.EQ, "B"), {"T": r}.__getitem__
+        )
+        assert out.data_rows() == ((1, 1),)
+
+    def test_join_coalesces_same_name(self):
+        out = evaluate(
+            Join(SchemeRef("R"), "A", Theta.EQ, "A", SchemeRef("S")), self.resolve
+        )
+        assert out.attributes == ("A", "B", "C")
+        assert out.tuples[0][0].origins == sources("AD", "CD")
+
+    def test_project(self):
+        out = evaluate(Project(SchemeRef("R"), ["B"]), self.resolve)
+        assert set(out.data_rows()) == {(1,), (2,)}
+
+    def test_union(self):
+        out = evaluate(Union(SchemeRef("R"), SchemeRef("R2")), self.resolve)
+        assert out.cardinality == 3
+
+    def test_difference(self):
+        out = evaluate(Difference(SchemeRef("R"), SchemeRef("R2")), self.resolve)
+        assert out.cardinality == 2
+
+    def test_product(self):
+        out = evaluate(
+            Product(SchemeRef("R"), SchemeRef("B_only")),
+            {**self.relations, "B_only": PolygenRelation.from_data(["Z"], [["z"]])}.__getitem__,
+        )
+        assert out.attributes == ("A", "B", "Z")
+        assert out.cardinality == 2
+
+    def test_product_collision_raises(self):
+        from repro.errors import AttributeCollisionError
+
+        with pytest.raises(AttributeCollisionError):
+            evaluate(Product(SchemeRef("R"), SchemeRef("S")), self.resolve)
+
+    def test_intersect(self):
+        out = evaluate(Intersect(SchemeRef("R"), SchemeRef("R2")), self.resolve)
+        assert out.cardinality == 0
+
+    def test_coalesce(self):
+        r = PolygenRelation.from_data(["X", "Y"], [["v", None]], origins=["AD"])
+        out = evaluate(
+            Coalesce(SchemeRef("T"), "X", "Y", "W"), {"T": r}.__getitem__
+        )
+        assert out.attributes == ("W",)
+
+    def test_unknown_node_rejected(self):
+        class Rogue(SchemeRef.__mro__[1]):  # Expression subclass sans evaluate
+            def render(self):
+                return "rogue"
+
+        with pytest.raises(InvalidOperandError):
+            evaluate(Rogue(), self.resolve)
+
+    def test_paper_expression_shape_over_stub_relations(self):
+        # Evaluate the §III expression directly over small stand-in
+        # relations (no LQP pipeline): checks expression plumbing end to end.
+        relations = {
+            "PALUMNUS": PolygenRelation.from_data(
+                ["AID#", "ANAME", "DEGREE", "MAJOR"],
+                [["123", "Bob Swanson", "MBA", "MGT"], ["789", "Ken Olsen", "MS", "EE"]],
+                origins=["AD"],
+            ),
+            "PCAREER": PolygenRelation.from_data(
+                ["AID#", "ONAME", "POSITION"],
+                [["123", "Genentech", "CEO"], ["789", "DEC", "CEO"]],
+                origins=["AD"],
+            ),
+            "PORGANIZATION": PolygenRelation.from_data(
+                ["ONAME", "INDUSTRY", "CEO", "HEADQUARTERS"],
+                [["Genentech", "High Tech", "Bob Swanson", "CA"]],
+                origins=["CD"],
+            ),
+        }
+        out = evaluate(paper_expression(), relations.__getitem__)
+        assert out.attributes == ("ONAME", "CEO")
+        assert out.data_rows() == (("Genentech", "Bob Swanson"),)

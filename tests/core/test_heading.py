@@ -1,0 +1,119 @@
+"""Unit tests for relation headings."""
+
+import pytest
+
+from repro.core.heading import Heading
+from repro.errors import (
+    AttributeCollisionError,
+    DuplicateAttributeError,
+    HeadingError,
+    UnknownAttributeError,
+)
+
+
+class TestConstruction:
+    def test_preserves_order(self):
+        h = Heading(["ONAME", "INDUSTRY", "CEO"])
+        assert h.attributes == ("ONAME", "INDUSTRY", "CEO")
+        assert list(h) == ["ONAME", "INDUSTRY", "CEO"]
+
+    def test_rejects_empty(self):
+        with pytest.raises(HeadingError):
+            Heading([])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(DuplicateAttributeError):
+            Heading(["A", "B", "A"])
+
+    def test_rejects_non_string_names(self):
+        with pytest.raises(HeadingError):
+            Heading(["A", 3])
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(HeadingError):
+            Heading([""])
+
+    def test_hash_paper_attribute_names(self):
+        # '#' appears in the paper's key attributes (AID#, SID#).
+        h = Heading(["AID#", "ANAME"])
+        assert "AID#" in h
+
+
+class TestLookups:
+    def test_index(self):
+        h = Heading(["A", "B", "C"])
+        assert h.index("B") == 1
+
+    def test_index_unknown_raises_with_context(self):
+        h = Heading(["A", "B"])
+        with pytest.raises(UnknownAttributeError) as err:
+            h.index("Z")
+        assert "Z" in str(err.value)
+        assert "A" in str(err.value)
+
+    def test_indices_follow_request_order(self):
+        h = Heading(["A", "B", "C"])
+        assert h.indices(["C", "A"]) == (2, 0)
+
+    def test_contains(self):
+        h = Heading(["A"])
+        assert "A" in h and "B" not in h
+
+    def test_getitem(self):
+        assert Heading(["A", "B"])[1] == "B"
+
+
+class TestEquality:
+    def test_equal_same_order(self):
+        assert Heading(["A", "B"]) == Heading(["A", "B"])
+
+    def test_order_matters(self):
+        assert Heading(["A", "B"]) != Heading(["B", "A"])
+
+    def test_hashable(self):
+        assert len({Heading(["A"]), Heading(["A"])}) == 1
+
+
+class TestDerivation:
+    def test_project(self):
+        h = Heading(["A", "B", "C"]).project(["C", "B"])
+        assert h.attributes == ("C", "B")
+
+    def test_project_unknown(self):
+        with pytest.raises(UnknownAttributeError):
+            Heading(["A"]).project(["B"])
+
+    def test_concat_disjoint(self):
+        h = Heading(["A"]).concat(Heading(["B", "C"]))
+        assert h.attributes == ("A", "B", "C")
+
+    def test_concat_collision(self):
+        with pytest.raises(AttributeCollisionError):
+            Heading(["A", "B"]).concat(Heading(["B"]))
+
+    def test_rename(self):
+        h = Heading(["BNAME", "IND"]).rename({"BNAME": "ONAME", "IND": "INDUSTRY"})
+        assert h.attributes == ("ONAME", "INDUSTRY")
+
+    def test_rename_unknown_source(self):
+        with pytest.raises(UnknownAttributeError):
+            Heading(["A"]).rename({"Z": "Y"})
+
+    def test_rename_into_duplicate_rejected(self):
+        with pytest.raises(DuplicateAttributeError):
+            Heading(["A", "B"]).rename({"A": "B"})
+
+    def test_replace(self):
+        assert Heading(["A", "B"]).replace("A", "X").attributes == ("X", "B")
+
+    def test_remove(self):
+        assert Heading(["A", "B", "C"]).remove(["B"]).attributes == ("A", "C")
+
+    def test_remove_all_rejected(self):
+        with pytest.raises(HeadingError):
+            Heading(["A"]).remove(["A"])
+
+    def test_shared_with_uses_left_order(self):
+        left = Heading(["C", "A", "B"])
+        right = Heading(["A", "C"])
+        assert left.shared_with(right) == ("C", "A")

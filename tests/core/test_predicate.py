@@ -1,0 +1,111 @@
+"""Unit tests for comparison predicates (θ relations)."""
+
+import pytest
+
+from repro.core.predicate import AttributeRef, Literal, Theta, comparand_from
+from repro.errors import IncomparableTypesError
+
+
+class TestParsing:
+    @pytest.mark.parametrize(
+        "symbol,member",
+        [
+            ("=", Theta.EQ),
+            ("<>", Theta.NE),
+            ("!=", Theta.NE),
+            ("<", Theta.LT),
+            ("<=", Theta.LE),
+            (">", Theta.GT),
+            (">=", Theta.GE),
+        ],
+    )
+    def test_from_symbol(self, symbol, member):
+        assert Theta.from_symbol(symbol) is member
+
+    def test_unknown_symbol(self):
+        with pytest.raises(ValueError):
+            Theta.from_symbol("~")
+
+    def test_symbol_roundtrip(self):
+        for member in Theta:
+            assert Theta.from_symbol(member.symbol) is member
+
+
+class TestEvaluation:
+    def test_equality(self):
+        assert Theta.EQ.evaluate("MBA", "MBA")
+        assert not Theta.EQ.evaluate("MBA", "MS")
+
+    def test_inequality(self):
+        assert Theta.NE.evaluate(1, 2)
+        assert not Theta.NE.evaluate(1, 1)
+
+    def test_ordering(self):
+        assert Theta.LT.evaluate(1, 2)
+        assert Theta.LE.evaluate(2, 2)
+        assert Theta.GT.evaluate(3, 2)
+        assert Theta.GE.evaluate(2, 2)
+
+    def test_string_ordering(self):
+        assert Theta.LT.evaluate("a", "b")
+
+    def test_int_float_comparable(self):
+        assert Theta.LT.evaluate(1, 1.5)
+
+    def test_nil_never_matches(self):
+        for theta in Theta:
+            assert not theta.evaluate(None, "x")
+            assert not theta.evaluate("x", None)
+            assert not theta.evaluate(None, None)
+
+    def test_cross_type_equality_is_false(self):
+        assert not Theta.EQ.evaluate("1", 1)
+        assert Theta.NE.evaluate("1", 1)
+
+    def test_cross_type_ordering_raises(self):
+        with pytest.raises(IncomparableTypesError):
+            Theta.LT.evaluate("a", 1)
+
+    def test_bool_is_not_numeric_for_ordering(self):
+        with pytest.raises(IncomparableTypesError):
+            Theta.LT.evaluate(True, 2.5)
+        assert Theta.LT.evaluate(False, True)
+
+
+class TestFlipped:
+    @pytest.mark.parametrize(
+        "theta,flip",
+        [
+            (Theta.EQ, Theta.EQ),
+            (Theta.NE, Theta.NE),
+            (Theta.LT, Theta.GT),
+            (Theta.LE, Theta.GE),
+            (Theta.GT, Theta.LT),
+            (Theta.GE, Theta.LE),
+        ],
+    )
+    def test_flip_table(self, theta, flip):
+        assert theta.flipped() is flip
+
+    @pytest.mark.parametrize("theta", list(Theta))
+    def test_flip_preserves_truth(self, theta):
+        assert theta.evaluate(1, 2) == theta.flipped().evaluate(2, 1)
+
+
+class TestComparands:
+    def test_literal_rendering(self):
+        assert str(Literal("MBA")) == '"MBA"'
+        assert str(Literal(1989)) == "1989"
+
+    def test_attribute_rendering(self):
+        assert str(AttributeRef("ANAME")) == "ANAME"
+
+    def test_comparand_from_wraps_values(self):
+        assert comparand_from("x") == Literal("x")
+        assert comparand_from(5) == Literal(5)
+
+    def test_comparand_from_passes_through(self):
+        ref = AttributeRef("A")
+        assert comparand_from(ref) is ref
+        lit = Literal("x")
+        assert comparand_from(lit) is lit

@@ -1,0 +1,78 @@
+"""Unit tests for plan and source graphs."""
+
+import networkx as nx
+import pytest
+
+from repro.datasets.paper import build_paper_federation
+from repro.display.graph import plan_graph, source_graph, to_dot
+
+from tests.integration.conftest import PAPER_SQL
+
+
+@pytest.fixture(scope="module")
+def paper_run():
+    return build_paper_federation().run_sql(PAPER_SQL)
+
+
+class TestPlanGraph:
+    def test_nodes_match_plan_rows(self, paper_run):
+        graph = plan_graph(paper_run.iom)
+        assert graph.number_of_nodes() == len(paper_run.iom)
+
+    def test_edges_follow_dataflow(self, paper_run):
+        graph = plan_graph(paper_run.iom)
+        # R(7) (the Merge) consumes R(4), R(5), R(6).
+        assert set(graph.predecessors(7)) == {4, 5, 6}
+        # R(10) (the final Project) consumes R(9).
+        assert set(graph.predecessors(10)) == {9}
+
+    def test_is_a_dag_with_single_sink(self, paper_run):
+        graph = plan_graph(paper_run.iom)
+        assert nx.is_directed_acyclic_graph(graph)
+        sinks = [node for node in graph if graph.out_degree(node) == 0]
+        assert sinks == [10]
+
+    def test_node_attributes(self, paper_run):
+        graph = plan_graph(paper_run.iom)
+        assert graph.nodes[1]["local"] is True
+        assert graph.nodes[1]["location"] == "AD"
+        assert "Select" in graph.nodes[1]["label"]
+        assert graph.nodes[7]["location"] == "PQP"
+
+
+class TestSourceGraph:
+    def test_attributes_and_databases_as_nodes(self, paper_run):
+        graph = source_graph(paper_run.relation)
+        kinds = {data["kind"] for _, data in graph.nodes(data=True)}
+        assert kinds == {"attribute", "database"}
+        databases = {
+            data["name"]
+            for _, data in graph.nodes(data=True)
+            if data["kind"] == "database"
+        }
+        assert databases == {"AD", "PD", "CD"}
+
+    def test_origin_edges(self, paper_run):
+        graph = source_graph(paper_run.relation)
+        edge = graph.edges[("attribute", "CEO"), ("database", "CD")]
+        assert edge["role"] == "origin"
+
+    def test_intermediate_only_edge(self, paper_run):
+        # PD never originates a CEO datum; it only mediates.
+        graph = source_graph(paper_run.relation)
+        edge = graph.edges[("attribute", "CEO"), ("database", "PD")]
+        assert edge["role"] == "intermediate"
+
+
+class TestDot:
+    def test_plan_dot(self, paper_run):
+        dot = to_dot(plan_graph(paper_run.iom))
+        assert dot.startswith("digraph")
+        assert "Merge" in dot
+        assert "->" in dot
+
+    def test_source_dot_marks_intermediates_dashed(self, paper_run):
+        dot = to_dot(source_graph(paper_run.relation))
+        assert dot.startswith("graph")
+        assert "style=dashed" in dot
+        assert "--" in dot

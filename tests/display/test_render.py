@@ -1,0 +1,62 @@
+"""Unit tests for paper-style rendering."""
+
+import pytest
+
+from repro.core.cell import Cell
+from repro.core.relation import PolygenRelation
+from repro.display.render import render_relation, render_relation_markdown
+
+
+@pytest.fixture
+def relation():
+    return PolygenRelation.from_cells(
+        ["ONAME", "CEO"],
+        [
+            [
+                Cell.of("Genentech", ["AD", "CD"], ["AD", "CD"]),
+                Cell.of("Bob Swanson", ["CD"], ["AD", "CD"]),
+            ],
+            [
+                Cell.of("MIT", ["AD"], ["AD"]),
+                Cell.nil(["AD"]),
+            ],
+        ],
+    )
+
+
+class TestTextRendering:
+    def test_cells_use_paper_notation(self, relation):
+        text = render_relation(relation)
+        assert "Genentech, {AD, CD}, {AD, CD}" in text
+        assert "Bob Swanson, {CD}, {AD, CD}" in text
+
+    def test_nil_rendering(self, relation):
+        assert "nil, {}, {AD}" in render_relation(relation)
+
+    def test_header_and_separator(self, relation):
+        lines = render_relation(relation).splitlines()
+        assert lines[0].startswith("ONAME")
+        assert set(lines[1]) == {"-"}
+
+    def test_sorted_option(self, relation):
+        text = render_relation(relation, sort=True)
+        assert text.index("Genentech") < text.index("MIT")
+
+    def test_columns_align(self, relation):
+        lines = render_relation(relation).splitlines()
+        body = [line for line in lines[2:]]
+        first_column_width = max(len(line.split("  ")[0]) for line in body)
+        assert first_column_width <= len(lines[1])
+
+
+class TestMarkdownRendering:
+    def test_table_structure(self, relation):
+        text = render_relation_markdown(relation)
+        lines = text.splitlines()
+        assert lines[0] == "| ONAME | CEO |"
+        assert lines[1].startswith("|") and "---" in lines[1]
+        assert len(lines) == 2 + relation.cardinality
+
+    def test_cells_present(self, relation):
+        text = render_relation_markdown(relation, sort=True)
+        assert "| Genentech, {AD, CD}, {AD, CD} |" in text

@@ -1,0 +1,28 @@
+"""Shared fixtures: the paper's federation, wired once per test module."""
+
+import pytest
+
+from repro.datasets.paper import build_paper_federation
+
+PAPER_SQL = """
+SELECT ONAME, CEO
+FROM PORGANIZATION, PALUMNUS
+WHERE CEO = ANAME AND ONAME IN
+    (SELECT ONAME FROM PCAREER WHERE AID# IN
+        (SELECT AID# FROM PALUMNUS WHERE DEGREE = "MBA"))
+"""
+
+PAPER_ALGEBRA = (
+    '((((PALUMNUS [DEGREE = "MBA"]) [AID# = AID#] PCAREER)'
+    " [ONAME = ONAME] PORGANIZATION) [CEO = ANAME]) [ONAME, CEO]"
+)
+
+
+@pytest.fixture(scope="module")
+def pqp():
+    return build_paper_federation()
+
+
+@pytest.fixture(scope="module")
+def paper_result(pqp):
+    return pqp.run_sql(PAPER_SQL)

@@ -1,0 +1,126 @@
+"""Cell-exact reproduction of the paper's execution tables (4-9).
+
+Each test compares a live intermediate result of the example query against
+the transcribed table in :mod:`repro.datasets.expected`.  Relation equality
+is set-based over (datum, origins, intermediates) triplets, so these tests
+pin both the data *and* the source tags.
+"""
+
+import pytest
+
+from repro.datasets import expected
+
+from tests.integration.conftest import PAPER_SQL
+
+
+@pytest.fixture(scope="module")
+def trace(paper_result):
+    return paper_result.trace
+
+
+class TestTable4:
+    def test_r1_matches(self, trace):
+        assert trace.result(1) == expected.expected_table_4()
+
+    def test_tags_are_origin_only(self, trace):
+        for row in trace.result(1):
+            for cell in row:
+                assert cell.origins == frozenset({"AD"})
+                assert cell.intermediates == frozenset()
+
+
+class TestTable5:
+    def test_r3_matches(self, trace):
+        assert trace.result(3) == expected.expected_table_5()
+
+    def test_join_made_ad_an_intermediate_source(self, trace):
+        # "The Join requires that the intermediate source cells to be {AD}
+        # although in this case it appears to be redundant."
+        for row in trace.result(3):
+            for cell in row:
+                assert cell.intermediates == frozenset({"AD"})
+
+
+class TestTable6:
+    def test_r7_matches(self, trace):
+        assert trace.result(7) == expected.expected_table_6()
+
+    def test_merge_covers_all_twelve_organizations(self, trace):
+        assert trace.result(7).cardinality == 12
+
+    def test_three_source_rows(self, trace):
+        by_name = {row.data[0]: row for row in trace.result(7)}
+        assert by_name["IBM"][0].origins == frozenset({"AD", "PD", "CD"})
+        assert by_name["MIT"][0].origins == frozenset({"AD"})
+        assert by_name["Apple"][0].origins == frozenset({"PD", "CD"})
+
+
+class TestTable7:
+    def test_r8_matches(self, trace):
+        assert trace.result(8) == expected.expected_table_7()
+
+    def test_mit_row_keeps_nil_ceo(self, trace):
+        mit = [row for row in trace.result(8) if row.data[4] == "MIT"][0]
+        assert mit.data[8] is None
+        ceo_cell = mit[8]
+        assert ceo_cell.origins == frozenset()
+        assert ceo_cell.intermediates == frozenset({"AD"})
+
+
+class TestTable8:
+    def test_r9_matches(self, trace):
+        assert trace.result(9) == expected.expected_table_8()
+
+    def test_only_self_ceos_survive(self, trace):
+        for row in trace.result(9):
+            assert row.data[1] == row.data[8]  # ANAME == CEO
+
+
+class TestTable9:
+    def test_final_result_matches(self, paper_result):
+        assert paper_result.relation == expected.expected_table_9()
+
+    def test_paper_observation_1_genentech(self, paper_result):
+        # "The information of Genentech is from the Alumni Database and
+        # Company Database, and only from these two databases … the Alumni
+        # Database has served as an intermediate source."
+        genentech = [t for t in paper_result.relation if t.data[0] == "Genentech"][0]
+        assert genentech[0].origins == frozenset({"AD", "CD"})
+        assert genentech[1].origins == frozenset({"CD"})
+        assert "AD" in genentech[1].intermediates
+
+    def test_paper_observation_2_citicorp(self, paper_result):
+        # "The information about Citicorp is available from all three
+        # databases, but the information about its CEO, John Reed, is
+        # available only in the Company Database."
+        citicorp = [t for t in paper_result.relation if t.data[0] == "Citicorp"][0]
+        assert citicorp[0].origins == frozenset({"AD", "PD", "CD"})
+        assert citicorp[1].origins == frozenset({"CD"})
+
+
+class TestPipelineCoherence:
+    def test_sql_runs_equal_algebra_runs(self, pqp, paper_result):
+        from tests.integration.conftest import PAPER_ALGEBRA
+
+        via_algebra = pqp.run_algebra(PAPER_ALGEBRA)
+        assert via_algebra.relation == paper_result.relation
+
+    def test_run_plan_executes_table3_verbatim(self, pqp, paper_result):
+        # "Let us assume that Table 3 is used as a query execution plan
+        # (i.e., without further optimization)."
+        replay = pqp.run_plan(paper_result.iom)
+        assert replay.relation == paper_result.relation
+
+    def test_lineage_tracks_schemes(self, paper_result):
+        assert paper_result.lineage["ONAME"] >= {"PCAREER", "PORGANIZATION"}
+        assert paper_result.lineage["CEO"] == {"PORGANIZATION"}
+
+    def test_local_traffic_matches_plan(self, pqp):
+        pqp.registry.reset_stats()
+        pqp.run_sql(PAPER_SQL)
+        stats = pqp.registry.stats()
+        # AD: 1 select + 2 retrieves; PD: 1 retrieve; CD: 1 retrieve.
+        assert stats["AD"].queries == 3
+        assert stats["AD"].selects == 1
+        assert stats["PD"].retrieves == 1
+        assert stats["CD"].retrieves == 1

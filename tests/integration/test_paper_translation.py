@@ -1,0 +1,109 @@
+"""Reproduction of the paper's translation artifacts: Table 1 (POM),
+Table 2 (half-processed IOM after pass one) and Table 3 (IOM)."""
+
+import pytest
+
+from repro.algebra_lang import parse_expression
+from repro.datasets.paper import paper_polygen_schema
+from repro.pqp.interpreter import PolygenOperationInterpreter
+from repro.pqp.syntax_analyzer import SyntaxAnalyzer
+
+from tests.integration.conftest import PAPER_ALGEBRA
+
+
+@pytest.fixture(scope="module")
+def pom():
+    return SyntaxAnalyzer().analyze(parse_expression(PAPER_ALGEBRA))
+
+
+@pytest.fixture(scope="module")
+def interpreter():
+    return PolygenOperationInterpreter(paper_polygen_schema())
+
+
+class TestTable1:
+    """The Polygen Operation Matrix (paper, Table 1)."""
+
+    EXPECTED = [
+        ("R(1)", "Select", "PALUMNUS", "DEGREE", "=", '"MBA"', "nil"),
+        ("R(2)", "Join", "R(1)", "AID#", "=", "AID#", "PCAREER"),
+        ("R(3)", "Join", "R(2)", "ONAME", "=", "ONAME", "PORGANIZATION"),
+        ("R(4)", "Restrict", "R(3)", "CEO", "=", "ANAME", "nil"),
+        ("R(5)", "Project", "R(4)", "ONAME, CEO", "nil", "nil", "nil"),
+    ]
+
+    def test_row_count(self, pom):
+        assert len(pom) == 5
+
+    def test_rows_match_paper(self, pom):
+        assert [row.cells(with_el=False) for row in pom] == [
+            tuple(row) for row in self.EXPECTED
+        ]
+
+
+class TestTable2:
+    """The half-processed IOM after pass one (paper, Table 2)."""
+
+    EXPECTED = [
+        ("R(1)", "Select", "ALUMNUS", "DEG", "=", '"MBA"', "nil", "AD"),
+        ("R(2)", "Join", "R(1)", "AID#", "=", "AID#", "PCAREER", "PQP"),
+        ("R(3)", "Join", "R(2)", "ONAME", "=", "ONAME", "PORGANIZATION", "PQP"),
+        ("R(4)", "Restrict", "R(3)", "CEO", "=", "ANAME", "nil", "PQP"),
+        ("R(5)", "Project", "R(4)", "ONAME, CEO", "nil", "nil", "nil", "PQP"),
+    ]
+
+    def test_rows_match_paper(self, pom, interpreter):
+        half = interpreter.pass_one(pom)
+        assert [row.cells(with_el=True) for row in half] == [
+            tuple(row) for row in self.EXPECTED
+        ]
+
+    def test_pass_one_maps_select_to_local_attribute(self, pom, interpreter):
+        half = interpreter.pass_one(pom)
+        select = half.rows[0]
+        assert select.lha == "DEG"  # local attribute, not DEGREE
+        assert select.el == "AD"
+        assert select.scheme == "PALUMNUS"
+
+
+class TestTable3:
+    """The full IOM after pass two (paper, Table 3)."""
+
+    EXPECTED = [
+        ("R(1)", "Select", "ALUMNUS", "DEG", "=", '"MBA"', "nil", "AD"),
+        ("R(2)", "Retrieve", "CAREER", "nil", "nil", "nil", "nil", "AD"),
+        ("R(3)", "Join", "R(1)", "AID#", "=", "AID#", "R(2)", "PQP"),
+        ("R(4)", "Retrieve", "BUSINESS", "nil", "nil", "nil", "nil", "AD"),
+        ("R(5)", "Retrieve", "CORPORATION", "nil", "nil", "nil", "nil", "PD"),
+        ("R(6)", "Retrieve", "FIRM", "nil", "nil", "nil", "nil", "CD"),
+        ("R(7)", "Merge", "R(4), R(5), R(6)", "nil", "nil", "nil", "nil", "PQP"),
+        ("R(8)", "Join", "R(3)", "ONAME", "=", "ONAME", "R(7)", "PQP"),
+        ("R(9)", "Restrict", "R(8)", "CEO", "=", "ANAME", "nil", "PQP"),
+        ("R(10)", "Project", "R(9)", "ONAME, CEO", "nil", "nil", "nil", "PQP"),
+    ]
+
+    def test_rows_match_paper(self, pom, interpreter):
+        iom = interpreter.interpret(pom)
+        assert [row.cells(with_el=True) for row in iom] == [
+            tuple(row) for row in self.EXPECTED
+        ]
+
+    def test_retrieve_rows_carry_scheme_context(self, pom, interpreter):
+        iom = interpreter.interpret(pom)
+        by_relation = {
+            row.lhr.relation: row for row in iom if row.op.value == "Retrieve"
+        }
+        assert by_relation["CAREER"].scheme == "PCAREER"
+        assert by_relation["BUSINESS"].scheme == "PORGANIZATION"
+        assert by_relation["CORPORATION"].scheme == "PORGANIZATION"
+        assert by_relation["FIRM"].scheme == "PORGANIZATION"
+
+    def test_databases_touched(self, pom, interpreter):
+        iom = interpreter.interpret(pom)
+        assert set(iom.databases_touched()) == {"AD", "PD", "CD"}
+
+    def test_merge_carries_scheme(self, pom, interpreter):
+        iom = interpreter.interpret(pom)
+        merge = [row for row in iom if row.op.value == "Merge"][0]
+        assert merge.scheme == "PORGANIZATION"
+        assert merge.el == "PQP"

@@ -1,0 +1,117 @@
+"""Unit tests for domain mappings (unit/scale/representation transforms)."""
+
+import pytest
+
+from repro.errors import IntegrationError, UnknownTransformError
+from repro.integration.domains import (
+    TransformRegistry,
+    billions_to_units,
+    city_state_to_state,
+    default_registry,
+    millions_to_units,
+    money_text_to_float,
+    strip_whitespace,
+    uppercase,
+)
+
+
+class TestCityStateToState:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("NY, NY", "NY"),
+            ("Cambridge, MA", "MA"),
+            ("So. San Francisco, CA", "CA"),
+            ("Dearborn, MI", "MI"),
+            ("MA", "MA"),  # already bare
+            ("  Armonk,  NY ", "NY"),
+        ],
+    )
+    def test_paper_hq_values(self, text, expected):
+        assert city_state_to_state(text) == expected
+
+
+class TestMoneyTextToFloat:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("1.7 bil", 1.7e9),
+            ("-1.7 bil", -1.7e9),
+            ("648 mil", 6.48e8),
+            ("1 mil", 1e6),
+            ("5.5 bil", 5.5e9),
+            ("400 mil", 4e8),
+            ("$2.5 mil", 2.5e6),
+            ("120k", 1.2e5),
+            ("42", 42.0),
+        ],
+    )
+    def test_paper_profit_values(self, text, expected):
+        assert money_text_to_float(text) == pytest.approx(expected)
+
+    def test_numbers_pass_through(self):
+        assert money_text_to_float(7) == 7.0
+        assert money_text_to_float(7.5) == 7.5
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            money_text_to_float("lots of money")
+
+
+class TestScalarTransforms:
+    def test_strip_whitespace(self):
+        assert strip_whitespace("  x ") == "x"
+        assert strip_whitespace(5) == 5
+
+    def test_uppercase(self):
+        assert uppercase("ibm") == "IBM"
+        assert uppercase(5) == 5
+
+    def test_scale_conversions(self):
+        assert millions_to_units(1.5) == 1.5e6
+        assert billions_to_units(2) == 2e9
+
+
+class TestRegistry:
+    def test_default_registry_contents(self):
+        registry = default_registry()
+        for name in (
+            "city_state_to_state",
+            "money_text_to_float",
+            "strip_whitespace",
+            "uppercase",
+            "millions_to_units",
+            "billions_to_units",
+        ):
+            assert name in registry
+
+    def test_get_unknown(self):
+        with pytest.raises(UnknownTransformError):
+            default_registry().get("nope")
+
+    def test_register_and_call(self):
+        registry = TransformRegistry()
+        transform = registry.register("double", lambda v: v * 2, "double it")
+        assert registry.get("double")(21) == 42
+        assert transform.description == "double it"
+
+    def test_duplicate_name_rejected(self):
+        registry = TransformRegistry()
+        registry.register("t", lambda v: v, "")
+        with pytest.raises(IntegrationError):
+            registry.register("t", lambda v: v, "")
+
+    def test_transform_preserves_none(self):
+        registry = default_registry()
+        assert registry.get("money_text_to_float")(None) is None
+
+    def test_transform_failure_is_wrapped(self):
+        registry = default_registry()
+        with pytest.raises(IntegrationError) as err:
+            registry.get("money_text_to_float")("garbage value")
+        assert "money_text_to_float" in str(err.value)
+        assert "garbage value" in str(err.value)
+
+    def test_iteration_and_names(self):
+        registry = default_registry()
+        assert set(registry.names()) == {name for name, _ in registry}

@@ -1,0 +1,178 @@
+"""Unit tests for the polygen algebra expression language."""
+
+import pytest
+
+from repro.algebra_lang.lexer import TokenType, tokenize
+from repro.algebra_lang.parser import parse_expression
+from repro.core.expression import (
+    Coalesce,
+    Difference,
+    Intersect,
+    Join,
+    Product,
+    Project,
+    Restrict,
+    SchemeRef,
+    Select,
+    Union,
+)
+from repro.core.predicate import Theta
+from repro.errors import AlgebraParseError
+
+PAPER_EXPRESSION = (
+    '( ( ( ( PALUMNUS [DEGREE = "MBA"] ) [AID#=AID#] PCAREER) [ONAME = '
+    "ONAME] PORGANIZATION) [CEO = ANAME ] ) [ONAME, CEO]"
+)
+
+
+class TestLexer:
+    def test_names_with_hash(self):
+        tokens = tokenize("AID#")
+        assert tokens[0].type is TokenType.NAME
+        assert tokens[0].value == "AID#"
+
+    def test_strings_double_and_single_quotes(self):
+        assert tokenize('"MBA"')[0].value == "MBA"
+        assert tokenize("'MBA'")[0].value == "MBA"
+
+    def test_numbers(self):
+        assert tokenize("1989")[0].value == 1989
+        assert tokenize("3.5")[0].value == 3.5
+        assert tokenize("-2")[0].value == -2
+
+    def test_theta_longest_match(self):
+        values = [t.value for t in tokenize("<= >= <> != = < >")[:-1]]
+        assert values == ["<=", ">=", "<>", "!=", "=", "<", ">"]
+
+    def test_keywords_are_reserved(self):
+        tokens = tokenize("A UNION B")
+        assert tokens[1].type is TokenType.KEYWORD
+
+    def test_unterminated_string(self):
+        with pytest.raises(AlgebraParseError):
+            tokenize('"oops')
+
+    def test_unexpected_character(self):
+        with pytest.raises(AlgebraParseError):
+            tokenize("A @ B")
+
+    def test_end_token_present(self):
+        assert tokenize("A")[-1].type is TokenType.END
+
+
+class TestParserShapes:
+    def test_scheme_ref(self):
+        assert parse_expression("PALUMNUS") == SchemeRef("PALUMNUS")
+
+    def test_select_string(self):
+        expr = parse_expression('PALUMNUS [DEGREE = "MBA"]')
+        assert expr == Select(SchemeRef("PALUMNUS"), "DEGREE", Theta.EQ, "MBA")
+
+    def test_select_number(self):
+        expr = parse_expression("PFINANCE [YEAR = 1989]")
+        assert expr == Select(SchemeRef("PFINANCE"), "YEAR", Theta.EQ, 1989)
+
+    def test_restrict(self):
+        expr = parse_expression("R [CEO = ANAME]")
+        assert expr == Restrict(SchemeRef("R"), "CEO", Theta.EQ, "ANAME")
+
+    def test_join(self):
+        expr = parse_expression("R [A = B] S")
+        assert expr == Join(SchemeRef("R"), "A", Theta.EQ, "B", SchemeRef("S"))
+
+    def test_join_with_parenthesized_right(self):
+        expr = parse_expression("R [A = B] (S UNION T)")
+        assert isinstance(expr, Join)
+        assert isinstance(expr.right, Union)
+
+    def test_project_single_and_list(self):
+        assert parse_expression("R [ONAME]") == Project(SchemeRef("R"), ["ONAME"])
+        assert parse_expression("R [ONAME, CEO]") == Project(
+            SchemeRef("R"), ["ONAME", "CEO"]
+        )
+
+    def test_coalesce(self):
+        expr = parse_expression("R [IND COALESCE TRADE AS INDUSTRY]")
+        assert expr == Coalesce(SchemeRef("R"), "IND", "TRADE", "INDUSTRY")
+
+    def test_set_operators_left_associative(self):
+        expr = parse_expression("A UNION B MINUS C")
+        assert isinstance(expr, Difference)
+        assert isinstance(expr.left, Union)
+
+    def test_times_and_intersect(self):
+        assert isinstance(parse_expression("A TIMES B"), Product)
+        assert isinstance(parse_expression("A INTERSECT B"), Intersect)
+
+    def test_postfix_chains(self):
+        expr = parse_expression('(R [A = B] S) [X = "v"] [X, Y]')
+        assert isinstance(expr, Project)
+        assert isinstance(expr.child, Select)
+        assert isinstance(expr.child.child, Join)
+
+    def test_theta_variants(self):
+        assert parse_expression("R [A < B]").theta is Theta.LT
+        assert parse_expression("R [A <> B]").theta is Theta.NE
+        assert parse_expression("R [A >= 5]").theta is Theta.GE
+
+
+class TestParserErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "(A",
+            "A [",
+            "A [X =]",
+            "A [X Y]",
+            "A UNION",
+            "A B",
+            "[X] A",
+            "A [X COALESCE Y]",  # missing AS
+            "A [X COALESCE Y AS]",
+        ],
+    )
+    def test_malformed_expressions(self, text):
+        with pytest.raises(AlgebraParseError):
+            parse_expression(text)
+
+    def test_error_carries_position(self):
+        with pytest.raises(AlgebraParseError) as err:
+            parse_expression("A [X = ]")
+        assert "offset" in str(err.value)
+
+
+class TestPaperExpression:
+    def test_parses_to_expected_tree(self):
+        expr = parse_expression(PAPER_EXPRESSION)
+        assert isinstance(expr, Project)
+        assert expr.attributes == ("ONAME", "CEO")
+        restrict = expr.child
+        assert isinstance(restrict, Restrict)
+        assert (restrict.left_attribute, restrict.right_attribute) == ("CEO", "ANAME")
+        join2 = restrict.child
+        assert isinstance(join2, Join)
+        assert join2.right == SchemeRef("PORGANIZATION")
+        join1 = join2.left
+        assert isinstance(join1, Join)
+        assert join1.right == SchemeRef("PCAREER")
+        select = join1.left
+        assert select == Select(SchemeRef("PALUMNUS"), "DEGREE", Theta.EQ, "MBA")
+
+    def test_round_trips_through_render(self):
+        expr = parse_expression(PAPER_EXPRESSION)
+        assert parse_expression(expr.render()) == expr
+
+    def test_render_parse_fixpoint_for_all_node_kinds(self):
+        texts = [
+            "A UNION B",
+            "A MINUS B",
+            "A TIMES B",
+            "A INTERSECT B",
+            "A [X COALESCE Y AS Z]",
+            '(A [X = "v"]) [P, Q]',
+            "A [X < Y] B",
+        ]
+        for text in texts:
+            expr = parse_expression(text)
+            assert parse_expression(expr.render()) == expr

@@ -1,0 +1,126 @@
+"""Unit tests for the SQL front-end."""
+
+import pytest
+
+from repro.core.predicate import Theta
+from repro.errors import SqlParseError
+from repro.sql.ast import ComparisonPredicate, InPredicate, SelectStatement
+from repro.sql.parser import parse_sql
+
+PAPER_SQL = """
+SELECT ONAME, CEO
+FROM PORGANIZATION, PALUMNUS
+WHERE CEO = ANAME AND ONAME IN
+    (SELECT ONAME FROM PCAREER WHERE AID# IN
+        (SELECT AID# FROM PALUMNUS WHERE DEGREE = "MBA"))
+"""
+
+SECTION_ONE_SQL = """
+SELECT CEO
+FROM PORGANIZATION, PALUMNUS
+WHERE CEO = ANAME AND DEGREE = "MBA"
+"""
+
+
+class TestBasicParsing:
+    def test_select_from(self):
+        stmt = parse_sql("SELECT A, B FROM T")
+        assert stmt == SelectStatement(("A", "B"), ("T",), ())
+
+    def test_select_star(self):
+        stmt = parse_sql("SELECT * FROM T")
+        assert stmt.is_star
+        assert stmt.select_list == ()
+
+    def test_keywords_case_insensitive(self):
+        stmt = parse_sql("select A from T where A = 1")
+        assert stmt.select_list == ("A",)
+        assert stmt.where[0].right == 1
+
+    def test_multiple_from_tables(self):
+        stmt = parse_sql("SELECT A FROM T, U, V")
+        assert stmt.from_tables == ("T", "U", "V")
+
+    def test_literal_comparison(self):
+        stmt = parse_sql('SELECT A FROM T WHERE DEG = "MBA"')
+        predicate = stmt.where[0]
+        assert predicate == ComparisonPredicate("DEG", Theta.EQ, "MBA", False)
+
+    def test_attribute_comparison(self):
+        stmt = parse_sql("SELECT A FROM T WHERE CEO = ANAME")
+        predicate = stmt.where[0]
+        assert predicate.right_is_attribute
+        assert predicate.right == "ANAME"
+
+    def test_numeric_literals(self):
+        stmt = parse_sql("SELECT A FROM T WHERE YR = 1989 AND GPA >= 3.5")
+        assert stmt.where[0].right == 1989
+        assert stmt.where[1].right == 3.5
+        assert stmt.where[1].theta is Theta.GE
+
+    def test_single_quoted_strings(self):
+        stmt = parse_sql("SELECT A FROM T WHERE X = 'y'")
+        assert stmt.where[0].right == "y"
+
+    def test_hash_attribute_names(self):
+        stmt = parse_sql("SELECT AID# FROM PALUMNUS")
+        assert stmt.select_list == ("AID#",)
+
+    def test_in_subquery(self):
+        stmt = parse_sql("SELECT A FROM T WHERE K IN (SELECT K FROM U)")
+        predicate = stmt.where[0]
+        assert isinstance(predicate, InPredicate)
+        assert predicate.subquery.from_tables == ("U",)
+
+
+class TestPaperQueries:
+    def test_nested_in_parses(self):
+        stmt = parse_sql(PAPER_SQL)
+        assert stmt.select_list == ("ONAME", "CEO")
+        assert stmt.from_tables == ("PORGANIZATION", "PALUMNUS")
+        assert len(stmt.where) == 2
+        comparison, membership = stmt.where
+        assert isinstance(comparison, ComparisonPredicate)
+        assert isinstance(membership, InPredicate)
+        inner = membership.subquery
+        assert inner.from_tables == ("PCAREER",)
+        innermost = inner.where[0].subquery
+        assert innermost.from_tables == ("PALUMNUS",)
+        assert innermost.where[0].right == "MBA"
+
+    def test_section_one_query(self):
+        stmt = parse_sql(SECTION_ONE_SQL)
+        assert stmt.select_list == ("CEO",)
+        assert len(stmt.where) == 2
+
+    def test_render_round_trip(self):
+        stmt = parse_sql(PAPER_SQL)
+        assert parse_sql(stmt.render()) == stmt
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "SELECT",
+            "SELECT FROM T",
+            "SELECT A",
+            "SELECT A FROM",
+            "SELECT A FROM T WHERE",
+            "SELECT A FROM T WHERE A",
+            "SELECT A FROM T WHERE A = ",
+            "SELECT A FROM T WHERE A IN SELECT",
+            "SELECT A FROM T WHERE A IN (SELECT A FROM U",
+            "SELECT A FROM T extra",
+            'SELECT A FROM T WHERE A = "unterminated',
+        ],
+    )
+    def test_malformed_queries(self, text):
+        with pytest.raises(SqlParseError):
+            parse_sql(text)
+
+    def test_error_carries_offset(self):
+        with pytest.raises(SqlParseError) as err:
+            parse_sql("SELECT A FROM T WHERE A = ")
+        assert "offset" in str(err.value)

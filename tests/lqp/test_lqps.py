@@ -1,0 +1,148 @@
+"""Unit tests for local query processors, the registry, and cost accounting."""
+
+import pytest
+
+from repro.core.predicate import Theta
+from repro.errors import ExecutionError, LocalEngineError, UnknownDatabaseError, UnknownRelationError
+from repro.lqp.cost import AccountingLQP, CostModel
+from repro.lqp.csv_lqp import CsvLQP
+from repro.lqp.registry import LQPRegistry
+from repro.lqp.relational_lqp import RelationalLQP
+from repro.relational.database import LocalDatabase
+from repro.relational.schema import RelationSchema
+
+
+@pytest.fixture
+def alumni_lqp():
+    db = LocalDatabase("AD")
+    db.load(
+        RelationSchema("ALUMNUS", ["AID#", "ANAME", "DEG", "MAJ"], key=["AID#"]),
+        [
+            ("012", "John McCauley", "MBA", "IS"),
+            ("789", "Ken Olsen", "MS", "EE"),
+        ],
+    )
+    return RelationalLQP(db)
+
+
+class TestRelationalLQP:
+    def test_name_and_relations(self, alumni_lqp):
+        assert alumni_lqp.name == "AD"
+        assert alumni_lqp.relation_names() == ("ALUMNUS",)
+
+    def test_retrieve_ships_whole_relation(self, alumni_lqp):
+        assert alumni_lqp.retrieve("ALUMNUS").cardinality == 2
+
+    def test_select_executes_locally(self, alumni_lqp):
+        out = alumni_lqp.select("ALUMNUS", "DEG", Theta.EQ, "MBA")
+        assert out.rows == (("012", "John McCauley", "MBA", "IS"),)
+
+    def test_unknown_relation(self, alumni_lqp):
+        with pytest.raises(UnknownRelationError):
+            alumni_lqp.retrieve("NOPE")
+
+
+class TestCsvLQP:
+    CSV = "FNAME,CEO,PROFIT\nIBM,John Ackers,5.5\nApple,John Sculley,0.4\n"
+
+    def test_parses_with_type_inference(self):
+        lqp = CsvLQP("CD", {"FIRM": self.CSV})
+        assert lqp.retrieve("FIRM").rows[0] == ("IBM", "John Ackers", 5.5)
+
+    def test_without_type_inference(self):
+        lqp = CsvLQP("CD", {"FIRM": self.CSV}, infer_types=False)
+        assert lqp.retrieve("FIRM").rows[0] == ("IBM", "John Ackers", "5.5")
+
+    def test_empty_fields_become_none(self):
+        lqp = CsvLQP("XD", {"T": "A,B\n1,\n"})
+        assert lqp.retrieve("T").rows == ((1, None),)
+
+    def test_select_scans(self):
+        lqp = CsvLQP("CD", {"FIRM": self.CSV})
+        out = lqp.select("FIRM", "PROFIT", Theta.GT, 1.0)
+        assert out.rows == (("IBM", "John Ackers", 5.5),)
+
+    def test_quoted_fields(self):
+        lqp = CsvLQP("CD", {"T": 'HQ\n"NY, NY"\n'})
+        assert lqp.retrieve("T").rows == (("NY, NY",),)
+
+    def test_empty_document_rejected(self):
+        with pytest.raises(LocalEngineError):
+            CsvLQP("XD", {"T": ""})
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(LocalEngineError):
+            CsvLQP("XD", {"T": "A,B\n1\n"})
+
+    def test_unknown_relation(self):
+        lqp = CsvLQP("XD", {"T": "A\n1\n"})
+        with pytest.raises(UnknownRelationError):
+            lqp.retrieve("NOPE")
+
+    def test_relation_names(self):
+        lqp = CsvLQP("XD", {"T": "A\n1\n", "U": "B\n2\n"})
+        assert set(lqp.relation_names()) == {"T", "U"}
+
+
+class TestAccounting:
+    def test_counters(self, alumni_lqp):
+        wrapped = AccountingLQP(alumni_lqp)
+        wrapped.retrieve("ALUMNUS")
+        wrapped.select("ALUMNUS", "DEG", Theta.EQ, "MBA")
+        assert wrapped.stats.queries == 2
+        assert wrapped.stats.retrieves == 1
+        assert wrapped.stats.selects == 1
+        assert wrapped.stats.tuples_shipped == 3  # 2 + 1
+
+    def test_cost_model(self, alumni_lqp):
+        wrapped = AccountingLQP(alumni_lqp, CostModel(per_query=10.0, per_tuple=1.0))
+        wrapped.retrieve("ALUMNUS")
+        assert wrapped.simulated_cost() == pytest.approx(10.0 + 2.0)
+
+    def test_stats_reset(self, alumni_lqp):
+        wrapped = AccountingLQP(alumni_lqp)
+        wrapped.retrieve("ALUMNUS")
+        wrapped.stats.reset()
+        assert wrapped.stats.queries == 0
+
+    def test_merged_stats(self, alumni_lqp):
+        a = AccountingLQP(alumni_lqp)
+        a.retrieve("ALUMNUS")
+        merged = a.stats.merged_with(a.stats)
+        assert merged.queries == 2
+        assert merged.tuples_shipped == 4
+
+
+class TestRegistry:
+    def test_register_and_get(self, alumni_lqp):
+        registry = LQPRegistry()
+        wrapped = registry.register(alumni_lqp)
+        assert registry.get("AD") is wrapped
+        assert "AD" in registry
+        assert registry.names() == ("AD",)
+
+    def test_duplicate_rejected(self, alumni_lqp):
+        registry = LQPRegistry()
+        registry.register(alumni_lqp)
+        with pytest.raises(ExecutionError):
+            registry.register(alumni_lqp)
+
+    def test_unknown_database(self):
+        with pytest.raises(UnknownDatabaseError):
+            LQPRegistry().get("NOPE")
+
+    def test_aggregate_stats(self, alumni_lqp):
+        registry = LQPRegistry()
+        registry.register(alumni_lqp)
+        registry.get("AD").retrieve("ALUMNUS")
+        total = registry.total_stats()
+        assert total.queries == 1
+        assert total.tuples_shipped == 2
+        registry.reset_stats()
+        assert registry.total_stats().queries == 0
+
+    def test_total_cost(self, alumni_lqp):
+        registry = LQPRegistry()
+        registry.register(alumni_lqp, CostModel(per_query=5.0, per_tuple=0.0))
+        registry.get("AD").retrieve("ALUMNUS")
+        assert registry.total_cost() == pytest.approx(5.0)

@@ -1,0 +1,85 @@
+"""Unit tests for the Query Optimizer's plan rewrites."""
+
+import pytest
+
+from repro.algebra_lang import parse_expression
+from repro.datasets.paper import build_paper_federation, paper_polygen_schema
+from repro.pqp.interpreter import PolygenOperationInterpreter
+from repro.pqp.matrix import Operation
+from repro.pqp.optimizer import QueryOptimizer
+from repro.pqp.syntax_analyzer import SyntaxAnalyzer
+
+#: A query referencing PORGANIZATION twice: the naive plan retrieves
+#: BUSINESS/CORPORATION/FIRM twice and merges twice.
+SELF_UNION = (
+    '((PORGANIZATION [INDUSTRY = "Banking"]) [ONAME, INDUSTRY]) UNION '
+    '((PORGANIZATION [INDUSTRY = "Hotel"]) [ONAME, INDUSTRY])'
+)
+
+
+def plan(text):
+    pom = SyntaxAnalyzer().analyze(parse_expression(text))
+    return PolygenOperationInterpreter(paper_polygen_schema()).interpret(pom)
+
+
+class TestDeduplication:
+    def test_duplicate_retrieves_collapse(self):
+        iom = plan(SELF_UNION)
+        optimized, report = QueryOptimizer().optimize(iom)
+        retrieves = [row for row in optimized if row.op is Operation.RETRIEVE]
+        naive_retrieves = [row for row in iom if row.op is Operation.RETRIEVE]
+        assert len(naive_retrieves) == 4  # BUSINESS, CORPORATION twice each
+        assert len(retrieves) == 2
+        assert report.retrieves_deduplicated == 2
+
+    def test_duplicate_merges_collapse(self):
+        iom = plan(SELF_UNION)
+        optimized, report = QueryOptimizer().optimize(iom)
+        merges = [row for row in optimized if row.op is Operation.MERGE]
+        assert len(merges) == 1
+        assert report.merges_deduplicated == 1
+
+    def test_rows_pruned_and_renumbered(self):
+        iom = plan(SELF_UNION)
+        optimized, report = QueryOptimizer().optimize(iom)
+        assert report.rows_saved == report.retrieves_deduplicated + report.merges_deduplicated
+        # Renumbering leaves a dense 1..n sequence.
+        assert [row.result.index for row in optimized] == list(
+            range(1, len(optimized) + 1)
+        )
+
+    def test_paper_plan_is_already_optimal(self):
+        from tests.integration.conftest import PAPER_ALGEBRA
+
+        iom = plan(PAPER_ALGEBRA)
+        optimized, report = QueryOptimizer().optimize(iom)
+        assert report.rows_saved == 0
+        assert [row.cells(True) for row in optimized] == [row.cells(True) for row in iom]
+
+    def test_optimizer_is_idempotent(self):
+        iom = plan(SELF_UNION)
+        once, _ = QueryOptimizer().optimize(iom)
+        twice, report = QueryOptimizer().optimize(once)
+        assert [row.cells(True) for row in twice] == [row.cells(True) for row in once]
+        assert report.rows_saved == 0
+
+
+class TestSemanticsPreserved:
+    def test_optimized_plan_gives_same_relation_and_tags(self):
+        pqp_naive = build_paper_federation()
+        pqp_naive._optimizer = None  # disable optimization
+        pqp_opt = build_paper_federation()
+        naive = pqp_naive.run_algebra(SELF_UNION)
+        optimized = pqp_opt.run_algebra(SELF_UNION)
+        assert naive.relation == optimized.relation
+
+    def test_optimized_plan_ships_fewer_tuples(self):
+        pqp_naive = build_paper_federation()
+        pqp_naive._optimizer = None
+        pqp_opt = build_paper_federation()
+        pqp_naive.run_algebra(SELF_UNION)
+        pqp_opt.run_algebra(SELF_UNION)
+        naive_stats = pqp_naive.registry.total_stats()
+        optimized_stats = pqp_opt.registry.total_stats()
+        assert optimized_stats.queries < naive_stats.queries
+        assert optimized_stats.tuples_shipped < naive_stats.tuples_shipped

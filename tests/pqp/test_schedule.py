@@ -1,0 +1,84 @@
+"""Unit tests for the plan scheduling simulator."""
+
+import pytest
+
+from repro.datasets.paper import build_paper_federation
+from repro.lqp.cost import CostModel
+from repro.pqp.schedule import schedule_plan
+
+from tests.integration.conftest import PAPER_SQL
+
+
+@pytest.fixture(scope="module")
+def paper_run():
+    pqp = build_paper_federation()
+    return pqp.run_sql(PAPER_SQL)
+
+
+class TestScheduling:
+    def test_dependencies_respected(self, paper_run):
+        schedule = schedule_plan(paper_run.iom, paper_run.trace)
+        finish = {item.row.result.index: item.finish for item in schedule.rows}
+        for item in schedule.rows:
+            for ref in item.row.referenced_results():
+                assert item.start >= finish[ref.index]
+
+    def test_same_lqp_rows_serialize(self, paper_run):
+        schedule = schedule_plan(paper_run.iom, paper_run.trace)
+        ad_rows = sorted(
+            (item for item in schedule.rows if item.location == "AD"),
+            key=lambda item: item.start,
+        )
+        for earlier, later in zip(ad_rows, ad_rows[1:]):
+            assert later.start >= earlier.finish
+
+    def test_parallelism_beats_serial(self, paper_run):
+        # The three merge retrieves hit different databases, so the
+        # makespan is strictly below the serial cost.
+        schedule = schedule_plan(paper_run.iom, paper_run.trace)
+        assert schedule.makespan < schedule.serial_cost
+        assert schedule.speedup > 1.0
+
+    def test_critical_path_is_connected_and_ends_last(self, paper_run):
+        schedule = schedule_plan(paper_run.iom, paper_run.trace)
+        path = schedule.critical_path
+        assert path[-1].finish == schedule.makespan
+        for earlier, later in zip(path, path[1:]):
+            refs = {ref.index for ref in later.row.referenced_results()}
+            assert earlier.row.result.index in refs
+
+    def test_trace_tuple_counts_drive_costs(self, paper_run):
+        cheap = schedule_plan(
+            paper_run.iom,
+            paper_run.trace,
+            default_cost=CostModel(per_query=1.0, per_tuple=0.0),
+        )
+        shipping_heavy = schedule_plan(
+            paper_run.iom,
+            paper_run.trace,
+            default_cost=CostModel(per_query=1.0, per_tuple=10.0),
+        )
+        assert shipping_heavy.serial_cost > cheap.serial_cost
+
+    def test_per_database_cost_models(self, paper_run):
+        slow_cd = schedule_plan(
+            paper_run.iom,
+            paper_run.trace,
+            local_costs={"CD": CostModel(per_query=100.0, per_tuple=0.0)},
+        )
+        uniform = schedule_plan(paper_run.iom, paper_run.trace)
+        assert slow_cd.makespan > uniform.makespan
+        # A slow commercial source ends up on the critical path.
+        assert any(item.location == "CD" for item in slow_cd.critical_path)
+
+    def test_schedule_without_trace_uses_defaults(self, paper_run):
+        schedule = schedule_plan(paper_run.iom)
+        assert schedule.serial_cost > 0
+        assert len(schedule.rows) == len(paper_run.iom)
+
+    def test_render(self, paper_run):
+        schedule = schedule_plan(paper_run.iom, paper_run.trace)
+        text = schedule.render()
+        assert "critical path:" in text
+        assert "speedup" in text
+        assert "R(10)" in text

@@ -1,0 +1,100 @@
+"""Unit tests for the Syntax Analyzer (expression → POM)."""
+
+import pytest
+
+from repro.algebra_lang import parse_expression
+from repro.core.predicate import Literal
+from repro.errors import TranslationError
+from repro.pqp.matrix import Operation, ResultOperand, SchemeOperand
+from repro.pqp.syntax_analyzer import SyntaxAnalyzer
+
+
+@pytest.fixture
+def analyzer():
+    return SyntaxAnalyzer()
+
+
+def analyze(analyzer, text):
+    return analyzer.analyze(parse_expression(text))
+
+
+class TestBasicOperations:
+    def test_select_row(self, analyzer):
+        pom = analyze(analyzer, 'PALUMNUS [DEGREE = "MBA"]')
+        row = pom.rows[0]
+        assert row.op is Operation.SELECT
+        assert row.lhr == SchemeOperand("PALUMNUS")
+        assert row.rha == Literal("MBA")
+        assert row.rhr is None
+
+    def test_numeric_literal(self, analyzer):
+        pom = analyze(analyzer, "PFINANCE [YEAR = 1989]")
+        assert pom.rows[0].rha == Literal(1989)
+
+    def test_restrict_row(self, analyzer):
+        pom = analyze(analyzer, "(PORGANIZATION [ONAME]) [CEO = CEO]")
+        assert pom.rows[-1].op is Operation.RESTRICT
+        assert pom.rows[-1].rha == "CEO"
+
+    def test_join_row_emits_operands_first(self, analyzer):
+        pom = analyze(analyzer, '(PALUMNUS [DEGREE = "MBA"]) [AID# = AID#] PCAREER')
+        assert [row.op for row in pom] == [Operation.SELECT, Operation.JOIN]
+        join = pom.rows[1]
+        assert join.lhr == ResultOperand(1)
+        assert join.rhr == SchemeOperand("PCAREER")
+
+    def test_project_row(self, analyzer):
+        pom = analyze(analyzer, "(PALUMNUS [ANAME]) ")
+        assert pom.rows[0].op is Operation.PROJECT
+        assert pom.rows[0].lha == ("ANAME",)
+
+    def test_set_operations(self, analyzer):
+        pom = analyze(analyzer, "(PALUMNUS [ANAME]) UNION (PSTUDENT [SNAME])")
+        assert [row.op for row in pom] == [
+            Operation.PROJECT,
+            Operation.PROJECT,
+            Operation.UNION,
+        ]
+        union = pom.rows[2]
+        assert union.lhr == ResultOperand(1)
+        assert union.rhr == ResultOperand(2)
+
+    def test_coalesce_row(self, analyzer):
+        pom = analyze(analyzer, "(PALUMNUS [ANAME, MAJOR]) [ANAME COALESCE MAJOR AS X]")
+        coalesce = pom.rows[-1]
+        assert coalesce.op is Operation.COALESCE
+        assert coalesce.lha == "ANAME"
+        assert coalesce.rha == "MAJOR"
+        assert coalesce.output == "X"
+
+    def test_bare_scheme_reference_rejected(self, analyzer):
+        with pytest.raises(TranslationError):
+            analyze(analyzer, "PALUMNUS")
+
+
+class TestNumbering:
+    def test_post_order_numbering_matches_paper(self, analyzer):
+        pom = analyze(
+            analyzer,
+            '((((PALUMNUS [DEGREE = "MBA"]) [AID# = AID#] PCAREER)'
+            " [ONAME = ONAME] PORGANIZATION) [CEO = ANAME]) [ONAME, CEO]",
+        )
+        assert [str(row.result) for row in pom] == [
+            "R(1)", "R(2)", "R(3)", "R(4)", "R(5)",
+        ]
+        assert pom.rows[3].lhr == ResultOperand(3)
+        assert pom.rows[4].lhr == ResultOperand(4)
+
+    def test_deep_right_subtrees_number_operands_first(self, analyzer):
+        pom = analyze(
+            analyzer,
+            '(PALUMNUS [DEGREE = "MBA"]) [AID# = AID#] (PCAREER [POSITION = "CEO"])',
+        )
+        assert [row.op for row in pom] == [
+            Operation.SELECT,
+            Operation.SELECT,
+            Operation.JOIN,
+        ]
+        join = pom.rows[2]
+        assert join.lhr == ResultOperand(1)
+        assert join.rhr == ResultOperand(2)

@@ -1,0 +1,122 @@
+"""Property-based tests for the front-end languages: render/parse round
+trips over randomly generated trees, and domain-transform laws."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra_lang.parser import parse_expression
+from repro.core.expression import (
+    Coalesce,
+    Difference,
+    Intersect,
+    Join,
+    Product,
+    Project,
+    Restrict,
+    SchemeRef,
+    Select,
+    Union,
+)
+from repro.core.predicate import Theta
+from repro.integration.domains import city_state_to_state, money_text_to_float
+from repro.sql.parser import parse_sql
+
+NAMES = st.sampled_from(["P1", "P2", "AID#", "ONAME", "CEO", "DEGREE"])
+THETAS = st.sampled_from(list(Theta))
+LITERALS = st.one_of(
+    st.sampled_from(["MBA", "High Tech", "x"]),
+    st.integers(min_value=-999, max_value=9999),
+)
+
+
+def expression_trees(depth: int = 3):
+    leaves = st.builds(SchemeRef, NAMES)
+
+    def extend(children):
+        return st.one_of(
+            st.builds(Select, children, NAMES, THETAS, LITERALS),
+            st.builds(Restrict, children, NAMES, THETAS, NAMES),
+            st.builds(Join, children, NAMES, THETAS, NAMES, children),
+            st.builds(
+                Project,
+                children,
+                st.lists(NAMES, min_size=1, max_size=3, unique=True),
+            ),
+            st.builds(Union, children, children),
+            st.builds(Difference, children, children),
+            st.builds(Product, children, children),
+            st.builds(Intersect, children, children),
+            st.builds(Coalesce, children, NAMES, NAMES, NAMES),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=8)
+
+
+class TestAlgebraRoundTrip:
+    @given(expression_trees())
+    @settings(max_examples=150)
+    def test_render_parse_fixpoint(self, tree):
+        rendered = tree.render()
+        assert parse_expression(rendered) == tree
+
+    @given(expression_trees())
+    @settings(max_examples=50)
+    def test_render_is_stable(self, tree):
+        once = tree.render()
+        assert parse_expression(once).render() == once
+
+
+class TestSqlRoundTrip:
+    @st.composite
+    @staticmethod
+    def statements(draw, depth=2):
+        from repro.sql.ast import ComparisonPredicate, InPredicate, SelectStatement
+
+        select_list = tuple(
+            draw(st.lists(NAMES, min_size=1, max_size=3, unique=True))
+        )
+        tables = tuple(draw(st.lists(NAMES, min_size=1, max_size=2, unique=True)))
+        predicates = []
+        for _ in range(draw(st.integers(min_value=0, max_value=2))):
+            if depth > 0 and draw(st.booleans()):
+                predicates.append(
+                    InPredicate(
+                        draw(NAMES), draw(TestSqlRoundTrip.statements(depth=depth - 1))
+                    )
+                )
+            else:
+                right_is_attr = draw(st.booleans())
+                right = draw(NAMES) if right_is_attr else draw(LITERALS)
+                predicates.append(
+                    ComparisonPredicate(draw(NAMES), draw(THETAS), right, right_is_attr)
+                )
+        return SelectStatement(select_list, tables, tuple(predicates))
+
+    @given(statements())
+    @settings(max_examples=100)
+    def test_render_parse_fixpoint(self, statement):
+        assert parse_sql(statement.render()) == statement
+
+
+class TestDomainTransformProperties:
+    @given(st.sampled_from(["NY", "MA", "CA", "MI", "TX"]),
+           st.sampled_from(["Boston", "New York", "So. San Francisco", "Ann Arbor"]))
+    def test_city_state_always_returns_the_state(self, state, city):
+        assert city_state_to_state(f"{city}, {state}") == state
+
+    @given(st.sampled_from(["NY", "MA", "CA"]))
+    def test_bare_state_fixpoint(self, state):
+        assert city_state_to_state(city_state_to_state(state)) == state
+
+    @given(st.floats(min_value=0.001, max_value=999.0, allow_nan=False))
+    def test_money_scale_ordering(self, number):
+        text = f"{number:.3f}"
+        assert money_text_to_float(text + " bil") == pytest.approx(
+            money_text_to_float(text + " mil") * 1000
+        )
+
+    @given(st.floats(min_value=0.0, max_value=1e6, allow_nan=False))
+    def test_money_negation_is_symmetric(self, number):
+        text = f"{number:.2f} mil"
+        assert money_text_to_float("-" + text) == -money_text_to_float(text)

@@ -1,0 +1,88 @@
+"""Property-based tests for the quality extensions and the baseline.
+
+Invariants:
+
+- credibility-driven Merge never loses a key that any source knows,
+- on conflict-free inputs it degrades to the paper's plain Merge,
+- origins in any merged result name only contributing databases,
+- tuple scores are bounded by the model's score range,
+- the untagged baseline's outer-total-join agrees with the polygen Merge's
+  data portion on conflict-free inputs.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.derived import merge
+from repro.quality.credibility import CredibilityModel, credibility_merge
+
+from tests.property.strategies import DATABASES, keyed_relation_sets
+
+
+def _models():
+    return st.builds(
+        CredibilityModel,
+        st.fixed_dictionaries(
+            {database: st.floats(min_value=0.0, max_value=1.0) for database in DATABASES}
+        ),
+    )
+
+
+class TestCredibilityMergeProperties:
+    @given(keyed_relation_sets(), _models())
+    @settings(max_examples=50)
+    def test_no_key_is_ever_lost(self, operands, model):
+        out = credibility_merge(operands, ["K"], model)
+        expected = set()
+        for relation in operands:
+            expected |= {row.data[0] for row in relation}
+        assert {row.data[0] for row in out} == expected
+
+    @given(keyed_relation_sets(), _models())
+    @settings(max_examples=50)
+    def test_conflict_free_inputs_match_plain_merge(self, operands, model):
+        # keyed_relation_sets generates agreeing values per key, so the
+        # credibility arbitration never fires and both merges coincide.
+        assert credibility_merge(operands, ["K"], model) == merge(operands, ["K"])
+
+    @given(keyed_relation_sets(), _models())
+    @settings(max_examples=50)
+    def test_origins_only_name_contributors(self, operands, model):
+        contributors = set()
+        for relation in operands:
+            contributors |= relation.all_origins()
+        out = credibility_merge(operands, ["K"], model)
+        assert out.all_origins() <= contributors
+        assert out.all_intermediates() <= contributors
+
+    @given(keyed_relation_sets(), _models())
+    @settings(max_examples=50)
+    def test_tuple_scores_bounded(self, operands, model):
+        out = credibility_merge(operands, ["K"], model)
+        for score, _row in model.rank(out):
+            assert 0.0 <= score <= 1.0
+
+    @given(keyed_relation_sets(), _models(), st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=50)
+    def test_filter_is_a_restriction_of_rank(self, operands, model, threshold):
+        out = credibility_merge(operands, ["K"], model)
+        kept = model.filter(out, threshold)
+        assert kept.cardinality <= out.cardinality
+        for row in kept:
+            assert model.tuple_score(row) >= threshold
+
+
+class TestBaselineAgreementProperties:
+    @given(keyed_relation_sets())
+    @settings(max_examples=50, deadline=None)
+    def test_untagged_outer_total_join_matches_merge_data(self, operands):
+        from repro.baseline.global_model import _outer_total_join
+        from repro.relational.relation import Relation
+
+        tagged = merge(operands, ["K"])
+        untagged = Relation(operands[0].attributes, operands[0].data_rows())
+        for relation in operands[1:]:
+            untagged = _outer_total_join(
+                untagged, Relation(relation.attributes, relation.data_rows()), ["K"]
+            )
+        assert set(untagged.rows) == set(tagged.data_rows())

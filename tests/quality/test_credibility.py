@@ -1,0 +1,155 @@
+"""Unit tests for credibility scoring and conflict resolution."""
+
+import pytest
+
+from repro.core.cell import Cell
+from repro.core.relation import PolygenRelation
+from repro.core.tags import sources
+from repro.errors import InvalidOperandError, PolygenError
+from repro.quality.credibility import (
+    CredibilityModel,
+    credibility_coalesce,
+    credibility_merge,
+)
+
+
+def cell(datum, origins=(), intermediates=()):
+    return Cell.of(datum, origins, intermediates)
+
+
+class TestModel:
+    def test_scores_and_default(self):
+        model = CredibilityModel({"CD": 0.9}, default=0.4)
+        assert model.score("CD") == 0.9
+        assert model.score("XX") == 0.4
+
+    def test_score_bounds_enforced(self):
+        with pytest.raises(PolygenError):
+            CredibilityModel({"CD": 1.5})
+        with pytest.raises(PolygenError):
+            CredibilityModel(default=-0.1)
+        model = CredibilityModel()
+        with pytest.raises(PolygenError):
+            model.set_score("AD", 2.0)
+
+    def test_cell_score_uses_best_origin(self):
+        model = CredibilityModel({"AD": 0.2, "CD": 0.9})
+        corroborated = cell("x", ["AD", "CD"])
+        assert model.cell_score(corroborated) == 0.9
+
+    def test_nil_cell_scores_zero(self):
+        assert CredibilityModel().cell_score(Cell.nil()) == 0.0
+
+    def test_tuple_score_is_weakest_link(self):
+        model = CredibilityModel({"AD": 0.2, "CD": 0.9})
+        relation = PolygenRelation.from_cells(
+            ["A", "B"], [[cell("x", ["CD"]), cell("y", ["AD"])]]
+        )
+        assert model.tuple_score(relation.tuples[0]) == 0.2
+
+    def test_tuple_score_ignores_nil_cells(self):
+        model = CredibilityModel({"CD": 0.9})
+        relation = PolygenRelation.from_cells(
+            ["A", "B"], [[cell("x", ["CD"]), Cell.nil()]]
+        )
+        assert model.tuple_score(relation.tuples[0]) == 0.9
+
+    def test_rank_most_credible_first(self):
+        model = CredibilityModel({"AD": 0.2, "CD": 0.9})
+        relation = PolygenRelation.from_cells(
+            ["A"],
+            [[cell("low", ["AD"])], [cell("high", ["CD"])]],
+        )
+        ranked = model.rank(relation)
+        assert [row.data[0] for _, row in ranked] == ["high", "low"]
+        assert ranked[0][0] == 0.9
+
+    def test_filter_threshold(self):
+        model = CredibilityModel({"AD": 0.2, "CD": 0.9})
+        relation = PolygenRelation.from_cells(
+            ["A"],
+            [[cell("low", ["AD"])], [cell("high", ["CD"])]],
+        )
+        kept = model.filter(relation, 0.5)
+        assert [row.data[0] for row in kept] == ["high"]
+
+
+class TestCredibilityCoalesce:
+    def build(self, left, right):
+        return PolygenRelation.from_cells(
+            ["X", "Y"], [[left, right]]
+        )
+
+    def test_agreeing_cells_union_tags(self):
+        model = CredibilityModel()
+        relation = self.build(cell("v", ["AD"]), cell("v", ["CD"]))
+        out = credibility_coalesce(relation, "X", "Y", model, w="W")
+        assert out.tuples[0][0].origins == sources("AD", "CD")
+
+    def test_conflict_keeps_more_credible_side(self):
+        model = CredibilityModel({"AD": 0.3, "CD": 0.9})
+        relation = self.build(cell("from-ad", ["AD"]), cell("from-cd", ["CD"]))
+        out = credibility_coalesce(relation, "X", "Y", model)
+        winner = out.tuples[0][0]
+        assert winner.datum == "from-cd"
+        assert winner.origins == sources("CD")
+        # The losing source becomes an intermediate, not an origin.
+        assert "AD" in winner.intermediates
+
+    def test_tie_keeps_left(self):
+        model = CredibilityModel()
+        relation = self.build(cell("left", ["AD"]), cell("right", ["CD"]))
+        out = credibility_coalesce(relation, "X", "Y", model)
+        assert out.tuples[0][0].datum == "left"
+
+    def test_no_rows_are_dropped(self):
+        model = CredibilityModel({"AD": 0.3, "CD": 0.9})
+        relation = PolygenRelation.from_cells(
+            ["X", "Y"],
+            [
+                [cell("a", ["AD"]), cell("b", ["CD"])],
+                [cell("c", ["AD"]), cell("c", ["CD"])],
+            ],
+        )
+        out = credibility_coalesce(relation, "X", "Y", model)
+        assert out.cardinality == 2
+
+    def test_same_attribute_rejected(self):
+        with pytest.raises(InvalidOperandError):
+            credibility_coalesce(
+                PolygenRelation.from_cells(["X"], [[cell("a")]]),
+                "X",
+                "X",
+                CredibilityModel(),
+            )
+
+
+class TestCredibilityMerge:
+    def test_conflicting_sources_still_produce_a_row(self):
+        model = CredibilityModel({"A": 0.2, "B": 0.9})
+        low = PolygenRelation.from_data(["K", "V"], [["k1", "stale"]], origins=["A"])
+        high = PolygenRelation.from_data(["K", "V"], [["k1", "fresh"]], origins=["B"])
+        merged = credibility_merge([low, high], ["K"], model)
+        assert merged.cardinality == 1
+        row = merged.tuples[0]
+        assert row.data == ("k1", "fresh")
+        assert "A" in row[1].intermediates
+
+    def test_vanilla_merge_would_drop_the_row(self):
+        from repro.core.derived import merge
+
+        low = PolygenRelation.from_data(["K", "V"], [["k1", "stale"]], origins=["A"])
+        high = PolygenRelation.from_data(["K", "V"], [["k1", "fresh"]], origins=["B"])
+        assert merge([low, high], ["K"]).cardinality == 0
+
+    def test_disjoint_keys_behave_like_plain_merge(self):
+        from repro.core.derived import merge
+
+        model = CredibilityModel()
+        a = PolygenRelation.from_data(["K", "V"], [["k1", "x"]], origins=["A"])
+        b = PolygenRelation.from_data(["K", "W"], [["k2", "y"]], origins=["B"])
+        assert credibility_merge([a, b], ["K"], model) == merge([a, b], ["K"])
+
+    def test_requires_operands_and_key(self):
+        with pytest.raises(InvalidOperandError):
+            credibility_merge([], ["K"], CredibilityModel())

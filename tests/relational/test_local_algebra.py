@@ -1,0 +1,112 @@
+"""Unit tests for the untagged local relational algebra."""
+
+import pytest
+
+from repro.core.predicate import Theta
+from repro.errors import (
+    AttributeCollisionError,
+    InvalidOperandError,
+    UnionCompatibilityError,
+)
+from repro.relational import algebra
+from repro.relational.conditions import Comparison, Conjunction
+from repro.relational.relation import Relation
+
+
+@pytest.fixture
+def business():
+    return Relation(
+        ["BNAME", "IND"],
+        [("IBM", "High Tech"), ("BP", "Energy"), ("DEC", "High Tech")],
+    )
+
+
+class TestSelect:
+    def test_select_constant(self, business):
+        out = algebra.select(business, "IND", Theta.EQ, "High Tech")
+        assert set(out.rows) == {("IBM", "High Tech"), ("DEC", "High Tech")}
+
+    def test_select_none_never_matches(self):
+        r = Relation(["A"], [(None,), (1,)])
+        assert algebra.select(r, "A", Theta.EQ, None).cardinality == 0
+
+    def test_select_where(self, business):
+        condition = Conjunction(
+            [Comparison("IND", Theta.EQ, "High Tech"), Comparison("BNAME", Theta.NE, "IBM")]
+        )
+        out = algebra.select_where(business, condition)
+        assert out.rows == (("DEC", "High Tech"),)
+
+
+class TestProject:
+    def test_projection_dedupes(self, business):
+        out = algebra.project(business, ["IND"])
+        assert set(out.rows) == {("High Tech",), ("Energy",)}
+
+    def test_projection_order(self, business):
+        out = algebra.project(business, ["IND", "BNAME"])
+        assert out.attributes == ("IND", "BNAME")
+
+    def test_empty_projection_rejected(self, business):
+        with pytest.raises(InvalidOperandError):
+            algebra.project(business, [])
+
+
+class TestProductAndJoin:
+    def test_product(self):
+        a = Relation(["A"], [(1,), (2,)])
+        b = Relation(["B"], [("x",)])
+        out = algebra.product(a, b)
+        assert set(out.rows) == {(1, "x"), (2, "x")}
+
+    def test_product_collision(self):
+        a = Relation(["A"], [(1,)])
+        with pytest.raises(AttributeCollisionError):
+            algebra.product(a, a)
+
+    def test_equi_join_uses_index(self):
+        left = Relation(["K", "V"], [(1, "a"), (2, "b")])
+        right = Relation(["J", "W"], [(1, "x"), (3, "z")])
+        out = algebra.join(left, right, "K", Theta.EQ, "J")
+        assert out.rows == ((1, "a", 1, "x"),)
+
+    def test_equi_join_none_keys_never_match(self):
+        left = Relation(["K"], [(None,)])
+        right = Relation(["J"], [(None,)])
+        assert algebra.join(left, right, "K", Theta.EQ, "J").cardinality == 0
+
+    def test_theta_join(self):
+        left = Relation(["K"], [(1,), (5,)])
+        right = Relation(["J"], [(3,)])
+        out = algebra.join(left, right, "K", Theta.GT, "J")
+        assert out.rows == ((5, 3),)
+
+    def test_join_shared_attribute_rejected(self):
+        left = Relation(["K", "X"], [(1, "a")])
+        right = Relation(["J", "X"], [(1, "b")])
+        with pytest.raises(AttributeCollisionError):
+            algebra.join(left, right, "K", Theta.EQ, "J")
+
+
+class TestSetOperators:
+    def test_union_dedupes(self):
+        a = Relation(["A"], [(1,), (2,)])
+        b = Relation(["A"], [(2,), (3,)])
+        assert algebra.union(a, b).cardinality == 3
+
+    def test_union_incompatible(self):
+        with pytest.raises(UnionCompatibilityError):
+            algebra.union(Relation(["A"]), Relation(["B"]))
+
+    def test_difference(self):
+        a = Relation(["A"], [(1,), (2,)])
+        b = Relation(["A"], [(2,)])
+        assert algebra.difference(a, b).rows == ((1,),)
+
+    def test_difference_incompatible(self):
+        with pytest.raises(UnionCompatibilityError):
+            algebra.difference(Relation(["A"]), Relation(["B"]))
+
+    def test_rename(self, business):
+        out = algebra.rename(business, {"BNAME": "ONAME"})
+        assert out.attributes == ("ONAME", "IND")

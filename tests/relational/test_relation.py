@@ -1,0 +1,67 @@
+"""Unit tests for the untagged local relation type."""
+
+import pytest
+
+from repro.errors import DegreeMismatchError, UnknownAttributeError
+from repro.relational.relation import Relation
+
+
+class TestConstruction:
+    def test_rows_dedupe(self):
+        r = Relation(["A"], [("x",), ("x",), ("y",)])
+        assert r.cardinality == 2
+
+    def test_degree_mismatch(self):
+        with pytest.raises(DegreeMismatchError):
+            Relation(["A", "B"], [("x",)])
+
+    def test_iteration_order_is_insertion(self):
+        r = Relation(["A"], [("b",), ("a",)])
+        assert list(r) == [("b",), ("a",)]
+
+    def test_truthy_when_empty(self):
+        assert Relation(["A"])
+
+
+class TestAccessors:
+    def setup_method(self):
+        self.r = Relation(["BNAME", "IND"], [("IBM", "High Tech"), ("BP", "Energy")])
+
+    def test_column(self):
+        assert self.r.column("IND") == ("High Tech", "Energy")
+
+    def test_column_unknown(self):
+        with pytest.raises(UnknownAttributeError):
+            self.r.column("Z")
+
+    def test_row_dict(self):
+        assert self.r.row_dict(("IBM", "High Tech")) == {
+            "BNAME": "IBM",
+            "IND": "High Tech",
+        }
+
+    def test_degree_and_len(self):
+        assert self.r.degree == 2
+        assert len(self.r) == 2
+
+
+class TestDerivation:
+    def test_rename(self):
+        r = Relation(["BNAME"], [("IBM",)]).rename({"BNAME": "ONAME"})
+        assert r.attributes == ("ONAME",)
+
+    def test_replace_rows(self):
+        r = Relation(["A"], [("x",)]).replace_rows([("y",)])
+        assert r.rows == (("y",),)
+
+    def test_map_values(self):
+        r = Relation(["A", "B"], [("x", "y")])
+        out = r.map_values(lambda attr, value: f"{attr}:{value}")
+        assert out.rows == (("A:x", "B:y"),)
+
+    def test_equality_is_set_semantics(self):
+        assert Relation(["A"], [("x",), ("y",)]) == Relation(["A"], [("y",), ("x",)])
+        assert Relation(["A"], [("x",)]) != Relation(["B"], [("x",)])
+
+    def test_hashable(self):
+        assert len({Relation(["A"], [("x",)]), Relation(["A"], [("x",)])}) == 1

@@ -1,0 +1,136 @@
+"""Unit tests for local relation schemas and the LocalDatabase engine."""
+
+import pytest
+
+from repro.core.predicate import Theta
+from repro.errors import (
+    ConstraintViolationError,
+    SchemaValidationError,
+    UnknownRelationError,
+)
+from repro.relational.conditions import Comparison, Conjunction, TrueCondition
+from repro.relational.database import LocalDatabase
+from repro.relational.schema import RelationSchema
+
+
+class TestRelationSchema:
+    def test_basic(self):
+        s = RelationSchema("ALUMNUS", ["AID#", "ANAME", "DEG", "MAJ"], key=["AID#"])
+        assert s.degree == 4
+        assert s.key == ("AID#",)
+        assert s.key_indices() == (0,)
+
+    def test_composite_key(self):
+        s = RelationSchema("CAREER", ["AID#", "BNAME", "POS"], key=["AID#", "BNAME"])
+        assert s.key_indices() == (0, 1)
+
+    def test_key_must_exist(self):
+        with pytest.raises(SchemaValidationError):
+            RelationSchema("T", ["A"], key=["B"])
+
+    def test_duplicate_key_attr_rejected(self):
+        with pytest.raises(SchemaValidationError):
+            RelationSchema("T", ["A", "B"], key=["A", "A"])
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaValidationError):
+            RelationSchema("", ["A"])
+
+    def test_str_marks_key(self):
+        s = RelationSchema("T", ["A", "B"], key=["A"])
+        assert str(s) == "T(A*, B)"
+
+
+class TestLocalDatabase:
+    def setup_method(self):
+        self.db = LocalDatabase("AD")
+        self.db.create(RelationSchema("BUSINESS", ["BNAME", "IND"], key=["BNAME"]))
+
+    def test_create_and_names(self):
+        assert self.db.relation_names() == ("BUSINESS",)
+        assert "BUSINESS" in self.db
+
+    def test_double_create_rejected(self):
+        with pytest.raises(ConstraintViolationError):
+            self.db.create(RelationSchema("BUSINESS", ["X"]))
+
+    def test_insert_and_retrieve(self):
+        self.db.insert("BUSINESS", [("IBM", "High Tech"), ("BP", "Energy")])
+        assert self.db.relation("BUSINESS").cardinality == 2
+
+    def test_insert_wrong_degree(self):
+        with pytest.raises(ConstraintViolationError):
+            self.db.insert("BUSINESS", [("IBM",)])
+
+    def test_key_uniqueness_enforced(self):
+        self.db.insert("BUSINESS", [("IBM", "High Tech")])
+        with pytest.raises(ConstraintViolationError):
+            self.db.insert("BUSINESS", [("IBM", "Energy")])
+
+    def test_key_uniqueness_within_batch(self):
+        with pytest.raises(ConstraintViolationError):
+            self.db.insert("BUSINESS", [("IBM", "a"), ("IBM", "b")])
+
+    def test_nil_key_rejected(self):
+        with pytest.raises(ConstraintViolationError):
+            self.db.insert("BUSINESS", [(None, "Energy")])
+
+    def test_unknown_relation(self):
+        with pytest.raises(UnknownRelationError):
+            self.db.relation("NOPE")
+        with pytest.raises(UnknownRelationError):
+            self.db.schema("NOPE")
+
+    def test_select(self):
+        self.db.insert("BUSINESS", [("IBM", "High Tech"), ("BP", "Energy")])
+        out = self.db.select("BUSINESS", "IND", Theta.EQ, "Energy")
+        assert out.rows == (("BP", "Energy"),)
+
+    def test_select_where_conjunction(self):
+        self.db.insert("BUSINESS", [("IBM", "High Tech"), ("BP", "Energy")])
+        condition = Conjunction(
+            [
+                Comparison("IND", Theta.EQ, "High Tech"),
+                Comparison("BNAME", Theta.NE, "DEC"),
+            ]
+        )
+        out = self.db.select_where("BUSINESS", condition)
+        assert out.rows == (("IBM", "High Tech"),)
+
+    def test_load_shortcut(self):
+        db = LocalDatabase("CD")
+        db.load(RelationSchema("FIRM", ["FNAME", "CEO"]), [("IBM", "John Ackers")])
+        assert db.relation("FIRM").cardinality == 1
+
+
+class TestConditions:
+    def test_true_condition(self):
+        assert TrueCondition().evaluate({}) is True
+        assert TrueCondition().attributes() == ()
+
+    def test_comparison_against_value(self):
+        c = Comparison("DEG", Theta.EQ, "MBA")
+        assert c.evaluate({"DEG": "MBA"})
+        assert not c.evaluate({"DEG": "MS"})
+        assert c.attributes() == ("DEG",)
+        assert str(c) == 'DEG = "MBA"'
+
+    def test_comparison_between_attributes(self):
+        c = Comparison("A", Theta.LT, right_attribute="B")
+        assert c.evaluate({"A": 1, "B": 2})
+        assert c.attributes() == ("A", "B")
+        assert str(c) == "A < B"
+
+    def test_conjunction_all_must_hold(self):
+        c = Conjunction([Comparison("A", Theta.EQ, 1), Comparison("B", Theta.EQ, 2)])
+        assert c.evaluate({"A": 1, "B": 2})
+        assert not c.evaluate({"A": 1, "B": 3})
+
+    def test_empty_conjunction_is_true(self):
+        c = Conjunction([])
+        assert c.evaluate({"anything": 1})
+        assert str(c) == "TRUE"
+
+    def test_conjunction_attribute_dedup(self):
+        c = Conjunction([Comparison("A", Theta.EQ, 1), Comparison("A", Theta.NE, 2)])
+        assert c.attributes() == ("A",)

@@ -1,0 +1,74 @@
+"""Tests for the package-level public API and the error hierarchy."""
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestLazyExports:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_build_paper_federation(self):
+        pqp = repro.build_paper_federation()
+        assert pqp.registry.names() == ("AD", "PD", "CD")
+
+    def test_schema_and_databases(self):
+        assert len(repro.paper_polygen_schema()) == 6
+        assert set(repro.paper_databases()) == {"AD", "PD", "CD"}
+
+    def test_processor_class(self):
+        from repro.pqp.processor import PolygenQueryProcessor
+
+        assert repro.PolygenQueryProcessor is PolygenQueryProcessor
+
+    def test_unknown_attribute(self):
+        with pytest.raises(AttributeError):
+            repro.nonexistent_thing
+
+
+class TestErrorHierarchy:
+    def test_every_error_is_a_polygen_error(self):
+        for name in errors.__all__:
+            exception_class = getattr(errors, name)
+            assert issubclass(exception_class, errors.PolygenError)
+
+    def test_key_errors_render_cleanly(self):
+        # KeyError subclasses normally repr() their message; ours override
+        # __str__ so error text reads naturally.
+        err = errors.UnknownSchemeError("NOPE")
+        assert str(err) == "unknown polygen scheme 'NOPE'"
+        err = errors.UnknownDatabaseError("XX")
+        assert "XX" in str(err) and not str(err).startswith('"')
+
+    def test_catch_all_family(self):
+        from repro.core.heading import Heading
+
+        with pytest.raises(errors.PolygenError):
+            Heading([])
+
+
+class TestSelfJoinLimitation:
+    """Self-joins of a polygen scheme are not expressible (documented).
+
+    The paper's SQL subset has no table aliases, so a self-join would need
+    two copies of the same polygen relation with colliding attribute names;
+    the Cartesian product rejects that explicitly rather than guessing.
+    """
+
+    def test_self_join_raises_attribute_collision(self):
+        pqp = repro.build_paper_federation()
+        from repro.errors import AttributeCollisionError, ExecutionError
+
+        with pytest.raises((AttributeCollisionError, ExecutionError)) as err:
+            pqp.run_algebra("PALUMNUS [AID# = AID#] PALUMNUS")
+        assert "share" in str(err.value) or "collision" in str(err.value).lower()
+
+    def test_self_union_is_fine(self):
+        pqp = repro.build_paper_federation()
+        result = pqp.run_algebra("(PALUMNUS [ANAME]) UNION (PALUMNUS [ANAME])")
+        assert result.relation.cardinality == 8
+        # The optimizer deduplicated the two ALUMNUS retrieves.
+        retrieves = [row for row in result.iom if row.op.value == "Retrieve"]
+        assert len(retrieves) == 1
