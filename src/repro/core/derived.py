@@ -29,11 +29,11 @@ from __future__ import annotations
 from typing import Any, Iterable, Sequence, Tuple
 
 from repro.core.algebra import coalesce, product, restrict
-from repro.core.cell import Cell, ConflictPolicy
+from repro.core.cell import ConflictPolicy
 from repro.core.predicate import AttributeRef, Literal, Theta
 from repro.core.relation import PolygenRelation
-from repro.core.row import PolygenTuple
 from repro.errors import AttributeCollisionError, InvalidOperandError
+from repro.storage import kernels
 
 __all__ = [
     "RHS_SUFFIX",
@@ -119,28 +119,14 @@ def intersect(p1: PolygenRelation, p2: PolygenRelation) -> PolygenRelation:
       sets of both tuples (each of the *n* Restricts contributes its
       attribute pair's origins to every cell).
 
-    This function computes that closed form directly; a test asserts its
-    equivalence with the primitive composition.
+    This function computes that closed form directly (as a columnar kernel);
+    a test asserts its equivalence with the primitive composition.
     """
     if p1.heading != p2.heading:
         raise InvalidOperandError(
             "intersection operands must share a heading"
         )
-    right_by_data: dict[tuple, PolygenTuple] = {}
-    for row in p2:
-        existing = right_by_data.get(row.data)
-        right_by_data[row.data] = row if existing is None else existing.merge_tags(row)
-
-    merged: dict[tuple, PolygenTuple] = {}
-    for row in p1:
-        other = right_by_data.get(row.data)
-        if other is None:
-            continue
-        mediators = row.origins() | other.origins()
-        combined = row.merge_tags(other).with_intermediates(mediators)
-        existing = merged.get(row.data)
-        merged[row.data] = combined if existing is None else existing.merge_tags(combined)
-    return PolygenRelation(p1.heading, merged.values())
+    return PolygenRelation.from_store(kernels.intersect(p1.store, p2.store))
 
 
 # ---------------------------------------------------------------------------
@@ -152,18 +138,6 @@ def _key_positions(p: PolygenRelation, names: Sequence[str]) -> Tuple[int, ...]:
     if not names:
         raise InvalidOperandError("outer join requires at least one key attribute")
     return p.heading.indices(names)
-
-
-def _key_data(row: PolygenTuple, positions: Sequence[int]):
-    data = tuple(row[i].datum for i in positions)
-    return None if any(value is None for value in data) else data
-
-
-def _key_origins(row: PolygenTuple, positions: Sequence[int]):
-    out: frozenset[str] = frozenset()
-    for i in positions:
-        out |= row[i].origins
-    return out
 
 
 def outer_join(
@@ -187,36 +161,9 @@ def outer_join(
     heading = p1.heading.concat(p2.heading)
     left_pos = _key_positions(p1, [left for left, _ in key_pairs])
     right_pos = _key_positions(p2, [right for _, right in key_pairs])
-
-    right_index: dict[tuple, list[int]] = {}
-    for j, row in enumerate(p2):
-        key = _key_data(row, right_pos)
-        if key is not None:
-            right_index.setdefault(key, []).append(j)
-
-    rows: list[PolygenTuple] = []
-    matched_right: set[int] = set()
-    for left_row in p1:
-        key = _key_data(left_row, left_pos)
-        left_sources = _key_origins(left_row, left_pos)
-        matches = right_index.get(key, []) if key is not None else []
-        if matches:
-            for j in matches:
-                right_row = p2.tuples[j]
-                mediators = left_sources | _key_origins(right_row, right_pos)
-                rows.append(left_row.concat(right_row).with_intermediates(mediators))
-                matched_right.add(j)
-        else:
-            pad = PolygenTuple(Cell.nil(left_sources) for _ in p2.heading)
-            rows.append(left_row.with_intermediates(left_sources).concat(pad))
-
-    for j, right_row in enumerate(p2):
-        if j in matched_right:
-            continue
-        right_sources = _key_origins(right_row, right_pos)
-        pad = PolygenTuple(Cell.nil(right_sources) for _ in p1.heading)
-        rows.append(pad.concat(right_row.with_intermediates(right_sources)))
-    return PolygenRelation(heading, rows)
+    return PolygenRelation.from_store(
+        kernels.outer_join(p1.store, p2.store, heading, left_pos, right_pos)
+    )
 
 
 def _qualify_right(

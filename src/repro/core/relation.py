@@ -1,9 +1,18 @@
 """Polygen relations.
 
 A polygen relation of degree *n* is a finite set of *n*-tuples of cells
-(paper, §II).  This class stores tuples in insertion order for reproducible
-display, while enforcing set semantics: exact duplicate tuples (equal data
-*and* tags) are collapsed at construction.
+(paper, §II).  This class keeps that logical model — set semantics, with
+exact duplicate tuples (equal data *and* tags) collapsed at construction,
+insertion order preserved for reproducible display — but since the columnar
+refactor it is a thin *row-view facade* over a
+:class:`~repro.storage.columnar.ColumnarRelation`: per-attribute data
+columns plus per-attribute interned tag ids
+(:class:`~repro.storage.tag_pool.TagPool`).
+
+The paper's :class:`~repro.core.cell.Cell` / :class:`~repro.core.row.PolygenTuple`
+objects are materialized lazily the first time :attr:`PolygenRelation.tuples`
+is read, so query pipelines that stay inside the algebra never allocate a
+single cell.
 
 Tuples that agree on data but differ in tags may coexist inside a relation;
 the Project and Union operators merge them per the paper's definitions.
@@ -11,16 +20,36 @@ the Project and Union operators merge them per the paper's definitions.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Iterator, Mapping, Sequence, Tuple
+from typing import Any, Iterable, Iterator, List, Mapping, Sequence, Tuple
 
 from repro.core.cell import Cell
 from repro.core.heading import Heading
 from repro.core.row import PolygenTuple
 from repro.core.tags import SourceSet
-
-from repro.errors import DegreeMismatchError
+from repro.storage.columnar import ColumnarRelation
 
 __all__ = ["PolygenRelation"]
+
+
+def _data_sort_key(row: Sequence[Any]):
+    """Per-row ordering key: numerics numerically, then other values by
+    their string form, nil last.  Mixing groups inside one column stays
+    well-defined because the group rank leads the key.  Ints and floats
+    compare directly (no lossy conversion), and NaN — which has no order
+    among numbers — falls back to the string group like any non-numeric."""
+    key = []
+    for value in row:
+        if value is None:
+            key.append((2, 0, ""))
+        elif (
+            isinstance(value, (int, float))
+            and not isinstance(value, bool)
+            and value == value  # NaN != NaN
+        ):
+            key.append((0, value, ""))
+        else:
+            key.append((1, 0, str(value)))
+    return tuple(key)
 
 
 class PolygenRelation:
@@ -29,26 +58,33 @@ class PolygenRelation:
     Build directly from :class:`PolygenTuple` rows, or use
     :meth:`from_data` to tag plain Python rows uniformly — handy for tests
     and for the LQP retrieval path, where a whole local relation is tagged
-    with one originating database.
+    with one originating database.  The algebra operators construct results
+    through :meth:`from_store`, staying columnar end-to-end.
     """
 
-    __slots__ = ("_heading", "_tuples")
+    __slots__ = ("_store", "_tuples", "_hash")
 
     def __init__(self, heading: Heading | Sequence[str], tuples: Iterable[PolygenTuple] = ()):
         if not isinstance(heading, Heading):
             heading = Heading(heading)
-        self._heading = heading
-        seen: dict[PolygenTuple, None] = {}
-        degree = len(heading)
-        for row in tuples:
-            if len(row) != degree:
-                raise DegreeMismatchError(
-                    f"tuple of degree {len(row)} in relation of degree {degree}"
-                )
-            seen.setdefault(row, None)
-        self._tuples: Tuple[PolygenTuple, ...] = tuple(seen)
+        self._store = ColumnarRelation.from_tuples(heading, tuples)
+        self._tuples: Tuple[PolygenTuple, ...] | None = None
+        self._hash: int | None = None
 
     # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def from_store(cls, store: ColumnarRelation) -> "PolygenRelation":
+        """Wrap an already-deduplicated columnar relation (zero copies).
+
+        This is how the algebra kernels hand results back; the store is
+        trusted to uphold the :class:`ColumnarRelation` invariants.
+        """
+        self = object.__new__(cls)
+        self._store = store
+        self._tuples = None
+        self._hash = None
+        return self
 
     @classmethod
     def from_data(
@@ -61,7 +97,9 @@ class PolygenRelation:
         """Build a relation from plain data rows, tagging every cell alike.
 
         ``None`` data become nil cells with *empty* origins (a nil datum has
-        no originating source), keeping the given intermediates.
+        no originating source), keeping the given intermediates.  The whole
+        relation needs at most two interned tag ids, so tagging cost is
+        independent of the number of cells.
 
         >>> r = PolygenRelation.from_data(["A"], [["x"], [None]], origins=["AD"])
         >>> [cell.render() for cell in r.tuples[0]]
@@ -69,18 +107,13 @@ class PolygenRelation:
         >>> [cell.render() for cell in r.tuples[1]]
         ['nil, {}, {}']
         """
-        origin_set = frozenset(origins)
-        inter_set = frozenset(intermediates)
-        built = []
-        for row in rows:
-            cells = []
-            for value in row:
-                if value is None:
-                    cells.append(Cell(None, frozenset(), inter_set))
-                else:
-                    cells.append(Cell(value, origin_set, inter_set))
-            built.append(PolygenTuple(cells))
-        return cls(heading, built)
+        if not isinstance(heading, Heading):
+            heading = Heading(heading)
+        return cls.from_store(
+            ColumnarRelation.from_uniform_rows(
+                heading, rows, frozenset(origins), frozenset(intermediates)
+            )
+        )
 
     @classmethod
     def from_cells(
@@ -93,37 +126,47 @@ class PolygenRelation:
 
     def empty_like(self) -> "PolygenRelation":
         """An empty relation with this relation's heading."""
-        return PolygenRelation(self._heading, ())
+        return PolygenRelation.from_store(
+            ColumnarRelation.empty(self.heading, self._store.pool)
+        )
 
     # -- accessors ------------------------------------------------------------
 
     @property
+    def store(self) -> ColumnarRelation:
+        """The underlying columnar representation (storage layer)."""
+        return self._store
+
+    @property
     def heading(self) -> Heading:
-        return self._heading
+        return self._store.heading
 
     @property
     def attributes(self) -> Tuple[str, ...]:
-        return self._heading.attributes
+        return self._store.heading.attributes
 
     @property
     def tuples(self) -> Tuple[PolygenTuple, ...]:
+        """The classic row-of-cells view, materialized on first access."""
+        if self._tuples is None:
+            self._tuples = self._store.to_tuples()
         return self._tuples
 
     @property
     def degree(self) -> int:
         """Number of attributes (paper: the relation's *degree*)."""
-        return len(self._heading)
+        return self._store.degree
 
     @property
     def cardinality(self) -> int:
         """Number of tuples."""
-        return len(self._tuples)
+        return self._store.cardinality
 
     def __iter__(self) -> Iterator[PolygenTuple]:
-        return iter(self._tuples)
+        return iter(self.tuples)
 
     def __len__(self) -> int:
-        return len(self._tuples)
+        return self._store.cardinality
 
     def __bool__(self) -> bool:
         # A relation is always truthy; emptiness is cardinality == 0.  This
@@ -132,27 +175,21 @@ class PolygenRelation:
 
     def column(self, attribute: str) -> Tuple[Cell, ...]:
         """The column ``p[x]`` as a tuple of cells."""
-        position = self._heading.index(attribute)
-        return tuple(row[position] for row in self._tuples)
+        position = self.heading.index(attribute)
+        return tuple(self._store.iter_cells(position))
 
     def data_rows(self) -> Tuple[Tuple[Any, ...], ...]:
         """All data portions, in storage order."""
-        return tuple(row.data for row in self._tuples)
+        return tuple(self._store.data_rows())
 
     def all_origins(self) -> SourceSet:
         """``p(o)``: the union of every cell's originating set (paper, §II,
         used by the Difference operator)."""
-        out: frozenset[str] = frozenset()
-        for row in self._tuples:
-            out |= row.origins()
-        return out
+        return self._store.all_origins()
 
     def all_intermediates(self) -> SourceSet:
         """Union of every cell's intermediate set."""
-        out: frozenset[str] = frozenset()
-        for row in self._tuples:
-            out |= row.intermediates()
-        return out
+        return self._store.all_intermediates()
 
     def contributing_sources(self) -> SourceSet:
         """Every local database that contributed to this relation, either as
@@ -165,38 +202,59 @@ class PolygenRelation:
         """Set equality: same heading, same set of (deduplicated) tuples."""
         if not isinstance(other, PolygenRelation):
             return NotImplemented
-        return self._heading == other._heading and set(self._tuples) == set(other._tuples)
+        if self.heading != other.heading:
+            return False
+        # Interned ids are directly comparable on a shared pool; translate
+        # otherwise.  Either way no Cell/PolygenTuple is materialized.
+        theirs = other._store.translated(self._store.pool)
+        return self._store.row_keys() == theirs.row_keys()
 
     def __hash__(self) -> int:
-        return hash((self._heading, frozenset(self._tuples)))
+        # Pool-independent canonical form (ids resolve to their pairs), so
+        # equal relations on different pools hash alike.  Cached: the
+        # relation is immutable and property tests hash the same relations
+        # repeatedly.
+        if self._hash is None:
+            pair = self._store.pool.pair
+            canonical = frozenset(
+                (data_row, tuple(pair(tag) for tag in tag_row))
+                for data_row, tag_row in zip(
+                    self._store.data_rows(), self._store.tag_rows()
+                )
+            )
+            self._hash = hash((self.heading, canonical))
+        return self._hash
 
     def same_data(self, other: "PolygenRelation") -> bool:
         """Equality of the data portions only (tags ignored)."""
-        if self._heading != other._heading:
+        if self.heading != other.heading:
             return False
-        return set(self.data_rows()) == set(other.data_rows())
+        return set(self._store.data_rows()) == set(other._store.data_rows())
 
     # -- derivation ---------------------------------------------------------------
 
     def rename(self, mapping: Mapping[str, str]) -> "PolygenRelation":
-        """Rename attributes; data and tags are untouched."""
-        return PolygenRelation(self._heading.rename(mapping), self._tuples)
+        """Rename attributes; data and tags are untouched (columns shared)."""
+        return PolygenRelation.from_store(self._store.rename(mapping))
 
     def replace_tuples(self, tuples: Iterable[PolygenTuple]) -> "PolygenRelation":
         """Same heading, different tuples (internal helper for operators)."""
-        return PolygenRelation(self._heading, tuples)
+        return PolygenRelation(self.heading, tuples)
 
     def sorted_by_data(self) -> "PolygenRelation":
         """Tuples ordered by their data portion (nil sorts last); useful for
-        deterministic display of results."""
+        deterministic display of results.
 
-        def key(row: PolygenTuple):
-            return tuple((value is None, str(value)) for value in row.data)
-
-        return PolygenRelation(self._heading, sorted(self._tuples, key=key))
+        Numeric data sort numerically (``9`` before ``10``); non-numeric
+        data sort by their string form; values of different kinds group as
+        numerics < other < nil.
+        """
+        rows: List[Tuple[Any, ...]] = self._store.data_rows()
+        order = sorted(range(len(rows)), key=lambda i: _data_sort_key(rows[i]))
+        return PolygenRelation.from_store(self._store.take_rows(order))
 
     def __repr__(self) -> str:
         return (
-            f"PolygenRelation({list(self._heading.attributes)!r}, "
+            f"PolygenRelation({list(self.heading.attributes)!r}, "
             f"cardinality={self.cardinality})"
         )

@@ -14,6 +14,12 @@ turned into a polygen base relation in four steps:
    scheme does not map are dropped,
 4. **tagging** — every cell receives ``c(o) = {LD}`` and ``c(i) = {}``
    (Tables 4 and A1–A3); nil data get empty origins.
+
+Tag interning is O(1) in the number of cells: the whole shipped relation
+needs at most two interned tag-pool ids — ``({LD}, {})`` for data cells and
+``({}, {})`` for nils — which the columnar store shares across every cell
+(:mod:`repro.storage`).  The result enters the executor already columnar,
+with no per-cell ``Cell`` objects or frozenset copies ever built.
 """
 
 from __future__ import annotations
@@ -31,7 +37,8 @@ def tag_local_relation(relation: Relation, database: str) -> PolygenRelation:
     """Tag an untagged local relation as originating wholly from ``database``.
 
     Attribute names are kept as-is; use :func:`materialize` for the full
-    scheme-aware pipeline.
+    scheme-aware pipeline.  ``from_data`` builds the columnar store with a
+    single interned ``({database}, {})`` pair shared by every data cell.
     """
     return PolygenRelation.from_data(
         relation.heading, relation.rows, origins=[database]

@@ -6,6 +6,14 @@ data is *materialized* — domain-mapped, identity-resolved, renamed to
 polygen attributes and tagged ``({LD}, {})`` per cell.  Rows located at the
 PQP evaluate the polygen algebra over earlier results.
 
+Execution is columnar end-to-end: materialization produces a
+:class:`~repro.storage.columnar.ColumnarRelation`-backed relation with one
+interned tag id shared by every data cell, each PQP row runs a batch kernel
+(:mod:`repro.storage.kernels`) over the columns of earlier results, and the
+intermediate ``R(#)`` relations never materialize a single
+:class:`~repro.core.cell.Cell` — the row-of-cells view is built lazily only
+if a caller walks the final ``QueryResult`` (display, explain, tests).
+
 Beyond the relations themselves the executor tracks **attribute lineage**:
 for every attribute of every intermediate result, the set of polygen
 schemes it flowed through.  The provenance explainer uses this to realize

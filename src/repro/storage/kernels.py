@@ -1,0 +1,427 @@
+"""Columnar kernels for the polygen algebra.
+
+Each kernel is the batch-oriented equivalent of one paper operator
+(:mod:`repro.core.algebra` / :mod:`repro.core.derived` keep the validation,
+documentation and public signatures and delegate the work here).  Kernels
+take and return :class:`~repro.storage.columnar.ColumnarRelation` values and
+express **all** tag propagation as memoized :class:`~repro.storage.tag_pool`
+id arithmetic:
+
+=================  =====================================================
+Operator           Tag work per row
+=================  =====================================================
+project / union    one ``pool.merge`` id lookup per duplicate attribute
+restrict           one ``pool.add_intermediates`` id lookup per cell
+difference         ditto, with a single relation-wide mediator set
+coalesce           one ``merge``/``absorb`` lookup for the folded pair
+intersect          ``merge`` + ``add_intermediates`` lookups per cell
+outer_join         ``add_intermediates`` lookups; nil pads interned once
+=================  =====================================================
+
+The row-at-a-time reference implementations survive in
+:mod:`repro.core.rowpath`; ``tests/property`` asserts every kernel is
+bit-identical to its reference on random relations.
+
+Operands are brought onto the left operand's pool via
+:meth:`ColumnarRelation.translated` before any cross-relation id use.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.core.cell import ConflictPolicy
+from repro.core.heading import Heading
+from repro.core.predicate import Theta
+from repro.core.tags import EMPTY_SOURCES, SourceSet
+from repro.errors import CoalesceConflictError
+from repro.storage.columnar import ColumnarRelation, _from_keys
+
+__all__ = [
+    "project",
+    "product",
+    "restrict",
+    "union",
+    "difference",
+    "coalesce",
+    "intersect",
+    "outer_join",
+]
+
+DataRow = Tuple[Any, ...]
+TagRow = Sequence[int]
+
+
+def _build_deduped(
+    heading: Heading,
+    data_columns: Sequence[Sequence[Any]],
+    tag_columns: Sequence[Sequence[int]],
+    pool,
+) -> ColumnarRelation:
+    """Assemble a relation from freshly built columns, collapsing exact
+    duplicates.  The no-collision case (by far the common one) costs a
+    single ``zip`` pass and reuses the columns as built."""
+    cardinality = len(data_columns[0]) if data_columns else 0
+    if cardinality:
+        seen: dict[tuple, None] = {}
+        for key in zip(zip(*data_columns), zip(*tag_columns)):
+            seen.setdefault(key, None)
+        if len(seen) != cardinality:
+            return _from_keys(heading, seen, pool)
+    return ColumnarRelation(
+        heading,
+        tuple(tuple(column) for column in data_columns),
+        tuple(tuple(column) for column in tag_columns),
+        pool,
+    )
+
+
+def _merge_rows_by_data(
+    pool,
+    degree: int,
+    row_iterables,
+) -> Tuple[List[DataRow], List[List[int]]]:
+    """Group rows by data portion, merging tag ids attribute-wise.
+
+    The shared core of Project and Union (paper, §II): tuples agreeing on
+    their data portion collapse to one tuple whose tag sets are the
+    attribute-wise union — here a memoized ``pool.merge`` per attribute.
+    """
+    merge = pool.merge
+    index: dict[DataRow, int] = {}
+    out_data: List[DataRow] = []
+    out_tags: List[List[int]] = []
+    for rows in row_iterables:
+        for data_row, tag_row in rows:
+            at = index.get(data_row)
+            if at is None:
+                index[data_row] = len(out_data)
+                out_data.append(data_row)
+                out_tags.append(list(tag_row))
+            else:
+                existing = out_tags[at]
+                for position in range(degree):
+                    existing[position] = merge(existing[position], tag_row[position])
+    return out_data, out_tags
+
+
+def _rows(store: ColumnarRelation):
+    return zip(store.data_rows(), store.tag_rows())
+
+
+def project(store: ColumnarRelation, positions: Sequence[int], heading: Heading) -> ColumnarRelation:
+    """``p[X]`` — gather the selected columns, dedup on data, merge tags."""
+    pool = store.pool
+    selected_data = list(
+        zip(*(store.columns[i] for i in positions))
+    ) if store.cardinality else []
+    selected_tags = list(
+        zip(*(store.tags[i] for i in positions))
+    ) if store.cardinality else []
+    out_data, out_tags = _merge_rows_by_data(
+        pool, len(positions), [zip(selected_data, selected_tags)]
+    )
+    return ColumnarRelation.from_row_major(heading, out_data, out_tags, pool)
+
+
+def product(s1: ColumnarRelation, s2: ColumnarRelation, heading: Heading) -> ColumnarRelation:
+    """``p1 × p2`` — column replication; no per-cell tag work at all."""
+    s2 = s2.translated(s1.pool)
+    n1, n2 = s1.cardinality, s2.cardinality
+    left_data = tuple(
+        tuple(value for value in column for _ in range(n2)) for column in s1.columns
+    )
+    left_tags = tuple(
+        tuple(tag for tag in column for _ in range(n2)) for column in s1.tags
+    )
+    right_data = tuple(column * n1 for column in s2.columns)
+    right_tags = tuple(column * n1 for column in s2.tags)
+    return ColumnarRelation(
+        heading, left_data + right_data, left_tags + right_tags, s1.pool
+    )
+
+
+def restrict(
+    store: ColumnarRelation,
+    x_pos: int,
+    theta: Theta,
+    y_pos: Optional[int],
+    literal: Any,
+) -> ColumnarRelation:
+    """``p[x θ y]`` — filter on the data columns, then push the compared
+    cells' origins into every surviving cell's intermediate set."""
+    pool = store.pool
+    origins = pool.origins
+    evaluate = theta.evaluate
+    x_data = store.columns[x_pos]
+    x_tags = store.tags[x_pos]
+
+    survivors: List[int] = []
+    mediators: List[SourceSet] = []
+    if y_pos is None:
+        # A literal contributes no sources; pool.origins is a plain lookup.
+        for i, value in enumerate(x_data):
+            if evaluate(value, literal):
+                survivors.append(i)
+                mediators.append(origins(x_tags[i]))
+    else:
+        y_data = store.columns[y_pos]
+        y_tags = store.tags[y_pos]
+        # Union the compared cells' origins once per distinct id pair, not
+        # once per row — rows overwhelmingly share a handful of pairs.
+        memo: dict[Tuple[int, int], SourceSet] = {}
+        for i, value in enumerate(x_data):
+            if evaluate(value, y_data[i]):
+                survivors.append(i)
+                key = (x_tags[i], y_tags[i])
+                found = memo.get(key)
+                if found is None:
+                    found = memo[key] = origins(key[0]) | origins(key[1])
+                mediators.append(found)
+
+    add = pool.add_intermediates
+    data_columns = [
+        [column[i] for i in survivors] for column in store.columns
+    ]
+    tag_columns = [
+        [add(column[i], extra) for i, extra in zip(survivors, mediators)]
+        for column in store.tags
+    ]
+    return _build_deduped(store.heading, data_columns, tag_columns, pool)
+
+
+def union(s1: ColumnarRelation, s2: ColumnarRelation) -> ColumnarRelation:
+    """``p1 ∪ p2`` — merge by data portion with attribute-wise tag union."""
+    s2 = s2.translated(s1.pool)
+    out_data, out_tags = _merge_rows_by_data(
+        s1.pool, s1.degree, [_rows(s1), _rows(s2)]
+    )
+    return ColumnarRelation.from_row_major(s1.heading, out_data, out_tags, s1.pool)
+
+
+def difference(s1: ColumnarRelation, s2: ColumnarRelation) -> ColumnarRelation:
+    """``p1 − p2`` — anti-join on data; ``p2(o)`` becomes an intermediate
+    source of every surviving cell (one set, computed once)."""
+    pool = s1.pool
+    excluded = set(zip(*s2.columns)) if s2.cardinality else set()
+    mediators = s2.all_origins()
+    add = pool.add_intermediates
+    survivors = [
+        i for i, data_row in enumerate(s1.data_rows()) if data_row not in excluded
+    ]
+    data_columns = [[column[i] for i in survivors] for column in s1.columns]
+    tag_columns = [
+        [add(column[i], mediators) for i in survivors] for column in s1.tags
+    ]
+    return _build_deduped(s1.heading, data_columns, tag_columns, pool)
+
+
+def coalesce(
+    store: ColumnarRelation,
+    x_pos: int,
+    y_pos: int,
+    heading: Heading,
+    attribute: str,
+    policy: ConflictPolicy,
+) -> ColumnarRelation:
+    """``p[x © y : w]`` — fold two columns into one at ``x``'s position."""
+    pool = store.pool
+    merge = pool.merge
+    absorb = pool.absorb
+    x_data, y_data = store.columns[x_pos], store.columns[y_pos]
+    x_tagc, y_tagc = store.tags[x_pos], store.tags[y_pos]
+
+    survivors: List[int] = []
+    folded_data: List[Any] = []
+    folded_tags: List[int] = []
+    for i in range(store.cardinality):
+        x_datum, y_datum = x_data[i], y_data[i]
+        x_tag, y_tag = x_tagc[i], y_tagc[i]
+        if x_datum == y_datum:
+            datum, tag = x_datum, merge(x_tag, y_tag)
+        elif y_datum is None:
+            datum, tag = x_datum, x_tag
+        elif x_datum is None:
+            datum, tag = y_datum, y_tag
+        elif policy is ConflictPolicy.DROP:
+            continue
+        elif policy is ConflictPolicy.ERROR:
+            raise CoalesceConflictError(x_datum, y_datum, attribute)
+        elif policy is ConflictPolicy.PREFER_LEFT:
+            datum, tag = x_datum, absorb(x_tag, y_tag)
+        else:
+            datum, tag = y_datum, absorb(y_tag, x_tag)
+        survivors.append(i)
+        folded_data.append(datum)
+        folded_tags.append(tag)
+
+    intact = len(survivors) == store.cardinality
+    data_columns: List[Sequence[Any]] = []
+    tag_columns: List[Sequence[int]] = []
+    for position in range(store.degree):
+        if position == y_pos:
+            continue
+        if position == x_pos:
+            data_columns.append(folded_data)
+            tag_columns.append(folded_tags)
+        elif intact:
+            data_columns.append(store.columns[position])
+            tag_columns.append(store.tags[position])
+        else:
+            column = store.columns[position]
+            data_columns.append([column[i] for i in survivors])
+            tag_column = store.tags[position]
+            tag_columns.append([tag_column[i] for i in survivors])
+    return _build_deduped(heading, data_columns, tag_columns, pool)
+
+
+def intersect(s1: ColumnarRelation, s2: ColumnarRelation) -> ColumnarRelation:
+    """``p1 ∩ p2`` — closed form of "the project of a join over all the
+    attributes" (paper, §II), on interned ids throughout."""
+    pool = s1.pool
+    s2 = s2.translated(pool)
+    merge = pool.merge
+    add = pool.add_intermediates
+    origins = pool.origins
+    degree = s1.degree
+
+    right_index: dict[DataRow, List[int]] = {}
+    for data_row, tag_row in _rows(s2):
+        existing = right_index.get(data_row)
+        if existing is None:
+            right_index[data_row] = list(tag_row)
+        else:
+            for position in range(degree):
+                existing[position] = merge(existing[position], tag_row[position])
+
+    origins_memo: dict[tuple, SourceSet] = {}
+
+    def row_origins(tag_row) -> SourceSet:
+        key = tuple(tag_row)
+        found = origins_memo.get(key)
+        if found is None:
+            out: frozenset[str] = frozenset()
+            for tag in key:
+                out |= origins(tag)
+            found = origins_memo[key] = out
+        return found
+
+    index: dict[DataRow, int] = {}
+    out_data: List[DataRow] = []
+    out_tags: List[List[int]] = []
+    for data_row, tag_row in _rows(s1):
+        other = right_index.get(data_row)
+        if other is None:
+            continue
+        mediators = row_origins(tag_row) | row_origins(other)
+        combined = [
+            add(merge(mine, theirs), mediators)
+            for mine, theirs in zip(tag_row, other)
+        ]
+        at = index.get(data_row)
+        if at is None:
+            index[data_row] = len(out_data)
+            out_data.append(data_row)
+            out_tags.append(combined)
+        else:
+            existing = out_tags[at]
+            for position in range(degree):
+                existing[position] = merge(existing[position], combined[position])
+    return ColumnarRelation.from_row_major(s1.heading, out_data, out_tags, pool)
+
+
+def outer_join(
+    s1: ColumnarRelation,
+    s2: ColumnarRelation,
+    heading: Heading,
+    left_pos: Sequence[int],
+    right_pos: Sequence[int],
+) -> ColumnarRelation:
+    """Outer equijoin with Table A4 tag semantics (see
+    :func:`repro.core.derived.outer_join` for the full contract)."""
+    pool = s1.pool
+    s2 = s2.translated(pool)
+    add = pool.add_intermediates
+    origins = pool.origins
+    intern = pool.intern
+    n1, n2 = s1.cardinality, s2.cardinality
+
+    def keys_of(store: ColumnarRelation, positions: Sequence[int]):
+        """Per-row key data (``None`` when any component is nil) and key
+        origins, extracted in bulk; origin unions memoized per id tuple."""
+        if not store.cardinality:
+            return [], []
+        key_rows = list(zip(*(store.columns[i] for i in positions)))
+        tag_rows = list(zip(*(store.tags[i] for i in positions)))
+        keys = [
+            None if any(value is None for value in key) else key for key in key_rows
+        ]
+        memo: dict[tuple, SourceSet] = {}
+        sources: List[SourceSet] = []
+        for tags in tag_rows:
+            found = memo.get(tags)
+            if found is None:
+                found = frozenset()
+                for tag in tags:
+                    found |= origins(tag)
+                memo[tags] = found
+            sources.append(found)
+        return keys, sources
+
+    left_keys, left_sources = keys_of(s1, left_pos)
+    right_keys, right_sources = keys_of(s2, right_pos)
+
+    right_index: dict[tuple, List[int]] = {}
+    for j, key in enumerate(right_keys):
+        if key is not None:
+            right_index.setdefault(key, []).append(j)
+
+    #: per output row: source row in each operand (-1 = nil padding), the
+    #: mediator set for real cells, and the interned pad id otherwise.
+    left_idx: List[int] = []
+    right_idx: List[int] = []
+    mediators: List[SourceSet] = []
+    pads: List[int] = []
+    matched_right: set[int] = set()
+    for i in range(n1):
+        key = left_keys[i]
+        sources_i = left_sources[i]
+        matches = right_index.get(key, ()) if key is not None else ()
+        if matches:
+            for j in matches:
+                left_idx.append(i)
+                right_idx.append(j)
+                mediators.append(sources_i | right_sources[j])
+                pads.append(pool.EMPTY_ID)
+                matched_right.add(j)
+        else:
+            left_idx.append(i)
+            right_idx.append(-1)
+            mediators.append(sources_i)
+            pads.append(intern(EMPTY_SOURCES, sources_i))
+
+    for j in range(n2):
+        if j in matched_right:
+            continue
+        left_idx.append(-1)
+        right_idx.append(j)
+        mediators.append(right_sources[j])
+        pads.append(intern(EMPTY_SOURCES, right_sources[j]))
+
+    def gather(store: ColumnarRelation, indices: List[int]):
+        data_columns = [
+            [column[i] if i >= 0 else None for i in indices]
+            for column in store.columns
+        ]
+        tag_columns = [
+            [
+                add(column[i], extra) if i >= 0 else pad
+                for i, extra, pad in zip(indices, mediators, pads)
+            ]
+            for column in store.tags
+        ]
+        return data_columns, tag_columns
+
+    left_data, left_tags = gather(s1, left_idx)
+    right_data, right_tags = gather(s2, right_idx)
+    return _build_deduped(heading, left_data + right_data, left_tags + right_tags, pool)
