@@ -5,7 +5,20 @@ printed table before timing it — a benchmark of a wrong answer is
 worthless.  Run with::
 
     pytest benchmarks/ --benchmark-only
+
+Benchmarks that report scalar results (speedups, tuple counts, makespans)
+record them through the ``record_bench`` fixture; pass ``--bench-json``
+(optionally with a path; default ``BENCH_runtime.json``) to write them as
+machine-readable JSON so the performance trajectory is trackable across
+PRs::
+
+    pytest benchmarks/test_bench_runtime.py --bench-json
 """
+
+import json
+import platform
+import sys
+from pathlib import Path
 
 import pytest
 
@@ -29,6 +42,44 @@ PAPER_ALGEBRA = (
     '((((PALUMNUS [DEGREE = "MBA"]) [AID# = AID#] PCAREER)'
     " [ONAME = ONAME] PORGANIZATION) [CEO = ANAME]) [ONAME, CEO]"
 )
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-json",
+        action="store",
+        nargs="?",
+        const="BENCH_runtime.json",
+        default=None,
+        metavar="PATH",
+        help="write recorded benchmark results as JSON (default path "
+        "BENCH_runtime.json when the flag is given without a value)",
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_records(request):
+    """Session-wide result store, dumped to JSON when --bench-json is set."""
+    records = {}
+    yield records
+    path = request.config.getoption("--bench-json")
+    if path and records:
+        payload = {
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+            "results": records,
+        }
+        Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+@pytest.fixture
+def record_bench(bench_records):
+    """``record_bench(name, **metrics)`` — stash one benchmark's numbers."""
+
+    def record(name, **metrics):
+        bench_records[name] = metrics
+
+    return record
 
 
 @pytest.fixture(scope="session")

@@ -1,10 +1,12 @@
 """Provenance and plan graphs.
 
-Two graph views over a query run, built on :mod:`networkx`:
+Two graph views over a query run, built on the in-house
+:mod:`repro.display.graphlib` containers (no third-party graph library):
 
 - the **plan DAG** — IOM rows as nodes, dataflow as edges; useful for
-  visualizing which databases feed which operations, and the input to the
-  scheduling simulator;
+  visualizing which databases feed which operations (the executable form
+  of this structure is :class:`~repro.pqp.plandag.PlanDAG`, which the
+  scheduling simulator and the concurrent runtime consume);
 - the **source graph** — a bipartite graph connecting result attributes to
   the local databases that originate or mediate them, summarizing "who
   contributed what" for a whole answer (the federation-scale view of the
@@ -15,21 +17,20 @@ Both render to Graphviz DOT text so they can be displayed outside Python.
 
 from __future__ import annotations
 
-import networkx as nx
-
 from repro.core.relation import PolygenRelation
+from repro.display.graphlib import DiGraph, Graph
 from repro.pqp.matrix import IntermediateOperationMatrix
 
 __all__ = ["plan_graph", "source_graph", "to_dot"]
 
 
-def plan_graph(iom: IntermediateOperationMatrix) -> nx.DiGraph:
+def plan_graph(iom: IntermediateOperationMatrix) -> DiGraph:
     """The dataflow DAG of a plan.
 
     Node attributes: ``label`` (e.g. ``"R(7) Merge"``), ``location`` (the
     EL), ``local`` (bool).
     """
-    graph = nx.DiGraph()
+    graph = DiGraph()
     for row in iom:
         label = f"{row.result} {row.op.value}"
         if row.is_local:
@@ -45,7 +46,7 @@ def plan_graph(iom: IntermediateOperationMatrix) -> nx.DiGraph:
     return graph
 
 
-def source_graph(relation: PolygenRelation) -> nx.Graph:
+def source_graph(relation: PolygenRelation) -> Graph:
     """The attribute ↔ database contribution graph of a tagged relation.
 
     Edges carry ``role`` (``"origin"`` or ``"intermediate"``) and
@@ -53,7 +54,7 @@ def source_graph(relation: PolygenRelation) -> nx.Graph:
     database node are linked when any cell of that column names the
     database in the corresponding tag set.
     """
-    graph = nx.Graph()
+    graph = Graph()
     for attribute in relation.attributes:
         graph.add_node(("attribute", attribute), kind="attribute", name=attribute)
     counts: dict = {}
@@ -80,13 +81,13 @@ def source_graph(relation: PolygenRelation) -> nx.Graph:
     return graph
 
 
-def to_dot(graph: nx.Graph | nx.DiGraph) -> str:
+def to_dot(graph: Graph | DiGraph) -> str:
     """Minimal Graphviz DOT rendering (no external dependencies).
 
     Directed graphs become ``digraph``; node labels come from the ``label``
     or ``name`` attribute; dashed edges mark intermediate-source links.
     """
-    directed = isinstance(graph, nx.DiGraph)
+    directed = isinstance(graph, DiGraph)
     arrow = "->" if directed else "--"
     lines = ["digraph plan {" if directed else "graph sources {"]
 

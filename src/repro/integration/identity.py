@@ -63,6 +63,24 @@ class IdentityResolver:
     def is_registered(self, value: Any) -> bool:
         return value in self._canonical
 
+    @property
+    def is_identity(self) -> bool:
+        """True when no synonym group is registered — ``resolve`` is a no-op."""
+        return not self._canonical
+
+    def is_unaliased(self, value: Any) -> bool:
+        """True when ``value`` resolves to itself and nothing else resolves
+        to it — i.e. raw-value equality against ``value`` coincides with
+        resolved-value equality.  The optimizer's selection pushdown uses
+        this to prove a literal comparison safe to evaluate on raw local
+        data."""
+        if self._canonical.get(value, value) != value:
+            return False
+        return not any(
+            canonical == value and variant != value
+            for variant, canonical in self._canonical.items()
+        )
+
     def groups(self) -> Tuple[Tuple[Any, Tuple[Any, ...]], ...]:
         """All (canonical, variants) groups, for documentation/display."""
         by_canonical: Dict[Any, list] = {}

@@ -44,5 +44,14 @@ class LocalQueryProcessor(abc.ABC):
     def select(self, relation_name: str, attribute: str, theta: Theta, value: Any) -> Relation:
         """Execute ``relation[attribute θ value]`` locally and ship the result."""
 
+    def cardinality_estimate(self, relation_name: str) -> int | None:
+        """How many tuples ``relation_name`` holds, if cheaply known.
+
+        Catalog metadata for the scheduling simulator — answering must not
+        ship any data.  ``None`` (the default) means this engine cannot say;
+        the simulator falls back to its guess.
+        """
+        return None
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}({self.name!r})"

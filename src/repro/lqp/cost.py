@@ -1,4 +1,4 @@
-"""Cost accounting for LQP traffic.
+"""Cost accounting and latency injection for LQP traffic.
 
 The 1990 paper reports no performance numbers, but our benchmark harness
 characterizes the implementation: how many local queries a plan issues, how
@@ -6,11 +6,20 @@ many tuples it ships, and what that would cost over a network.  The
 :class:`AccountingLQP` decorator wraps any LQP and records
 :class:`TransferStats`; a :class:`CostModel` converts them into simulated
 latency so optimizer ablations can report comparable costs without wall
-clocks.
+clocks.  :class:`LatencyLQP` goes the other way — it injects *real* delay
+per query and per shipped tuple, turning an in-memory engine into a
+realistically slow autonomous source so the concurrent runtime's overlap
+is measurable on a wall clock.
+
+Accounting is thread-safe: the concurrent runtime drives one worker per
+database, and a single LQP may serve several plans at once, so counter
+updates take a lock.
 """
 
 from __future__ import annotations
 
+import threading
+import time
 from dataclasses import dataclass
 from typing import Any, Tuple
 
@@ -18,7 +27,7 @@ from repro.core.predicate import Theta
 from repro.lqp.base import LocalQueryProcessor
 from repro.relational.relation import Relation
 
-__all__ = ["CostModel", "TransferStats", "AccountingLQP"]
+__all__ = ["CostModel", "TransferStats", "AccountingLQP", "LatencyLQP"]
 
 
 @dataclass(frozen=True)
@@ -73,6 +82,7 @@ class AccountingLQP(LocalQueryProcessor):
         self._inner = inner
         self.stats = TransferStats()
         self.cost_model = cost_model or CostModel()
+        self._lock = threading.Lock()
 
     @property
     def name(self) -> str:
@@ -87,14 +97,73 @@ class AccountingLQP(LocalQueryProcessor):
 
     def retrieve(self, relation_name: str) -> Relation:
         result = self._inner.retrieve(relation_name)
-        self.stats.record("retrieve", result)
+        with self._lock:
+            self.stats.record("retrieve", result)
         return result
 
     def select(self, relation_name: str, attribute: str, theta: Theta, value: Any) -> Relation:
         result = self._inner.select(relation_name, attribute, theta, value)
-        self.stats.record("select", result)
+        with self._lock:
+            self.stats.record("select", result)
         return result
+
+    def cardinality_estimate(self, relation_name: str) -> int | None:
+        return self._inner.cardinality_estimate(relation_name)
 
     def simulated_cost(self) -> float:
         """Accumulated cost under this LQP's cost model."""
         return self.cost_model.cost(self.stats.queries, self.stats.tuples_shipped)
+
+
+class LatencyLQP(LocalQueryProcessor):
+    """Wraps an LQP, sleeping a configurable delay on every request.
+
+    ``per_query`` seconds model round-trip/setup latency; ``per_tuple``
+    seconds model marshalling + transfer of each shipped tuple — the
+    wall-clock realization of :class:`CostModel`.  Catalog lookups
+    (:meth:`cardinality_estimate`) stay free, as metadata would be.
+    """
+
+    def __init__(
+        self,
+        inner: LocalQueryProcessor,
+        per_query: float = 0.01,
+        per_tuple: float = 0.0,
+    ):
+        self._inner = inner
+        self.per_query = per_query
+        self.per_tuple = per_tuple
+
+    @property
+    def name(self) -> str:
+        return self._inner.name
+
+    @property
+    def inner(self) -> LocalQueryProcessor:
+        return self._inner
+
+    def cost_model(self) -> CostModel:
+        """The injected delays as a :class:`CostModel` (units: seconds), so
+        a simulated schedule can be compared against measured wall clock."""
+        return CostModel(per_query=self.per_query, per_tuple=self.per_tuple)
+
+    def _delay(self, result: Relation) -> None:
+        pause = self.per_query + self.per_tuple * result.cardinality
+        if pause > 0:
+            time.sleep(pause)
+
+    def relation_names(self) -> Tuple[str, ...]:
+        return self._inner.relation_names()
+
+    def retrieve(self, relation_name: str) -> Relation:
+        result = self._inner.retrieve(relation_name)
+        self._delay(result)
+        return result
+
+    def select(self, relation_name: str, attribute: str, theta: Theta, value: Any) -> Relation:
+        result = self._inner.select(relation_name, attribute, theta, value)
+        self._delay(result)
+        return result
+
+    def cardinality_estimate(self, relation_name: str) -> int | None:
+        return self._inner.cardinality_estimate(relation_name)

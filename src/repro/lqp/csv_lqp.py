@@ -101,3 +101,6 @@ class CsvLQP(LocalQueryProcessor):
         return relation.replace_rows(
             row for row in relation if theta.evaluate(row[position], value)
         )
+
+    def cardinality_estimate(self, relation_name: str) -> int | None:
+        return self.retrieve(relation_name).cardinality

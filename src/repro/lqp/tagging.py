@@ -24,6 +24,8 @@ with no per-cell ``Cell`` objects or frozenset copies ever built.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from repro.catalog.scheme import PolygenScheme
 from repro.core.relation import PolygenRelation
 from repro.integration.domains import TransformRegistry, default_registry
@@ -33,15 +35,21 @@ from repro.relational.relation import Relation
 __all__ = ["tag_local_relation", "materialize"]
 
 
-def tag_local_relation(relation: Relation, database: str) -> PolygenRelation:
+def tag_local_relation(
+    relation: Relation, database: str, consulted: Sequence[str] = ()
+) -> PolygenRelation:
     """Tag an untagged local relation as originating wholly from ``database``.
 
     Attribute names are kept as-is; use :func:`materialize` for the full
     scheme-aware pipeline.  ``from_data`` builds the columnar store with a
-    single interned ``({database}, {})`` pair shared by every data cell.
+    single interned ``({database}, consulted)`` pair shared by every data
+    cell.  ``consulted`` names databases whose cells were examined while
+    producing the shipped data (e.g. a selection pushed down into the LQP);
+    they become intermediate sources, per the paper's §II Restrict
+    semantics.
     """
     return PolygenRelation.from_data(
-        relation.heading, relation.rows, origins=[database]
+        relation.heading, relation.rows, origins=[database], intermediates=consulted
     )
 
 
@@ -52,12 +60,19 @@ def materialize(
     resolver: IdentityResolver | None = None,
     transforms: TransformRegistry | None = None,
     relation_name: str | None = None,
+    attributes: Sequence[str] | None = None,
+    consulted: Sequence[str] = (),
 ) -> PolygenRelation:
     """Turn a shipped local relation into a polygen base relation.
 
     ``relation_name`` identifies which local relation of ``database`` the
     data came from (needed to pick the scheme's mappings); it defaults to
     the only relation of ``scheme`` at ``database``.
+
+    ``attributes`` optionally restricts materialization to a subset of the
+    scheme's polygen attributes (the optimizer's projection pruning): only
+    the local columns mapping to them are transformed, resolved and tagged,
+    so dead columns never enter the columnar store.
     """
     if relation_name is None:
         candidates = [ls for ld, ls in scheme.local_relations() if ld == database]
@@ -70,9 +85,32 @@ def materialize(
 
     resolver = resolver or IdentityResolver.identity()
     registry = transforms or default_registry()
+
+    rename_map = scheme.rename_map(database, relation_name)
+    if attributes is not None:
+        keep = set(attributes)
+        rename_map = {
+            local: polygen for local, polygen in rename_map.items() if polygen in keep
+        }
+        if not rename_map:
+            raise ValueError(
+                f"projection {sorted(keep)!r} keeps no attribute of "
+                f"{scheme.name!r} at {database}.{relation_name}"
+            )
+    mapped_locals = [name for name in relation.attributes if name in rename_map]
+    if mapped_locals != list(relation.attributes):
+        # Drop unmapped (or pruned) columns before any per-cell work: the
+        # polygen scheme defines the visible attributes of a polygen base
+        # relation, and columns nobody consumes need never be converted.
+        from repro.relational.algebra import project as local_project
+
+        relation = local_project(relation, mapped_locals)
+
     transform_names = scheme.transform_map(database, relation_name)
     transform_fns = {
-        attribute: registry.get(name) for attribute, name in transform_names.items()
+        attribute: registry.get(name)
+        for attribute, name in transform_names.items()
+        if attribute in rename_map
     }
 
     def convert(attribute: str, value):
@@ -82,14 +120,5 @@ def materialize(
         return resolver.resolve(value)
 
     converted = relation.map_values(convert)
-
-    rename_map = scheme.rename_map(database, relation_name)
-    mapped_locals = [name for name in converted.attributes if name in rename_map]
-    if mapped_locals != list(converted.attributes):
-        # Drop unmapped columns: the polygen scheme defines the visible
-        # attributes of a polygen base relation.
-        from repro.relational.algebra import project as local_project
-
-        converted = local_project(converted, mapped_locals)
     renamed = converted.rename(rename_map)
-    return tag_local_relation(renamed, database)
+    return tag_local_relation(renamed, database, consulted=consulted)

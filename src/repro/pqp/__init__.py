@@ -8,16 +8,26 @@ The paper's query-translation pipeline (§III, Figure 2):
    the polygen schema into an Intermediate Operation Matrix (IOM — Tables 2
    and 3; Figures 3 and 4),
 3. the **Query Optimizer** rewrites the IOM (the paper leaves its details
-   out of scope; ours performs safe rewrites: retrieve/merge deduplication
-   and dead-row pruning),
-4. the **executor** evaluates the IOM, routing local rows to LQPs and
-   performing polygen operations in the PQP (§IV).
+   out of scope; ours performs safe, tag-preserving rewrites:
+   retrieve/merge deduplication, selection pushdown into LQPs, projection
+   pruning at materialization, and dead-row pruning),
+4. an **execution engine** evaluates the IOM, routing local rows to LQPs
+   and performing polygen operations in the PQP (§IV) — either the serial
+   row-by-row :class:`~repro.pqp.executor.Executor` or the DAG-driven
+   :class:`~repro.pqp.runtime.ConcurrentExecutor`, which dispatches local
+   rows to per-database worker threads as their inputs become ready.
+
+The shared dependency structure lives in
+:class:`~repro.pqp.plandag.PlanDAG`; the scheduling simulator
+(:mod:`repro.pqp.schedule`) predicts a plan's makespan over the same DAG
+the runtime actually drives, and measured per-row timings flow back via
+:class:`~repro.pqp.executor.ExecutionTrace` to validate the model.
 
 :class:`~repro.pqp.processor.PolygenQueryProcessor` is the facade over the
-whole pipeline.
+whole pipeline; its ``concurrent`` flag chooses the engine.
 """
 
-from repro.pqp.executor import Executor
+from repro.pqp.executor import ExecutionTrace, Executor, RowTiming
 from repro.pqp.interpreter import PolygenOperationInterpreter
 from repro.pqp.matrix import (
     IntermediateOperationMatrix,
@@ -29,8 +39,15 @@ from repro.pqp.matrix import (
     SchemeOperand,
 )
 from repro.pqp.optimizer import OptimizationReport, QueryOptimizer
+from repro.pqp.plandag import PlanDAG
 from repro.pqp.processor import PolygenQueryProcessor, QueryResult
-from repro.pqp.schedule import PlanSchedule, schedule_plan
+from repro.pqp.runtime import ConcurrentExecutor
+from repro.pqp.schedule import (
+    PlanSchedule,
+    ScheduleValidation,
+    schedule_plan,
+    validate_against_trace,
+)
 from repro.pqp.syntax_analyzer import SyntaxAnalyzer
 
 __all__ = [
@@ -46,8 +63,14 @@ __all__ = [
     "QueryOptimizer",
     "OptimizationReport",
     "Executor",
+    "ConcurrentExecutor",
+    "ExecutionTrace",
+    "RowTiming",
+    "PlanDAG",
     "PolygenQueryProcessor",
     "QueryResult",
     "PlanSchedule",
+    "ScheduleValidation",
     "schedule_plan",
+    "validate_against_trace",
 ]

@@ -24,7 +24,8 @@ belongs to.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Tuple
 
 from repro.catalog.schema import PolygenSchema
@@ -45,10 +46,29 @@ from repro.pqp.matrix import (
     ResultOperand,
 )
 
-__all__ = ["Executor", "ExecutionTrace"]
+__all__ = ["Executor", "ExecutionTrace", "RowTiming"]
 
 #: attribute name → polygen schemes the attribute flowed through.
 Lineage = Dict[str, FrozenSet[str]]
+
+
+@dataclass(frozen=True)
+class RowTiming:
+    """Measured wall-clock interval of one plan row.
+
+    ``start``/``finish`` are seconds relative to the moment the executor
+    began the plan, so timings of one trace are directly comparable and the
+    scheduling simulator can validate its model against them.
+    """
+
+    start: float
+    finish: float
+    location: str
+    worker: str = ""
+
+    @property
+    def duration(self) -> float:
+        return self.finish - self.start
 
 
 @dataclass
@@ -60,12 +80,26 @@ class ExecutionTrace:
     results: Dict[int, PolygenRelation]
     #: attribute lineage of the final relation.
     lineage: Lineage
+    #: measured per-row wall-clock timings, keyed by R(#) index.
+    timings: Dict[int, RowTiming] = field(default_factory=dict)
 
     def result(self, index: int) -> PolygenRelation:
         try:
             return self.results[index]
         except KeyError:
             raise ExecutionError(f"no result R({index}) in this trace") from None
+
+    @property
+    def wall_clock(self) -> float:
+        """Measured makespan: latest finish over all rows (0 if untimed)."""
+        if not self.timings:
+            return 0.0
+        return max(timing.finish for timing in self.timings.values())
+
+    @property
+    def busy_time(self) -> float:
+        """Summed per-row durations — the measured analogue of serial cost."""
+        return sum(timing.duration for timing in self.timings.values())
 
 
 class Executor:
@@ -93,7 +127,10 @@ class Executor:
             raise ExecutionError("cannot execute an empty operation matrix")
         results: Dict[int, PolygenRelation] = {}
         lineages: Dict[int, Lineage] = {}
+        timings: Dict[int, RowTiming] = {}
+        origin = time.perf_counter()
         for row in iom:
+            started = time.perf_counter() - origin
             try:
                 relation, lineage = self._execute_row(row, results, lineages)
             except ExecutionError:
@@ -104,8 +141,14 @@ class Executor:
                 ) from exc
             results[row.result.index] = relation
             lineages[row.result.index] = lineage
+            timings[row.result.index] = RowTiming(
+                start=started,
+                finish=time.perf_counter() - origin,
+                location=row.el or "PQP",
+                worker="serial",
+            )
         final = iom.rows[-1].result.index
-        return ExecutionTrace(results[final], results, lineages[final])
+        return ExecutionTrace(results[final], results, lineages[final], timings)
 
     # ------------------------------------------------------------------
 
@@ -145,6 +188,8 @@ class Executor:
             resolver=self._resolver,
             transforms=self._transforms,
             relation_name=row.lhr.relation,
+            attributes=row.project,
+            consulted=row.consulted,
         )
         lineage = {attribute: frozenset({scheme.name}) for attribute in relation.attributes}
         return relation, lineage

@@ -23,9 +23,16 @@ from repro.catalog.reverse import local_columns_for
 from repro.catalog.schema import PolygenSchema
 from repro.core.cell import Cell
 from repro.core.relation import PolygenRelation
+from repro.pqp.executor import ExecutionTrace
 from repro.pqp.processor import QueryResult
 
-__all__ = ["explain_cell", "explain_tuple", "explain_result", "source_summary"]
+__all__ = [
+    "explain_cell",
+    "explain_tuple",
+    "explain_result",
+    "source_summary",
+    "execution_report",
+]
 
 
 def explain_cell(
@@ -78,6 +85,43 @@ def explain_result(result: QueryResult, schema: PolygenSchema) -> str:
             lines.append("  " + explain_cell(schema, schemes, attribute, cell))
     lines.append("")
     lines.append(source_summary(result.relation))
+    return "\n".join(lines)
+
+
+def execution_report(result: QueryResult) -> str:
+    """How the plan actually ran: per-row measured timings and, when the
+    optimizer was involved, what it rewrote.
+
+    The timing columns are the measured counterpart of
+    :meth:`repro.pqp.schedule.PlanSchedule.render` — same rows, wall-clock
+    seconds instead of model cost — so the two print side by side.
+    """
+    trace: ExecutionTrace = result.trace
+    lines: List[str] = ["PR      op         at    start    finish   worker"]
+    for row in result.iom:
+        timing = trace.timings.get(row.result.index)
+        if timing is None:
+            lines.append(
+                f"{str(row.result):6s}  {row.op.value:9s}  {row.el or 'PQP':4s}  (untimed)"
+            )
+            continue
+        lines.append(
+            f"{str(row.result):6s}  {row.op.value:9s}  {timing.location:4s}  "
+            f"{timing.start:7.4f}  {timing.finish:7.4f}  {timing.worker}"
+        )
+    lines.append(
+        f"wall clock {trace.wall_clock:.4f}s, busy {trace.busy_time:.4f}s, "
+        f"overlap {trace.busy_time / trace.wall_clock if trace.wall_clock else 1.0:.2f}x"
+    )
+    report = result.optimization
+    if report is not None:
+        lines.append(
+            f"optimizer: {report.retrieves_deduplicated} retrieves and "
+            f"{report.merges_deduplicated} merges deduplicated, "
+            f"{report.selects_pushed_down} selections pushed down, "
+            f"{report.attributes_pruned} attributes pruned at materialization, "
+            f"{report.rows_pruned} rows pruned"
+        )
     return "\n".join(lines)
 
 

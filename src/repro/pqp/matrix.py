@@ -132,6 +132,16 @@ class MatrixRow:
     el: Optional[str] = None   # execution location (IOM only)
     scheme: Optional[str] = None   # polygen-scheme context for local rows / merges
     output: Optional[str] = None   # Coalesce output attribute
+    #: Optimizer-installed materialization pruning (local rows only): keep
+    #: just these polygen attributes when tagging the shipped relation.
+    project: Optional[Tuple[str, ...]] = None
+    #: Databases consulted in producing this row's data beyond shipping it
+    #: (local rows only).  A selection pushed down into an LQP consults that
+    #: database's cells to decide membership, so — per the paper's §II
+    #: Restrict semantics — its name is recorded in every materialized
+    #: cell's intermediate-source set, exactly as the PQP-side Restrict
+    #: would have done.
+    consulted: Tuple[str, ...] = ()
 
     @property
     def is_local(self) -> bool:

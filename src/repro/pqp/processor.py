@@ -31,6 +31,7 @@ from repro.pqp.executor import ExecutionTrace, Executor
 from repro.pqp.interpreter import PolygenOperationInterpreter
 from repro.pqp.matrix import IntermediateOperationMatrix, PolygenOperationMatrix
 from repro.pqp.optimizer import OptimizationReport, QueryOptimizer
+from repro.pqp.runtime import ConcurrentExecutor
 from repro.pqp.syntax_analyzer import SyntaxAnalyzer
 from repro.translate.translator import TranslationResult, translate_sql
 
@@ -74,21 +75,51 @@ class PolygenQueryProcessor:
         policy: ConflictPolicy = ConflictPolicy.DROP,
         optimize: bool = True,
         materialize_full_scheme: bool = False,
+        concurrent: bool = False,
+        pushdown: bool = True,
+        prune_projections: bool = False,
     ):
+        """``concurrent`` selects the execution engine behind the shared
+        ``execute(iom) -> ExecutionTrace`` API: the row-by-row serial
+        :class:`~repro.pqp.executor.Executor` (default, and what the paper
+        describes) or the DAG-driven
+        :class:`~repro.pqp.runtime.ConcurrentExecutor` that overlaps
+        autonomous LQPs.  ``pushdown``/``prune_projections`` gate the
+        optimizer's semantic rewrites; both produce tag-identical final
+        results, but projection pruning narrows intermediate relations, so
+        it defaults off to keep the paper's printed intermediate tables
+        reproducible."""
         self.schema = schema
         self.registry = registry
+        self.concurrent = concurrent
         self._analyzer = SyntaxAnalyzer()
         self._interpreter = PolygenOperationInterpreter(
             schema, materialize_full_scheme=materialize_full_scheme
         )
-        self._optimizer = QueryOptimizer() if optimize else None
-        self._executor = Executor(
+        resolver = resolver or IdentityResolver.identity()
+        self._optimizer = (
+            QueryOptimizer(
+                schema=schema,
+                resolver=resolver,
+                pushdown=pushdown,
+                prune_projections=prune_projections,
+            )
+            if optimize
+            else None
+        )
+        engine = ConcurrentExecutor if concurrent else Executor
+        self._executor = engine(
             schema,
             registry,
-            resolver=resolver or IdentityResolver.identity(),
+            resolver=resolver,
             transforms=transforms or default_registry(),
             policy=policy,
         )
+
+    @property
+    def executor(self) -> Executor:
+        """The execution engine (serial or concurrent) behind this PQP."""
+        return self._executor
 
     # -- pipeline stages (usable piecemeal) ------------------------------------
 

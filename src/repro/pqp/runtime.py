@@ -1,0 +1,193 @@
+"""The concurrent federated execution runtime.
+
+The paper's Figure-1 architecture routes local operations to *autonomous*
+LQPs — engines that serve requests independently of one another.  The
+serial :class:`~repro.pqp.executor.Executor` walks the Intermediate
+Operation Matrix row by row and therefore waits on every local round-trip;
+:class:`ConcurrentExecutor` instead drives the plan DAG
+(:class:`~repro.pqp.plandag.PlanDAG`) event-driven:
+
+- every local database gets **one worker thread** (matching the
+  single-connection assumption of the scheduling model: rows at the same
+  LQP queue, rows at different LQPs overlap),
+- a local row (Retrieve / single-comparison Select) is dispatched to its
+  database's worker the moment every ``R(#)`` it consumes is ready,
+- PQP rows (the polygen algebra over earlier results) run on the
+  coordinating thread as their inputs complete — the PQP itself is a
+  serial resource, exactly as :func:`repro.pqp.schedule.schedule_plan`
+  models it.
+
+Results are bit-for-bit the serial executor's — same relations, same tags,
+same lineage — because every row runs the same columnar code path; only
+the wall-clock interleaving differs.  The returned
+:class:`~repro.pqp.executor.ExecutionTrace` carries measured per-row
+timings, so a simulated :class:`~repro.pqp.schedule.PlanSchedule` can be
+validated against what actually happened.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ExecutionError
+from repro.pqp.executor import ExecutionTrace, Executor, Lineage, RowTiming
+from repro.pqp.matrix import IntermediateOperationMatrix, MatrixRow
+from repro.pqp.plandag import PlanDAG
+
+__all__ = ["ConcurrentExecutor"]
+
+from repro.core.relation import PolygenRelation
+
+#: (row, relation, lineage, timing, error) — one completed local row.
+_Completion = Tuple[
+    MatrixRow,
+    Optional[PolygenRelation],
+    Optional[Lineage],
+    Optional[RowTiming],
+    Optional[BaseException],
+]
+
+
+class ConcurrentExecutor(Executor):
+    """DAG-driven executor dispatching local rows to per-database workers.
+
+    Drop-in for :class:`~repro.pqp.executor.Executor`: same constructor,
+    same ``execute(iom) -> ExecutionTrace`` contract, tag-identical
+    results.  Unlike the serial executor it evaluates rows in DAG order,
+    so a plan whose rows are listed out of dependency order still runs —
+    but the *query result* remains the last **listed** row in either
+    engine (the matrix convention), so list the result row last.
+    """
+
+    def execute(self, iom: IntermediateOperationMatrix) -> ExecutionTrace:
+        if not len(iom):
+            raise ExecutionError("cannot execute an empty operation matrix")
+        dag = PlanDAG.from_iom(iom)
+
+        results: Dict[int, PolygenRelation] = {}
+        lineages: Dict[int, Lineage] = {}
+        timings: Dict[int, RowTiming] = {}
+        completions: "queue.Queue[_Completion]" = queue.Queue()
+        waiting: Dict[int, int] = {
+            index: len(set(dag.predecessors(index))) for index in dag.indices
+        }
+        ready_pqp: deque = deque()
+        pools: Dict[str, ThreadPoolExecutor] = {}
+        origin = time.perf_counter()
+
+        def run_local(row: MatrixRow) -> None:
+            started = time.perf_counter() - origin
+            try:
+                relation, lineage = self._execute_row(row, results, lineages)
+            except BaseException as exc:  # propagated to the coordinator
+                completions.put((row, None, None, None, exc))
+                return
+            timing = RowTiming(
+                start=started,
+                finish=time.perf_counter() - origin,
+                location=row.el or "PQP",
+                worker=threading.current_thread().name,
+            )
+            completions.put((row, relation, lineage, timing, None))
+
+        def dispatch(index: int) -> None:
+            row = dag.row(index)
+            if row.is_local:
+                pool = pools.get(row.el)
+                if pool is None:
+                    pool = ThreadPoolExecutor(
+                        max_workers=1, thread_name_prefix=f"lqp-{row.el}"
+                    )
+                    pools[row.el] = pool
+                pool.submit(run_local, row)
+            else:
+                ready_pqp.append(row)
+
+        def complete(
+            row: MatrixRow,
+            relation: PolygenRelation,
+            lineage: Lineage,
+            timing: RowTiming,
+        ) -> List[int]:
+            index = row.result.index
+            results[index] = relation
+            lineages[index] = lineage
+            timings[index] = timing
+            released = []
+            for successor in dict.fromkeys(dag.successors(index)):
+                waiting[successor] -= 1
+                if waiting[successor] == 0:
+                    released.append(successor)
+            return released
+
+        def fail(row: MatrixRow, error: BaseException) -> ExecutionError:
+            if isinstance(error, ExecutionError):
+                return error
+            wrapped = ExecutionError(
+                f"row {row.result} ({row.op.value}) failed: {error}"
+            )
+            wrapped.__cause__ = error
+            return wrapped
+
+        done = 0
+
+        def consume(completion: _Completion) -> None:
+            """Record one finished local row and dispatch what it unblocks."""
+            nonlocal done
+            row, relation, lineage, timing, error = completion
+            if error is not None:
+                raise fail(row, error)
+            done += 1
+            for released in complete(row, relation, lineage, timing):
+                dispatch(released)
+
+        def run_pqp(row: MatrixRow) -> None:
+            nonlocal done
+            started = time.perf_counter() - origin
+            try:
+                relation, lineage = self._execute_row(row, results, lineages)
+            except Exception as exc:
+                raise fail(row, exc)
+            timing = RowTiming(
+                start=started,
+                finish=time.perf_counter() - origin,
+                location="PQP",
+                worker="pqp",
+            )
+            done += 1
+            for released in complete(row, relation, lineage, timing):
+                dispatch(released)
+
+        try:
+            for index in sorted(dag.roots()):
+                dispatch(index)
+            total = len(dag)
+            while done < total:
+                # Drain finished local rows first so freshly unblocked work
+                # reaches the (idle) LQP workers before the PQP computes.
+                drained = False
+                while True:
+                    try:
+                        completion = completions.get_nowait()
+                    except queue.Empty:
+                        break
+                    drained = True
+                    consume(completion)
+                if drained:
+                    continue
+                if ready_pqp:
+                    run_pqp(ready_pqp.popleft())
+                    continue
+                # Nothing runnable at the PQP: block until an LQP finishes.
+                consume(completions.get())
+        finally:
+            for pool in pools.values():
+                pool.shutdown(wait=True, cancel_futures=True)
+
+        final = iom.rows[-1].result.index
+        return ExecutionTrace(results[final], results, lineages[final], timings)

@@ -2,8 +2,8 @@
 
 The paper's architecture (Figure 1) routes local queries to autonomous
 LQPs, which naturally run in parallel — the PQP only needs a result when a
-downstream row consumes it.  This module builds the dependency DAG of an
-Intermediate Operation Matrix and computes:
+downstream row consumes it.  This module walks the plan's dependency DAG
+(:class:`~repro.pqp.plandag.PlanDAG`) and computes:
 
 - the **serial** cost (every row one after another — what a naive PQP does),
 - the **parallel makespan** (rows start as soon as their inputs are ready;
@@ -14,8 +14,15 @@ Intermediate Operation Matrix and computes:
 Costs come from a per-row model: local rows pay the LQP's
 :class:`~repro.lqp.cost.CostModel` (per-query latency + per-tuple shipping,
 using measured tuple counts when an execution trace is supplied); PQP rows
-pay a configurable CPU estimate per input tuple.  The scheduling bench uses
-this to show how federation width buys parallelism.
+pay a configurable CPU estimate per input tuple.  Without a trace, tuple
+counts come from the federation's own catalog when a registry is supplied —
+each LQP reports its relations' cardinalities — and are propagated through
+the plan operator by operator, instead of a hardcoded guess.
+
+This is the *model*; :class:`~repro.pqp.runtime.ConcurrentExecutor` is the
+reality.  :func:`validate_against_trace` compares the two: a trace's
+measured per-row timings yield a measured makespan and busy time, the
+direct analogues of the simulated makespan and serial cost.
 """
 
 from __future__ import annotations
@@ -23,15 +30,22 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-import networkx as nx
-
 from repro.lqp.cost import CostModel
+from repro.lqp.registry import LQPRegistry
 from repro.pqp.executor import ExecutionTrace
-from repro.pqp.matrix import IntermediateOperationMatrix, MatrixRow, ResultOperand
+from repro.pqp.matrix import IntermediateOperationMatrix, MatrixRow, Operation
+from repro.pqp.plandag import PlanDAG
 
-__all__ = ["PlanSchedule", "ScheduledRow", "schedule_plan"]
+__all__ = [
+    "PlanSchedule",
+    "ScheduledRow",
+    "ScheduleValidation",
+    "schedule_plan",
+    "validate_against_trace",
+]
 
-#: Default tuple-count guess when no execution trace is available.
+#: Last-resort tuple-count guess when neither a trace nor a registry (nor a
+#: cardinality-reporting LQP) is available.
 _DEFAULT_TUPLES = 10
 
 
@@ -84,27 +98,91 @@ class PlanSchedule:
         return "\n".join(lines)
 
 
+@dataclass(frozen=True)
+class ScheduleValidation:
+    """Simulated model versus measured execution of the same plan."""
+
+    simulated_serial: float
+    simulated_makespan: float
+    simulated_speedup: float
+    measured_busy: float
+    measured_makespan: float
+    measured_speedup: float
+
+    def render(self) -> str:
+        return (
+            f"simulated: serial {self.simulated_serial:.3f}, "
+            f"makespan {self.simulated_makespan:.3f}, "
+            f"speedup {self.simulated_speedup:.2f}x\n"
+            f"measured:  busy {self.measured_busy:.3f}s, "
+            f"makespan {self.measured_makespan:.3f}s, "
+            f"overlap {self.measured_speedup:.2f}x"
+        )
+
+
+# ----------------------------------------------------------------------
+# Tuple-count estimation
+# ----------------------------------------------------------------------
+
+
+def _estimate_tuples(
+    dag: PlanDAG,
+    registry: Optional[LQPRegistry],
+    trace: Optional[ExecutionTrace],
+) -> Dict[int, int]:
+    """Per-row tuple counts: measured where a trace covers the row,
+    catalog-driven otherwise.
+
+    Unmeasured local rows ask their LQP for the base relation's cardinality
+    (Select rows use it as an upper bound); unmeasured PQP rows combine
+    their inputs with simple, defensible rules — Merge/Union add,
+    Join/Intersect keep the larger side as a bound, Product multiplies,
+    everything else passes its input through.
+    """
+    produced: Dict[int, int] = {}
+    for index in dag.topological_order():
+        row = dag.row(index)
+        if trace is not None and index in trace.results:
+            produced[index] = trace.results[index].cardinality
+            continue
+        if row.is_local:
+            estimate = None
+            if registry is not None and row.el in registry:
+                estimate = registry.get(row.el).cardinality_estimate(row.lhr.relation)
+            produced[index] = estimate if estimate is not None else _DEFAULT_TUPLES
+            continue
+        inputs = [produced[ref.index] for ref in row.referenced_results()]
+        if not inputs:
+            produced[index] = _DEFAULT_TUPLES
+        elif row.op in (Operation.MERGE, Operation.UNION):
+            produced[index] = sum(inputs)
+        elif row.op is Operation.PRODUCT:
+            left, right = inputs[0], inputs[-1]
+            produced[index] = max(1, left * right)
+        elif row.op in (Operation.JOIN, Operation.INTERSECT):
+            produced[index] = max(inputs)
+        else:  # Select / Restrict / Project / Coalesce / Difference
+            produced[index] = inputs[0]
+    return produced
+
+
 def _row_cost(
     row: MatrixRow,
-    trace: Optional[ExecutionTrace],
+    produced: Dict[int, int],
     local_costs: Dict[str, CostModel],
     default_cost: CostModel,
     pqp_cost_per_tuple: float,
 ) -> float:
-    produced = _DEFAULT_TUPLES
-    if trace is not None and row.result.index in trace.results:
-        produced = trace.results[row.result.index].cardinality
     if row.is_local:
         model = local_costs.get(row.el, default_cost)
-        return model.cost(queries=1, tuples=produced)
-    consumed = 0
-    if trace is not None:
-        for ref in row.referenced_results():
-            if ref.index in trace.results:
-                consumed += trace.results[ref.index].cardinality
-    else:
-        consumed = _DEFAULT_TUPLES * max(1, len(row.referenced_results()))
+        return model.cost(queries=1, tuples=produced[row.result.index])
+    consumed = sum(produced[ref.index] for ref in row.referenced_results())
     return pqp_cost_per_tuple * max(consumed, 1)
+
+
+# ----------------------------------------------------------------------
+# Simulation
+# ----------------------------------------------------------------------
 
 
 def schedule_plan(
@@ -113,6 +191,7 @@ def schedule_plan(
     local_costs: Optional[Dict[str, CostModel]] = None,
     default_cost: CostModel = CostModel(per_query=1.0, per_tuple=0.01),
     pqp_cost_per_tuple: float = 0.002,
+    registry: Optional[LQPRegistry] = None,
 ) -> PlanSchedule:
     """Simulate a plan's execution schedule.
 
@@ -120,30 +199,29 @@ def schedule_plan(
     Resource constraint: rows executing at the same local database are
     serialized on that LQP (a single-connection assumption matching the
     paper's prototype); PQP rows are serialized on the PQP.
+
+    Tuple counts come from ``trace`` when supplied (measured), else from
+    ``registry`` (catalog cardinalities), else a fixed guess.
     """
+    dag = PlanDAG.from_iom(iom)
+    produced = _estimate_tuples(dag, registry, trace)
     costs: Dict[int, float] = {
         row.result.index: _row_cost(
-            row, trace, local_costs or {}, default_cost, pqp_cost_per_tuple
+            row, produced, local_costs or {}, default_cost, pqp_cost_per_tuple
         )
         for row in iom
     }
-
-    graph = nx.DiGraph()
-    for row in iom:
-        graph.add_node(row.result.index)
-        for ref in row.referenced_results():
-            graph.add_edge(ref.index, row.result.index)
 
     resource_free: Dict[str, float] = {}
     start: Dict[int, float] = {}
     finish: Dict[int, float] = {}
     critical_pred: Dict[int, Optional[int]] = {}
 
-    for index in nx.topological_sort(graph):
-        row = iom.row_for(ResultOperand(index))
+    for index in dag.topological_order():
+        row = dag.row(index)
         ready = 0.0
         critical_pred[index] = None
-        for predecessor in graph.predecessors(index):
+        for predecessor in dag.predecessors(index):
             if finish[predecessor] >= ready:
                 ready = finish[predecessor]
                 critical_pred[index] = predecessor
@@ -179,4 +257,28 @@ def schedule_plan(
         serial_cost=serial_cost,
         makespan=makespan,
         critical_path=tuple(path),
+    )
+
+
+def validate_against_trace(
+    schedule: PlanSchedule, trace: ExecutionTrace
+) -> ScheduleValidation:
+    """Put the model and a measured run side by side.
+
+    The trace must carry per-row timings (every executor records them).
+    ``measured_speedup`` is busy time over wall clock — how much real
+    overlap the runtime achieved, the measured analogue of the simulated
+    ``speedup``.
+    """
+    measured_makespan = trace.wall_clock
+    measured_busy = trace.busy_time
+    return ScheduleValidation(
+        simulated_serial=schedule.serial_cost,
+        simulated_makespan=schedule.makespan,
+        simulated_speedup=schedule.speedup,
+        measured_busy=measured_busy,
+        measured_makespan=measured_makespan,
+        measured_speedup=(
+            measured_busy / measured_makespan if measured_makespan > 0 else 1.0
+        ),
     )

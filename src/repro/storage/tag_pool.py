@@ -23,10 +23,19 @@ afterwards it is a single dict lookup.  Pools are append-only, so ids remain
 valid for the life of the pool and relations sharing a pool can compare tag
 ids directly.  :data:`GLOBAL_TAG_POOL` is the process-wide default every
 relation uses unless told otherwise.
+
+Interning is thread-safe: the concurrent runtime materializes relations on
+per-database worker threads while the coordinator runs kernels, and all of
+them intern into the shared pool.  Allocation takes a lock (double-checked,
+so the hit path stays a bare dict read); the memo tables tolerate benign
+races because every memoized function is deterministic and resolves through
+the locked :meth:`intern`, so concurrent writers can only store the same
+value under the same key.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterable, List, Tuple
 
 from repro.core.tags import EMPTY_SOURCES, SourceSet
@@ -54,6 +63,7 @@ class TagPool:
         "_merge_memo",
         "_inter_memo",
         "_absorb_memo",
+        "_lock",
     )
 
     #: Id of the fully empty pair ``({}, {})`` in every pool.
@@ -65,20 +75,31 @@ class TagPool:
         self._merge_memo: Dict[Tuple[int, int], int] = {}
         self._inter_memo: Dict[Tuple[int, SourceSet], int] = {}
         self._absorb_memo: Dict[Tuple[int, int], int] = {}
+        self._lock = threading.Lock()
         self.intern(EMPTY_SOURCES, EMPTY_SOURCES)
 
     # -- interning ----------------------------------------------------------
 
     def intern(self, origins: SourceSet, intermediates: SourceSet) -> int:
-        """The id of ``(origins, intermediates)``, allocating on first sight."""
+        """The id of ``(origins, intermediates)``, allocating on first sight.
+
+        Safe to call from concurrent threads: the allocation (read-length /
+        append / record-id, not atomic on its own) is double-checked under a
+        lock, while the overwhelmingly common already-interned path remains
+        a single lock-free dict read.
+        """
         pair = (origins, intermediates)
         found = self._ids.get(pair)
         if found is not None:
             return found
-        allocated = len(self._pairs)
-        self._pairs.append(pair)
-        self._ids[pair] = allocated
-        return allocated
+        with self._lock:
+            found = self._ids.get(pair)
+            if found is not None:
+                return found
+            allocated = len(self._pairs)
+            self._pairs.append(pair)
+            self._ids[pair] = allocated
+            return allocated
 
     def intern_iterables(
         self, origins: Iterable[str], intermediates: Iterable[str]

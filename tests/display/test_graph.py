@@ -1,10 +1,10 @@
 """Unit tests for plan and source graphs."""
 
-import networkx as nx
 import pytest
 
 from repro.datasets.paper import build_paper_federation
 from repro.display.graph import plan_graph, source_graph, to_dot
+from repro.display.graphlib import DiGraph
 
 from tests.integration.conftest import PAPER_SQL
 
@@ -28,7 +28,8 @@ class TestPlanGraph:
 
     def test_is_a_dag_with_single_sink(self, paper_run):
         graph = plan_graph(paper_run.iom)
-        assert nx.is_directed_acyclic_graph(graph)
+        assert isinstance(graph, DiGraph)
+        assert graph.is_dag()
         sinks = [node for node in graph if graph.out_degree(node) == 0]
         assert sinks == [10]
 

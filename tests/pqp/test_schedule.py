@@ -4,7 +4,7 @@ import pytest
 
 from repro.datasets.paper import build_paper_federation
 from repro.lqp.cost import CostModel
-from repro.pqp.schedule import schedule_plan
+from repro.pqp.schedule import schedule_plan, validate_against_trace
 
 from tests.integration.conftest import PAPER_SQL
 
@@ -75,6 +75,44 @@ class TestScheduling:
         schedule = schedule_plan(paper_run.iom)
         assert schedule.serial_cost > 0
         assert len(schedule.rows) == len(paper_run.iom)
+
+    def test_registry_cardinalities_replace_the_guess(self, paper_run):
+        """Without a trace, catalog cardinalities (not a hardcoded 10)
+        drive local row costs."""
+        pqp = build_paper_federation()
+        by_index = lambda schedule: {
+            item.row.result.index: item.cost for item in schedule.rows
+        }
+        guessed = by_index(schedule_plan(paper_run.iom))
+        informed = by_index(
+            schedule_plan(paper_run.iom, registry=pqp.registry)
+        )
+        model = CostModel(per_query=1.0, per_tuple=0.01)
+        # R(2) retrieves CAREER (9 tuples): informed cost is exact.
+        assert informed[2] == pytest.approx(model.cost(queries=1, tuples=9))
+        assert guessed[2] == pytest.approx(model.cost(queries=1, tuples=10))
+        # R(4/5/6) retrieve BUSINESS (9), CORPORATION (7), FIRM (10).
+        assert informed[4] == pytest.approx(model.cost(queries=1, tuples=9))
+        assert informed[5] == pytest.approx(model.cost(queries=1, tuples=7))
+        assert informed[6] == pytest.approx(model.cost(queries=1, tuples=10))
+
+    def test_registry_estimates_propagate_to_pqp_rows(self, paper_run):
+        pqp = build_paper_federation()
+        schedule = schedule_plan(paper_run.iom, registry=pqp.registry)
+        merge = next(item for item in schedule.rows if item.row.op.value == "Merge")
+        # The Merge consumes the three retrieves' 9 + 7 + 10 tuples.
+        assert merge.cost == pytest.approx(0.002 * 26)
+
+    def test_validation_against_measured_trace(self, paper_run):
+        schedule = schedule_plan(paper_run.iom, paper_run.trace)
+        validation = validate_against_trace(schedule, paper_run.trace)
+        assert validation.simulated_speedup == pytest.approx(schedule.speedup)
+        assert validation.measured_makespan == pytest.approx(
+            paper_run.trace.wall_clock
+        )
+        assert validation.measured_busy <= validation.measured_makespan + 1e-9
+        assert "simulated:" in validation.render()
+        assert "measured:" in validation.render()
 
     def test_render(self, paper_run):
         schedule = schedule_plan(paper_run.iom, paper_run.trace)

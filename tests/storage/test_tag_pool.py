@@ -128,3 +128,39 @@ def test_ids_are_dense_and_stable(n):
     assert ids == list(range(1, n + 1))
     # Re-interning changes nothing.
     assert [pool.intern(frozenset({f"S{i}"}), frozenset()) for i in range(n)] == ids
+
+
+def test_concurrent_interning_is_consistent():
+    """The concurrent runtime interns from per-database worker threads;
+    racing allocations must never hand two pairs the same id (or one pair
+    two ids)."""
+    import threading
+
+    pool = TagPool()
+    pairs = [
+        (frozenset({f"D{i:02d}"}), frozenset(sample))
+        for i in range(40)
+        for sample in ((), ("AD",), ("AD", "PD"))
+    ]
+    results: dict = {}
+    barrier = threading.Barrier(8)
+
+    def worker(worker_id: int) -> None:
+        barrier.wait()
+        local = {}
+        for pair in pairs:
+            local[pair] = pool.intern(*pair)
+        results[worker_id] = local
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    reference = results[0]
+    for worker_id, local in results.items():
+        assert local == reference, f"worker {worker_id} saw different ids"
+    for pair, tag_id in reference.items():
+        assert pool.pair(tag_id) == pair
+    assert len(pool) == len(pairs) + 1  # plus the preinterned empty pair
