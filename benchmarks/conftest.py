@@ -9,14 +9,21 @@ worthless.  Run with::
 Benchmarks that report scalar results (speedups, tuple counts, makespans)
 record them through the ``record_bench`` fixture; pass ``--bench-json``
 (optionally with a path; default ``BENCH_runtime.json``) to write them as
-machine-readable JSON so the performance trajectory is trackable across
-PRs::
+machine-readable JSON::
 
     pytest benchmarks/test_bench_runtime.py --bench-json
+
+Besides overwriting that snapshot, every ``--bench-json`` run also appends
+a timestamped entry to ``BENCH_history.json`` (next to the snapshot),
+keyed by the current git SHA — runs on the same SHA merge their result
+dicts — so successive PRs accumulate a tracked performance trajectory
+instead of each overwriting the last.
 """
 
+import datetime
 import json
 import platform
+import subprocess
 import sys
 from pathlib import Path
 
@@ -57,6 +64,38 @@ def pytest_addoption(parser):
     )
 
 
+def _git_sha() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+def _append_history(snapshot_path: Path, payload: dict) -> None:
+    """Merge this run's results into BENCH_history.json under the git SHA."""
+    history_path = snapshot_path.with_name("BENCH_history.json")
+    try:
+        history = json.loads(history_path.read_text())
+    except (OSError, ValueError):
+        history = {}
+    sha = _git_sha()
+    entry = history.get(sha) or {"results": {}}
+    entry["timestamp"] = (
+        datetime.datetime.now(datetime.timezone.utc).isoformat(timespec="seconds")
+    )
+    entry["python"] = payload["python"]
+    entry["platform"] = payload["platform"]
+    entry["results"].update(payload["results"])
+    history[sha] = entry
+    history_path.write_text(json.dumps(history, indent=2, sort_keys=True) + "\n")
+
+
 @pytest.fixture(scope="session")
 def bench_records(request):
     """Session-wide result store, dumped to JSON when --bench-json is set."""
@@ -69,7 +108,9 @@ def bench_records(request):
             "platform": platform.platform(),
             "results": records,
         }
-        Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        snapshot = Path(path)
+        snapshot.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        _append_history(snapshot, payload)
 
 
 @pytest.fixture

@@ -29,6 +29,7 @@ from repro.lqp.relational_lqp import RelationalLQP
 from repro.pqp.explain import source_summary
 from repro.pqp.processor import PolygenQueryProcessor
 from repro.pqp.schedule import schedule_plan, validate_against_trace
+from repro.service.federation import PolygenFederation
 
 SPEC = FederationSpec(
     databases=12,
@@ -98,14 +99,23 @@ def main() -> None:
 
     print("Cross-database join: who works at a Banking organization?")
     print("----------------------------------------------------------")
+    # Twelve per-scheme queries — one per person database — submitted
+    # together to a multi-user federation service: up to six run at once,
+    # all sharing one long-lived per-database worker pool.
     banking_rows = []
-    for index in range(SPEC.databases):
-        scheme = f"GPERSON{index:02d}"
-        answer = pqp.run_algebra(
-            f'({scheme} [EMPLOYER = NAME] (GORGANIZATION [INDUSTRY = "Banking"]))'
-            " [PNAME, EMPLOYER]"
-        )
-        banking_rows.extend(answer.relation.tuples)
+    with PolygenFederation(
+        federation.schema, pqp.registry, max_concurrent_queries=6
+    ) as service:
+        with service.session(name="banking-audit") as session:
+            handles = [
+                session.submit(
+                    f'(GPERSON{index:02d} [EMPLOYER = NAME] '
+                    f'(GORGANIZATION [INDUSTRY = "Banking"])) [PNAME, EMPLOYER]'
+                )
+                for index in range(SPEC.databases)
+            ]
+            for handle in handles:
+                banking_rows.extend(handle.result().relation.tuples)
     print(f"  people employed in Banking across the federation: {len(banking_rows)}")
     sample = banking_rows[0]
     print(

@@ -3,8 +3,9 @@ Heterogeneous Database Systems: The Source Tagging Perspective*.
 
 The library answers "where is this data from?" and "which intermediate
 sources were used to arrive at it?" for queries over a federation of
-autonomous relational databases.  See ``README.md`` for a tour and
-``DESIGN.md`` for the system inventory.
+autonomous relational databases.  See ``README.md`` for a tour, the
+architecture diagrams, and the design notes on where the implementation
+normalizes the paper's figures.
 
 Quickstart::
 
@@ -19,21 +20,55 @@ Quickstart::
             (SELECT AID# FROM PALUMNUS WHERE DEGREE = "MBA"))
     ''')
     print(result.relation)          # source-tagged answer (paper, Table 9)
+
+Or as a long-lived, multi-user service::
+
+    from repro import PolygenFederation
+
+    with PolygenFederation(schema, registry) as federation:
+        with federation.session() as session:
+            handle = session.submit('SELECT CEO FROM PORGANIZATION')
+            for row in handle.cursor():
+                ...
 """
 
 from repro._version import __version__
 
-__all__ = ["__version__"]
+__all__ = [
+    "__version__",
+    "build_paper_federation",
+    "paper_polygen_schema",
+    "paper_databases",
+    "PolygenQueryProcessor",
+    "PolygenFederation",
+    "QueryOptions",
+    "QueryResult",
+]
+
+#: flat name → (module, attribute) for the lazy re-exports below.
+_LAZY_EXPORTS = {
+    "build_paper_federation": ("repro.datasets.paper", "build_paper_federation"),
+    "paper_polygen_schema": ("repro.datasets.paper", "paper_polygen_schema"),
+    "paper_databases": ("repro.datasets.paper", "paper_databases"),
+    "PolygenQueryProcessor": ("repro.pqp.processor", "PolygenQueryProcessor"),
+    "PolygenFederation": ("repro.service.federation", "PolygenFederation"),
+    "QueryOptions": ("repro.service.options", "QueryOptions"),
+    "QueryResult": ("repro.pqp.result", "QueryResult"),
+}
 
 
 def __getattr__(name):
     # Lazy re-exports keep `import repro` light while offering a flat API.
-    if name in {"build_paper_federation", "paper_polygen_schema", "paper_databases"}:
-        from repro.datasets import paper
+    try:
+        module_name, attribute = _LAZY_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}") from None
+    import importlib
 
-        return getattr(paper, name)
-    if name == "PolygenQueryProcessor":
-        from repro.pqp.processor import PolygenQueryProcessor
+    return getattr(importlib.import_module(module_name), attribute)
 
-        return PolygenQueryProcessor
-    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+def __dir__():
+    # Make the flat API discoverable (dir(repro), tab completion) even
+    # though the exports resolve lazily.
+    return sorted(set(globals()) | set(__all__))

@@ -93,13 +93,16 @@ class PolygenRelation:
         rows: Iterable[Sequence[Any]],
         origins: Iterable[str] = (),
         intermediates: Iterable[str] = (),
+        pool=None,
     ) -> "PolygenRelation":
         """Build a relation from plain data rows, tagging every cell alike.
 
         ``None`` data become nil cells with *empty* origins (a nil datum has
         no originating source), keeping the given intermediates.  The whole
         relation needs at most two interned tag ids, so tagging cost is
-        independent of the number of cells.
+        independent of the number of cells.  ``pool`` scopes interning to a
+        caller-owned :class:`~repro.storage.tag_pool.TagPool`; ``None``
+        uses the process-wide default.
 
         >>> r = PolygenRelation.from_data(["A"], [["x"], [None]], origins=["AD"])
         >>> [cell.render() for cell in r.tuples[0]]
@@ -111,7 +114,7 @@ class PolygenRelation:
             heading = Heading(heading)
         return cls.from_store(
             ColumnarRelation.from_uniform_rows(
-                heading, rows, frozenset(origins), frozenset(intermediates)
+                heading, rows, frozenset(origins), frozenset(intermediates), pool
             )
         )
 

@@ -39,6 +39,8 @@ __all__ = [
     "AlgebraParseError",
     "TranslationError",
     "ExecutionError",
+    "QueryCancelledError",
+    "ServiceClosedError",
     "UnknownDatabaseError",
     "UnknownRelationError",
     "LocalEngineError",
@@ -200,6 +202,15 @@ class TranslationError(PolygenError):
 
 class ExecutionError(PolygenError):
     """The PQP executor failed to evaluate a query execution plan."""
+
+
+class QueryCancelledError(ExecutionError):
+    """A submitted query was cancelled before it produced its result."""
+
+
+class ServiceClosedError(ExecutionError):
+    """An operation was attempted on a closed federation, session, pool or
+    cursor."""
 
 
 class UnknownDatabaseError(ExecutionError, KeyError):

@@ -4,10 +4,18 @@ An Intermediate Operation Matrix row carries an execution location (EL);
 when the EL names a local database the executor looks its LQP up here.
 Every registered LQP is wrapped in an :class:`~repro.lqp.cost.AccountingLQP`
 so benchmark runs can interrogate traffic without any extra wiring.
+
+The registry is shared mutable state of a long-lived federation: worker
+threads check LQPs out concurrently while an administrator may still be
+registering databases.  All mutation and every snapshot therefore happens
+under a lock; :meth:`get` checkouts stay a bare dict read (atomic under the
+GIL, and the dict is only ever added to), so the per-row hot path pays
+nothing for the safety.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterator, Tuple
 
 from repro.errors import ExecutionError, UnknownDatabaseError
@@ -18,21 +26,23 @@ __all__ = ["LQPRegistry"]
 
 
 class LQPRegistry:
-    """Name → LQP lookup with built-in traffic accounting."""
+    """Name → LQP lookup with built-in traffic accounting.  Thread-safe."""
 
     def __init__(self) -> None:
         self._lqps: Dict[str, AccountingLQP] = {}
+        self._lock = threading.Lock()
 
     def register(
         self, lqp: LocalQueryProcessor, cost_model: CostModel | None = None
     ) -> AccountingLQP:
         """Register an LQP under its database name.  Returns the accounting
         wrapper actually stored (useful for reading stats later)."""
-        if lqp.name in self._lqps:
-            raise ExecutionError(f"an LQP is already registered for {lqp.name!r}")
-        wrapped = AccountingLQP(lqp, cost_model)
-        self._lqps[lqp.name] = wrapped
-        return wrapped
+        with self._lock:
+            if lqp.name in self._lqps:
+                raise ExecutionError(f"an LQP is already registered for {lqp.name!r}")
+            wrapped = AccountingLQP(lqp, cost_model)
+            self._lqps[lqp.name] = wrapped
+            return wrapped
 
     def get(self, database: str) -> AccountingLQP:
         try:
@@ -44,19 +54,22 @@ class LQPRegistry:
         return database in self._lqps
 
     def __iter__(self) -> Iterator[AccountingLQP]:
-        return iter(self._lqps.values())
+        with self._lock:
+            return iter(tuple(self._lqps.values()))
 
     def __len__(self) -> int:
         return len(self._lqps)
 
     def names(self) -> Tuple[str, ...]:
-        return tuple(self._lqps)
+        with self._lock:
+            return tuple(self._lqps)
 
     # -- accounting -----------------------------------------------------------
 
     def stats(self) -> Dict[str, TransferStats]:
         """Per-database traffic counters."""
-        return {name: lqp.stats for name, lqp in self._lqps.items()}
+        with self._lock:
+            return {name: lqp.stats for name, lqp in self._lqps.items()}
 
     def total_stats(self) -> TransferStats:
         total = TransferStats()

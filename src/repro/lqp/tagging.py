@@ -36,7 +36,10 @@ __all__ = ["tag_local_relation", "materialize"]
 
 
 def tag_local_relation(
-    relation: Relation, database: str, consulted: Sequence[str] = ()
+    relation: Relation,
+    database: str,
+    consulted: Sequence[str] = (),
+    tag_pool=None,
 ) -> PolygenRelation:
     """Tag an untagged local relation as originating wholly from ``database``.
 
@@ -46,10 +49,15 @@ def tag_local_relation(
     cell.  ``consulted`` names databases whose cells were examined while
     producing the shipped data (e.g. a selection pushed down into the LQP);
     they become intermediate sources, per the paper's §II Restrict
-    semantics.
+    semantics.  ``tag_pool`` scopes interning to a caller-owned pool (a
+    long-lived federation's); ``None`` uses the process-wide default.
     """
     return PolygenRelation.from_data(
-        relation.heading, relation.rows, origins=[database], intermediates=consulted
+        relation.heading,
+        relation.rows,
+        origins=[database],
+        intermediates=consulted,
+        pool=tag_pool,
     )
 
 
@@ -62,6 +70,7 @@ def materialize(
     relation_name: str | None = None,
     attributes: Sequence[str] | None = None,
     consulted: Sequence[str] = (),
+    tag_pool=None,
 ) -> PolygenRelation:
     """Turn a shipped local relation into a polygen base relation.
 
@@ -121,4 +130,4 @@ def materialize(
 
     converted = relation.map_values(convert)
     renamed = converted.rename(rename_map)
-    return tag_local_relation(renamed, database, consulted=consulted)
+    return tag_local_relation(renamed, database, consulted=consulted, tag_pool=tag_pool)

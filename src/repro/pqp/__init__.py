@@ -23,8 +23,13 @@ The shared dependency structure lives in
 the runtime actually drives, and measured per-row timings flow back via
 :class:`~repro.pqp.executor.ExecutionTrace` to validate the model.
 
-:class:`~repro.pqp.processor.PolygenQueryProcessor` is the facade over the
-whole pipeline; its ``concurrent`` flag chooses the engine.
+:class:`~repro.pqp.processor.PolygenQueryProcessor` is the blocking,
+single-user facade over the whole pipeline; its ``concurrent`` flag
+chooses the engine.  The multi-user front door — long-lived
+:class:`~repro.service.federation.PolygenFederation`, sessions, query
+handles, streaming cursors, a worker pool shared across queries — lives
+in :mod:`repro.service`; the facade is now a single-session federation
+under the hood.
 """
 
 from repro.pqp.executor import ExecutionTrace, Executor, RowTiming

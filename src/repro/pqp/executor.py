@@ -24,16 +24,17 @@ belongs to.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Tuple
+from typing import Callable, Dict, FrozenSet, Optional, Tuple
 
 from repro.catalog.schema import PolygenSchema
 from repro.core import algebra, derived
 from repro.core.cell import ConflictPolicy
 from repro.core.predicate import AttributeRef, Literal
 from repro.core.relation import PolygenRelation
-from repro.errors import ExecutionError
+from repro.errors import ExecutionError, QueryCancelledError
 from repro.integration.domains import TransformRegistry, default_registry
 from repro.integration.identity import IdentityResolver
 from repro.lqp.registry import LQPRegistry
@@ -101,6 +102,15 @@ class ExecutionTrace:
         """Summed per-row durations — the measured analogue of serial cost."""
         return sum(timing.duration for timing in self.timings.values())
 
+    def busy_by_location(self) -> Dict[str, float]:
+        """Measured busy seconds per execution location (LQP name or
+        ``"PQP"``) — the per-resource breakdown the federation's
+        utilization stats aggregate across queries."""
+        busy: Dict[str, float] = {}
+        for timing in self.timings.values():
+            busy[timing.location] = busy.get(timing.location, 0.0) + timing.duration
+        return busy
+
 
 class Executor:
     """Evaluates Intermediate Operation Matrices."""
@@ -112,24 +122,46 @@ class Executor:
         resolver: IdentityResolver | None = None,
         transforms: TransformRegistry | None = None,
         policy: ConflictPolicy = ConflictPolicy.DROP,
+        tag_pool=None,
     ):
+        """``tag_pool`` scopes materialization's tag interning to a caller-
+        owned :class:`~repro.storage.tag_pool.TagPool` (a long-lived
+        federation shares one across every session's queries); ``None``
+        keeps the process-wide default pool."""
         self._schema = schema
         self._registry = registry
         self._resolver = resolver or IdentityResolver.identity()
         self._transforms = transforms or default_registry()
         self._policy = policy
+        self._tag_pool = tag_pool
 
     # ------------------------------------------------------------------
 
-    def execute(self, iom: IntermediateOperationMatrix) -> ExecutionTrace:
-        """Evaluate every row in order; the last row is the query result."""
+    def execute(
+        self,
+        iom: IntermediateOperationMatrix,
+        *,
+        cancel: threading.Event | None = None,
+        on_result: Optional[Callable[[PolygenRelation], None]] = None,
+    ) -> ExecutionTrace:
+        """Evaluate every row in order; the last row is the query result.
+
+        ``cancel`` aborts cooperatively between rows with
+        :class:`~repro.errors.QueryCancelledError`; ``on_result`` fires
+        with the final relation the moment the result row completes —
+        the same service-layer hooks the concurrent engine honours, so a
+        federation can drive either engine through one call shape.
+        """
         if not len(iom):
             raise ExecutionError("cannot execute an empty operation matrix")
+        final = iom.rows[-1].result.index
         results: Dict[int, PolygenRelation] = {}
         lineages: Dict[int, Lineage] = {}
         timings: Dict[int, RowTiming] = {}
         origin = time.perf_counter()
         for row in iom:
+            if cancel is not None and cancel.is_set():
+                raise QueryCancelledError("query cancelled")
             started = time.perf_counter() - origin
             try:
                 relation, lineage = self._execute_row(row, results, lineages)
@@ -147,7 +179,8 @@ class Executor:
                 location=row.el or "PQP",
                 worker="serial",
             )
-        final = iom.rows[-1].result.index
+            if row.result.index == final and on_result is not None:
+                on_result(relation)
         return ExecutionTrace(results[final], results, lineages[final], timings)
 
     # ------------------------------------------------------------------
@@ -190,6 +223,7 @@ class Executor:
             relation_name=row.lhr.relation,
             attributes=row.project,
             consulted=row.consulted,
+            tag_pool=self._tag_pool,
         )
         lineage = {attribute: frozenset({scheme.name}) for attribute in relation.attributes}
         return relation, lineage

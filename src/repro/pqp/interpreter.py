@@ -17,7 +17,8 @@ PORGANIZATION with PALUMNUS), the pending left-hand local operation is
 materialized first and the pass-one attribute rewriting is undone through
 the paper's ``PA(LS, LA)`` reverse mapping.
 
-Two normalizations relative to the figures, both recorded in DESIGN.md:
+Two normalizations relative to the figures, both recorded in README.md
+("Design notes" under Architecture):
 
 - Figure 4 emits the pending local operation with all-nil operands, which
   degenerates to an unconditioned Restrict — i.e. a Retrieve; we emit

@@ -1,0 +1,183 @@
+"""The shared per-database worker pool.
+
+The paper's Figure-1 architecture gives every autonomous local database its
+own connection; the scheduling model and the concurrent runtime both assume
+**one in-flight request per database** (rows at the same LQP queue, rows at
+different LQPs overlap).  :class:`WorkerPool` realizes that assumption as a
+set of long-lived worker threads — exactly one per local database name,
+created lazily the first time work is routed there and kept alive until the
+pool is closed.
+
+Before this pool existed, :class:`~repro.pqp.runtime.ConcurrentExecutor`
+spawned and joined its per-database threads on every ``execute()`` call —
+fine for one query, pure churn for a multi-user federation service.  A
+:class:`~repro.service.federation.PolygenFederation` owns one ``WorkerPool``
+and shares it across every session and every concurrently executing plan:
+jobs from different queries bound for the same database simply queue on
+that database's single worker, which is precisely the serialization the
+cost model (:func:`repro.pqp.schedule.schedule_plan`) charges for.
+
+Jobs are fire-and-forget callables: the runtime routes completions through
+its own queue, so the pool never holds results.  Workers are daemon threads
+— an abandoned pool cannot block interpreter exit — but well-behaved owners
+call :meth:`close` (or use the pool as a context manager), which drains
+every queued job and joins the workers.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import weakref
+from typing import Callable, Dict, Tuple
+
+from repro.errors import ServiceClosedError
+
+__all__ = ["WorkerPool"]
+
+#: Sentinel telling a worker thread to exit its loop.
+_STOP = object()
+
+
+def _stop_workers(workers: "Dict[str, _Worker]") -> None:
+    """GC finalizer: wake every worker with a stop sentinel so a pool
+    dropped without :meth:`WorkerPool.close` does not strand its (daemon)
+    threads parked in ``queue.get()`` forever.  Takes the workers dict,
+    not the pool, so the finalizer holds no reference that would keep the
+    pool alive.  Redundant sentinels after an explicit close are harmless.
+    """
+    for worker in list(workers.values()):
+        worker.jobs.put(_STOP)
+
+
+class _Worker:
+    """One database's worker: a thread draining a job queue serially."""
+
+    __slots__ = ("name", "jobs", "thread", "busy")
+
+    def __init__(self, name: str, thread_name: str):
+        self.name = name
+        self.jobs: "queue.SimpleQueue[object]" = queue.SimpleQueue()
+        self.busy = False
+        self.thread = threading.Thread(
+            target=self._loop, name=thread_name, daemon=True
+        )
+        self.thread.start()
+
+    def _loop(self) -> None:
+        while True:
+            job = self.jobs.get()
+            if job is _STOP:
+                return
+            self.busy = True
+            try:
+                job()
+            except BaseException:
+                # Fire-and-forget jobs report outcomes (including errors)
+                # through their own channel; a job that raises anyway must
+                # not take the database's only worker down with it.
+                pass
+            finally:
+                self.busy = False
+                # Drop the closure before parking in get(): a job captures
+                # its executor (which holds this pool), and a reference
+                # surviving in this frame would keep an abandoned pool
+                # uncollectable — so its GC finalizer could never stop us.
+                job = None
+
+    def occupancy(self) -> int:
+        """Jobs queued or running right now (approximate, lock-free)."""
+        return self.jobs.qsize() + (1 if self.busy else 0)
+
+
+class WorkerPool:
+    """Long-lived single-threaded workers, one per local database name."""
+
+    _instances = itertools.count()
+
+    def __init__(self, thread_name_prefix: str = "lqp"):
+        self._prefix = f"{thread_name_prefix}-{next(self._instances)}"
+        self._lock = threading.Lock()
+        self._workers: Dict[str, _Worker] = {}
+        self._closed = False
+        self._finalizer = weakref.finalize(self, _stop_workers, self._workers)
+
+    # -- dispatch -----------------------------------------------------------
+
+    def submit(self, database: str, job: Callable[[], None]) -> None:
+        """Queue ``job`` on ``database``'s worker (created on first use).
+
+        Fire-and-forget: the job communicates its outcome through whatever
+        channel it closed over.  Raises :class:`ServiceClosedError` once the
+        pool is closed.
+
+        The enqueue happens under the pool lock so it serializes against
+        :meth:`close`: a job is either queued ahead of the stop sentinel
+        (and will run during the close drain) or refused — never silently
+        dropped behind it.
+        """
+        with self._lock:
+            if self._closed:
+                raise ServiceClosedError(
+                    f"worker pool {self._prefix!r} is closed"
+                )
+            worker = self._workers.get(database)
+            if worker is None:
+                worker = _Worker(database, f"{self._prefix}-{database}")
+                self._workers[database] = worker
+            worker.jobs.put(job)
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def worker_count(self) -> int:
+        """Databases with a live worker thread."""
+        with self._lock:
+            return len(self._workers)
+
+    def thread_names(self) -> Tuple[str, ...]:
+        """The worker threads' names, sorted — stable across queries, which
+        is what the no-thread-churn stress test asserts."""
+        with self._lock:
+            return tuple(sorted(w.thread.name for w in self._workers.values()))
+
+    def occupancy(self) -> Dict[str, int]:
+        """Per-database jobs queued or running (the pool-occupancy stat)."""
+        with self._lock:
+            return {name: w.occupancy() for name, w in self._workers.items()}
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting work, let queued jobs drain, join the workers.
+
+        Idempotent.  With ``wait=False`` the stop sentinel is queued but the
+        (daemon) workers are not joined.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            workers = list(self._workers.values())
+            # Sentinels go out under the lock: submit() also enqueues under
+            # it, so no job can land behind a _STOP and no worker created
+            # concurrently can miss one.
+            for worker in workers:
+                worker.jobs.put(_STOP)
+        if wait:
+            for worker in workers:
+                worker.thread.join()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return f"WorkerPool({self._prefix!r}, workers={len(self._workers)}, {state})"

@@ -1,4 +1,4 @@
-"""The Polygen Query Processor facade.
+"""The classic blocking Polygen Query Processor facade.
 
 Wires the whole pipeline of Figure 2 — Syntax Analyzer → Polygen Operation
 Interpreter → Query Optimizer → executor — behind three entry points:
@@ -12,55 +12,43 @@ Interpreter → Query Optimizer → executor — behind three entry points:
 Every run returns a :class:`QueryResult` carrying the result relation and
 all intermediate artifacts (expression, POM, IOM, execution trace), so
 callers can display any stage of the paper's worked example.
+
+Since the service-API redesign this class is a thin compatibility facade
+over a private :class:`~repro.service.federation.PolygenFederation`: the
+constructor flags become that federation's default
+:class:`~repro.service.options.QueryOptions`, and each ``run_*`` call is
+the federation's synchronous :meth:`~repro.service.federation.
+PolygenFederation.run` on the calling thread — no coordinator threads are
+ever spawned by the facade.  Signature and behaviour are unchanged —
+including the serial-by-default engine — with one improvement inherited
+from the service layer: a ``concurrent=True`` processor now keeps its
+per-database (daemon) worker threads warm across queries instead of
+spawning and joining them per ``execute()``.  Multi-user work (concurrent
+sessions, future-like handles, streaming cursors, service stats) lives on
+:class:`~repro.service.federation.PolygenFederation` directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
 
-from repro.algebra_lang.parser import parse_expression
 from repro.catalog.schema import PolygenSchema
 from repro.core.cell import ConflictPolicy
 from repro.core.expression import Expression
-from repro.core.relation import PolygenRelation
-from repro.integration.domains import TransformRegistry, default_registry
+from repro.integration.domains import TransformRegistry
 from repro.integration.identity import IdentityResolver
 from repro.lqp.registry import LQPRegistry
-from repro.pqp.executor import ExecutionTrace, Executor
-from repro.pqp.interpreter import PolygenOperationInterpreter
+from repro.pqp.executor import Executor
 from repro.pqp.matrix import IntermediateOperationMatrix, PolygenOperationMatrix
 from repro.pqp.optimizer import OptimizationReport, QueryOptimizer
-from repro.pqp.runtime import ConcurrentExecutor
-from repro.pqp.syntax_analyzer import SyntaxAnalyzer
-from repro.translate.translator import TranslationResult, translate_sql
+from repro.pqp.result import QueryResult
+from repro.translate.translator import translate_sql
+
+if TYPE_CHECKING:  # pragma: no cover - the service imports this package's
+    # submodules, so the runtime imports below stay inside __init__.
+    from repro.service.federation import PolygenFederation
 
 __all__ = ["PolygenQueryProcessor", "QueryResult"]
-
-
-@dataclass
-class QueryResult:
-    """The answer to a polygen query plus every pipeline artifact."""
-
-    relation: PolygenRelation
-    expression: Optional[Expression]
-    pom: Optional[PolygenOperationMatrix]
-    iom: IntermediateOperationMatrix
-    trace: ExecutionTrace
-    sql: Optional[str] = None
-    translation: Optional[TranslationResult] = None
-    optimization: Optional[OptimizationReport] = None
-
-    @property
-    def lineage(self):
-        """attribute → polygen schemes it flowed through."""
-        return self.trace.lineage
-
-    def render(self) -> str:
-        """The result relation in the paper's tagged-table style."""
-        from repro.display.render import render_relation
-
-        return render_relation(self.relation)
 
 
 class PolygenQueryProcessor:
@@ -89,48 +77,69 @@ class PolygenQueryProcessor:
         results, but projection pruning narrows intermediate relations, so
         it defaults off to keep the paper's printed intermediate tables
         reproducible."""
+        # Imported here, not at module scope: the service layer imports
+        # pqp submodules, and this facade is part of the pqp package.
+        from repro.service.federation import PolygenFederation
+        from repro.service.options import QueryOptions
+
         self.schema = schema
         self.registry = registry
         self.concurrent = concurrent
-        self._analyzer = SyntaxAnalyzer()
-        self._interpreter = PolygenOperationInterpreter(
-            schema, materialize_full_scheme=materialize_full_scheme
+        self._options = QueryOptions(
+            engine="concurrent" if concurrent else "serial",
+            optimize=optimize,
+            pushdown=pushdown,
+            prune_projections=prune_projections,
+            policy=policy,
+            materialize_full_scheme=materialize_full_scheme,
         )
-        resolver = resolver or IdentityResolver.identity()
-        self._optimizer = (
-            QueryOptimizer(
-                schema=schema,
-                resolver=resolver,
-                pushdown=pushdown,
-                prune_projections=prune_projections,
-            )
-            if optimize
-            else None
-        )
-        engine = ConcurrentExecutor if concurrent else Executor
-        self._executor = engine(
+        self._federation = PolygenFederation(
             schema,
             registry,
             resolver=resolver,
-            transforms=transforms or default_registry(),
-            policy=policy,
+            transforms=transforms,
+            defaults=self._options,
+            max_concurrent_queries=1,
+        )
+        # The historical (private, but poked-at) optimizer slot: assigning
+        # ``None`` disables optimization, assigning a QueryOptimizer swaps
+        # the rewrite set — run_* stages the pipeline through this slot on
+        # the calling thread, exactly as the pre-service facade did.
+        self._optimizer: Optional[QueryOptimizer] = (
+            self._federation._optimizer_for(self._options) if optimize else None
         )
 
     @property
     def executor(self) -> Executor:
         """The execution engine (serial or concurrent) behind this PQP."""
-        return self._executor
+        return self._federation.executor_for(self._options)
+
+    @property
+    def federation(self) -> PolygenFederation:
+        """The private single-session federation this facade fronts."""
+        return self._federation
+
+    def close(self) -> None:
+        """Release the private federation's worker threads.  Optional —
+        the facade itself spawns none, and the concurrent engine's pool
+        workers are daemons — but tidy for long-lived processes."""
+        self._federation.close()
+
+    def __enter__(self) -> "PolygenQueryProcessor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- pipeline stages (usable piecemeal) ------------------------------------
 
     def analyze(self, expression: Expression | str) -> Tuple[Expression, PolygenOperationMatrix]:
         """Expression (or bracket-notation text) → POM (paper, Table 1)."""
-        tree = parse_expression(expression) if isinstance(expression, str) else expression
-        return tree, self._analyzer.analyze(tree)
+        return self._federation.analyze(expression)
 
     def plan(self, pom: PolygenOperationMatrix) -> IntermediateOperationMatrix:
         """POM → IOM via the two-pass interpreter (paper, Tables 2–3)."""
-        return self._interpreter.interpret(pom)
+        return self._federation.plan(pom, self._options)
 
     def optimize(
         self, iom: IntermediateOperationMatrix
@@ -154,15 +163,11 @@ class PolygenQueryProcessor:
         tree, pom = self.analyze(expression)
         iom = self.plan(pom)
         iom, report = self.optimize(iom)
-        trace = self._executor.execute(iom)
-        return QueryResult(
-            relation=trace.relation,
-            expression=tree,
-            pom=pom,
-            iom=iom,
-            trace=trace,
-            optimization=report,
-        )
+        result = self._federation.run(iom, self._options)
+        result.expression = tree
+        result.pom = pom
+        result.optimization = report
+        return result
 
     def run_plan(self, iom: IntermediateOperationMatrix) -> QueryResult:
         """Execute a pre-built IOM without analysis or optimization.
@@ -171,11 +176,4 @@ class PolygenQueryProcessor:
         exactly as printed ("let us assume that Table 3 is used as a query
         execution plan, i.e., without further optimization").
         """
-        trace = self._executor.execute(iom)
-        return QueryResult(
-            relation=trace.relation,
-            expression=None,
-            pom=None,
-            iom=iom,
-            trace=trace,
-        )
+        return self._federation.run(iom, self._options)

@@ -13,9 +13,19 @@ Operation Matrix row by row and therefore waits on every local round-trip;
 - a local row (Retrieve / single-comparison Select) is dispatched to its
   database's worker the moment every ``R(#)`` it consumes is ready,
 - PQP rows (the polygen algebra over earlier results) run on the
-  coordinating thread as their inputs complete — the PQP itself is a
-  serial resource, exactly as :func:`repro.pqp.schedule.schedule_plan`
+  coordinating thread as their inputs complete — within one plan the PQP
+  is a serial resource, exactly as :func:`repro.pqp.schedule.schedule_plan`
   models it.
+
+The worker threads live in a :class:`~repro.pqp.pool.WorkerPool`.  A
+standalone ``ConcurrentExecutor`` builds a private pool per ``execute()``
+call and tears it down afterwards (the historical behaviour, and the
+baseline the service benchmark measures against); an executor constructed
+with a shared ``pool`` — how :class:`~repro.service.federation.
+PolygenFederation` runs it — dispatches into long-lived workers that
+survive across queries, so many plans execute at once with zero thread
+churn and same-database rows of *different* queries queue on that
+database's single connection.
 
 Results are bit-for-bit the serial executor's — same relations, same tags,
 same lineage — because every row runs the same columnar code path; only
@@ -23,6 +33,15 @@ the wall-clock interleaving differs.  The returned
 :class:`~repro.pqp.executor.ExecutionTrace` carries measured per-row
 timings, so a simulated :class:`~repro.pqp.schedule.PlanSchedule` can be
 validated against what actually happened.
+
+Two keyword hooks support the service layer's handles and cursors:
+``cancel`` (a :class:`threading.Event`) aborts cooperatively — checked
+before every dispatch and at the head of every queued local job, so a
+cancelled plan stops issuing LQP traffic without interrupting an in-flight
+local call — and ``on_result`` fires with the final relation the instant
+the plan's result row completes, before the remaining bookkeeping, which
+is what lets a streaming cursor hand out rows while the trace is still
+being assembled.
 """
 
 from __future__ import annotations
@@ -31,13 +50,13 @@ import queue
 import threading
 import time
 from collections import deque
-from concurrent.futures import ThreadPoolExecutor
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.errors import ExecutionError
+from repro.errors import ExecutionError, QueryCancelledError
 from repro.pqp.executor import ExecutionTrace, Executor, Lineage, RowTiming
 from repro.pqp.matrix import IntermediateOperationMatrix, MatrixRow
 from repro.pqp.plandag import PlanDAG
+from repro.pqp.pool import WorkerPool
 
 __all__ = ["ConcurrentExecutor"]
 
@@ -56,18 +75,39 @@ _Completion = Tuple[
 class ConcurrentExecutor(Executor):
     """DAG-driven executor dispatching local rows to per-database workers.
 
-    Drop-in for :class:`~repro.pqp.executor.Executor`: same constructor,
-    same ``execute(iom) -> ExecutionTrace`` contract, tag-identical
-    results.  Unlike the serial executor it evaluates rows in DAG order,
-    so a plan whose rows are listed out of dependency order still runs —
-    but the *query result* remains the last **listed** row in either
-    engine (the matrix convention), so list the result row last.
+    Drop-in for :class:`~repro.pqp.executor.Executor`: same constructor
+    (plus an optional shared ``pool``), same ``execute(iom) ->
+    ExecutionTrace`` contract, tag-identical results.  Unlike the serial
+    executor it evaluates rows in DAG order, so a plan whose rows are
+    listed out of dependency order still runs — but the *query result*
+    remains the last **listed** row in either engine (the matrix
+    convention), so list the result row last.
+
+    ``execute`` is reentrant: a federation shares one instance across many
+    coordinator threads, each call keeping its state on its own stack.
     """
 
-    def execute(self, iom: IntermediateOperationMatrix) -> ExecutionTrace:
+    def __init__(self, *args, pool: WorkerPool | None = None, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._pool = pool
+
+    @property
+    def pool(self) -> WorkerPool | None:
+        """The shared worker pool, or ``None`` when per-execute pools are
+        built (the standalone, churn-per-query configuration)."""
+        return self._pool
+
+    def execute(
+        self,
+        iom: IntermediateOperationMatrix,
+        *,
+        cancel: threading.Event | None = None,
+        on_result: Callable[[PolygenRelation], None] | None = None,
+    ) -> ExecutionTrace:
         if not len(iom):
             raise ExecutionError("cannot execute an empty operation matrix")
         dag = PlanDAG.from_iom(iom)
+        final = iom.rows[-1].result.index
 
         results: Dict[int, PolygenRelation] = {}
         lineages: Dict[int, Lineage] = {}
@@ -77,10 +117,20 @@ class ConcurrentExecutor(Executor):
             index: len(set(dag.predecessors(index))) for index in dag.indices
         }
         ready_pqp: deque = deque()
-        pools: Dict[str, ThreadPoolExecutor] = {}
+        #: Set on failure/cancel so this plan's queued jobs on a *shared*
+        #: pool degrade to no-ops instead of issuing pointless LQP traffic.
+        halt = threading.Event()
         origin = time.perf_counter()
 
+        def abandoned() -> bool:
+            return halt.is_set() or (cancel is not None and cancel.is_set())
+
         def run_local(row: MatrixRow) -> None:
+            if abandoned():
+                completions.put((row, None, None, None, QueryCancelledError(
+                    f"row {row.result} skipped: plan abandoned"
+                )))
+                return
             started = time.perf_counter() - origin
             try:
                 relation, lineage = self._execute_row(row, results, lineages)
@@ -95,16 +145,15 @@ class ConcurrentExecutor(Executor):
             )
             completions.put((row, relation, lineage, timing, None))
 
+        pool = self._pool
+        owned = pool is None
+        if owned:
+            pool = WorkerPool()
+
         def dispatch(index: int) -> None:
             row = dag.row(index)
             if row.is_local:
-                pool = pools.get(row.el)
-                if pool is None:
-                    pool = ThreadPoolExecutor(
-                        max_workers=1, thread_name_prefix=f"lqp-{row.el}"
-                    )
-                    pools[row.el] = pool
-                pool.submit(run_local, row)
+                pool.submit(row.el, lambda row=row: run_local(row))
             else:
                 ready_pqp.append(row)
 
@@ -118,6 +167,8 @@ class ConcurrentExecutor(Executor):
             results[index] = relation
             lineages[index] = lineage
             timings[index] = timing
+            if index == final and on_result is not None:
+                on_result(relation)
             released = []
             for successor in dict.fromkeys(dag.successors(index)):
                 waiting[successor] -= 1
@@ -135,6 +186,10 @@ class ConcurrentExecutor(Executor):
             return wrapped
 
         done = 0
+
+        def check_cancel() -> None:
+            if cancel is not None and cancel.is_set():
+                raise QueryCancelledError("query cancelled")
 
         def consume(completion: _Completion) -> None:
             """Record one finished local row and dispatch what it unblocks."""
@@ -164,10 +219,12 @@ class ConcurrentExecutor(Executor):
                 dispatch(released)
 
         try:
+            check_cancel()
             for index in sorted(dag.roots()):
                 dispatch(index)
             total = len(dag)
             while done < total:
+                check_cancel()
                 # Drain finished local rows first so freshly unblocked work
                 # reaches the (idle) LQP workers before the PQP computes.
                 drained = False
@@ -183,11 +240,22 @@ class ConcurrentExecutor(Executor):
                 if ready_pqp:
                     run_pqp(ready_pqp.popleft())
                     continue
-                # Nothing runnable at the PQP: block until an LQP finishes.
-                consume(completions.get())
+                # Nothing runnable at the PQP: block until an LQP finishes
+                # (waking periodically, when cancellable, so a cancel set
+                # from another thread cannot be missed).
+                try:
+                    consume(
+                        completions.get(
+                            timeout=0.05 if cancel is not None else None
+                        )
+                    )
+                except queue.Empty:
+                    continue
+        except BaseException:
+            halt.set()
+            raise
         finally:
-            for pool in pools.values():
-                pool.shutdown(wait=True, cancel_futures=True)
+            if owned:
+                pool.close(wait=True)
 
-        final = iom.rows[-1].result.index
         return ExecutionTrace(results[final], results, lineages[final], timings)

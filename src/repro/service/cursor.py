@@ -1,0 +1,157 @@
+"""Streaming result cursors.
+
+A :class:`Cursor` is the row-level view of one submitted query: the
+coordinator feeds it the result relation in ``fetch_size`` batches the
+instant the plan's result node completes — via the executors' ``on_result``
+hook, *before* the execution trace and :class:`~repro.pqp.result.
+QueryResult` are assembled — and the consuming thread drains it with the
+DB-API-flavoured ``fetchone`` / ``fetchmany`` / ``fetchall`` or plain
+iteration.  Producer and consumer never share a lockless structure: batches
+cross one condition variable.
+
+Failure is part of the stream: if the query errors or is cancelled, the
+pending exception surfaces on the next fetch, so a consumer looping on a
+cursor cannot silently hang or miss a lost result.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Iterator, List, Optional, Tuple
+
+from repro.core.relation import PolygenRelation
+from repro.core.row import PolygenTuple
+from repro.errors import ServiceClosedError
+
+__all__ = ["Cursor"]
+
+
+class Cursor:
+    """Rows of one query, delivered in batches as execution finishes."""
+
+    def __init__(self, fetch_size: int = 64):
+        self.fetch_size = fetch_size
+        self._cond = threading.Condition()
+        self._batches: deque = deque()
+        self._attributes: Optional[Tuple[str, ...]] = None
+        self._exhausted = False  # producer finished feeding
+        self._closed = False  # consumer hung up
+        self._error: Optional[BaseException] = None
+
+    # -- producer side (coordinator thread) ---------------------------------
+
+    def _feed(self, relation: PolygenRelation) -> None:
+        """Split ``relation`` into fetch-sized batches and publish them.
+
+        A no-op on a closed cursor: a cancelled query can outrun its
+        cancellation checkpoints and still complete, and its rows must not
+        pile up unreadable in a cursor nobody can fetch from.
+        """
+        rows = relation.tuples
+        with self._cond:
+            if self._closed:
+                return
+            self._attributes = tuple(relation.attributes)
+            for start in range(0, len(rows), self.fetch_size):
+                self._batches.append(rows[start : start + self.fetch_size])
+            self._exhausted = True
+            self._cond.notify_all()
+
+    def _fail(self, error: BaseException) -> None:
+        """Publish a query failure; surfaces on the next fetch.  A no-op
+        once the cursor is closed (every fetch already raises)."""
+        with self._cond:
+            if self._closed:
+                return
+            self._error = error
+            self._exhausted = True
+            self._cond.notify_all()
+
+    # -- consumer side ------------------------------------------------------
+
+    @property
+    def attributes(self) -> Optional[Tuple[str, ...]]:
+        """The result heading, or ``None`` until the first batch lands."""
+        return self._attributes
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _take(
+        self, goal: Optional[int], timeout: Optional[float]
+    ) -> List[PolygenTuple]:
+        """Collect up to ``goal`` rows (``None`` = until end of stream).
+
+        One critical section from wait to push-back: the cursor is shared
+        by every reader of its handle, and a partially consumed batch must
+        be returned to the buffer *before* the lock drops, or a concurrent
+        reader could observe a premature end of stream.  Buffered rows
+        drain before a pending failure surfaces; the failure is raised on
+        the first call that finds nothing buffered.
+        """
+        gathered: List[PolygenTuple] = []
+        with self._cond:
+            while True:
+                if self._closed:
+                    raise ServiceClosedError("cursor is closed")
+                while self._batches and (goal is None or len(gathered) < goal):
+                    gathered.extend(self._batches.popleft())
+                if goal is not None and len(gathered) >= goal:
+                    if len(gathered) > goal:
+                        self._batches.appendleft(tuple(gathered[goal:]))
+                        del gathered[goal:]
+                    return gathered
+                if self._error is not None:
+                    if gathered:
+                        return gathered
+                    raise self._error
+                if self._exhausted:
+                    return gathered
+                if not self._cond.wait(timeout):
+                    raise TimeoutError("no rows arrived within the timeout")
+
+    def fetchone(self, timeout: Optional[float] = None) -> Optional[PolygenTuple]:
+        """The next result tuple, or ``None`` when the stream is done."""
+        rows = self._take(1, timeout)
+        return rows[0] if rows else None
+
+    def fetchmany(
+        self, size: Optional[int] = None, timeout: Optional[float] = None
+    ) -> List[PolygenTuple]:
+        """Up to ``size`` tuples (default ``fetch_size``); ``[]`` at end.
+
+        Blocks until ``size`` rows are buffered or the stream ends —
+        whichever comes first — so rows flow as soon as the plan produces
+        them.
+        """
+        return self._take(size or self.fetch_size, timeout)
+
+    def fetchall(self, timeout: Optional[float] = None) -> List[PolygenTuple]:
+        """Every remaining tuple (blocks until the query finishes)."""
+        return self._take(None, timeout)
+
+    def __iter__(self) -> Iterator[PolygenTuple]:
+        while True:
+            row = self.fetchone()
+            if row is None:
+                return
+            yield row
+
+    def close(self) -> None:
+        """Drop buffered rows and refuse further fetches.  Idempotent."""
+        with self._cond:
+            self._closed = True
+            self._batches.clear()
+            self._cond.notify_all()
+
+    def __enter__(self) -> "Cursor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else ("done" if self._exhausted else "open")
+        return f"Cursor(batches={len(self._batches)}, {state})"

@@ -1,0 +1,509 @@
+"""The long-lived multi-user federation engine.
+
+:class:`PolygenFederation` is the system the paper's Figure 2 sketches — a
+Polygen Query Processor serving many users over a federation of autonomous
+local databases — realized as one long-lived object:
+
+- it **owns the federation**: the polygen schema, the (thread-safe) LQP
+  registry, the identity resolver, the domain-transform registry, and an
+  interned :class:`~repro.storage.tag_pool.TagPool` every materialized
+  relation shares, so equal tag sets intern once across all queries;
+- it **owns the machinery**: one shared
+  :class:`~repro.pqp.pool.WorkerPool` (a single long-lived worker
+  thread per local database — the paper's one-connection-per-source
+  assumption, with zero per-query thread churn) and a bounded coordinator
+  pool that drives up to ``max_concurrent_queries`` plan DAGs at once;
+- clients open lightweight :class:`~repro.service.session.Session`\\ s and
+  ``submit()`` SQL text, algebra (text or tree), or pre-built plans;
+  behaviour knobs are a per-call
+  :class:`~repro.service.options.QueryOptions` resolved against the
+  federation's defaults rather than constructor flags.
+
+Intra-query semantics are untouched: each submitted plan runs through the
+very same serial or DAG-driven executor code path, so results — data,
+headings *and tags* — are bit-for-bit what the blocking
+:class:`~repro.pqp.processor.PolygenQueryProcessor` produces (that facade
+is, in fact, now a single-session federation).  What changes is
+*inter-query* behaviour: plans from many sessions execute concurrently,
+their local rows interleaving on the shared per-database workers, which is
+exactly the serialization the scheduling model charges for.
+
+:meth:`PolygenFederation.stats` reports queries served, per-LQP busy-time
+utilization (aggregated from every completed trace's measured row timings)
+and live pool occupancy; :meth:`PolygenFederation.validate` feeds a
+finished query's trace straight into
+:func:`repro.pqp.schedule.validate_against_trace` so the cost model can be
+checked against what the service actually did.
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+import threading
+import time
+import weakref
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple, Union
+
+from repro.algebra_lang.parser import parse_expression
+from repro.catalog.schema import PolygenSchema
+from repro.core.expression import Expression
+from repro.errors import ExecutionError, QueryCancelledError, ServiceClosedError
+from repro.integration.domains import TransformRegistry, default_registry
+from repro.integration.identity import IdentityResolver
+from repro.lqp.registry import LQPRegistry
+from repro.pqp.executor import ExecutionTrace, Executor
+from repro.pqp.interpreter import PolygenOperationInterpreter
+from repro.pqp.matrix import IntermediateOperationMatrix, PolygenOperationMatrix
+from repro.pqp.optimizer import OptimizationReport, QueryOptimizer
+from repro.pqp.result import QueryResult
+from repro.pqp.runtime import ConcurrentExecutor
+from repro.pqp.syntax_analyzer import SyntaxAnalyzer
+from repro.service.cursor import Cursor
+from repro.service.handle import QueryHandle
+from repro.service.options import QueryOptions
+from repro.pqp.pool import WorkerPool
+from repro.service.session import Session
+from repro.storage.tag_pool import GLOBAL_TAG_POOL, TagPool
+from repro.translate.translator import translate_sql
+
+__all__ = ["PolygenFederation", "FederationStats"]
+
+#: Anything ``submit()`` accepts as a query.
+Query = Union[str, Expression, IntermediateOperationMatrix]
+
+_SQL_RE = re.compile(r"\s*select\b", re.IGNORECASE)
+
+
+@dataclass(frozen=True)
+class FederationStats:
+    """A point-in-time snapshot of a federation's service counters."""
+
+    queries_submitted: int
+    queries_completed: int
+    queries_failed: int
+    queries_cancelled: int
+    queries_active: int
+    sessions_open: int
+    uptime_seconds: float
+    #: Live worker-thread names — constant across queries once warmed up.
+    worker_threads: Tuple[str, ...]
+    #: database → jobs queued or running on its worker right now.
+    pool_occupancy: Dict[str, int]
+    #: location (LQP name or "PQP") → measured busy seconds, summed over
+    #: every completed query's trace timings.
+    busy_by_location: Dict[str, float]
+    #: database → local queries answered (from the registry's accounting).
+    lqp_queries: Dict[str, int]
+    #: database → tuples shipped to the PQP.
+    lqp_tuples_shipped: Dict[str, int]
+
+    def utilization(self) -> Dict[str, float]:
+        """location → fraction of the federation's uptime it spent busy.
+
+        Can exceed 1.0: serial-engine queries run their local rows on the
+        coordinating thread rather than the pool, so several threads may
+        be inside the same location at once.
+        """
+        if self.uptime_seconds <= 0:
+            return {location: 0.0 for location in self.busy_by_location}
+        return {
+            location: busy / self.uptime_seconds
+            for location, busy in self.busy_by_location.items()
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"queries: {self.queries_submitted} submitted, "
+            f"{self.queries_completed} completed, {self.queries_failed} failed, "
+            f"{self.queries_cancelled} cancelled, {self.queries_active} active",
+            f"sessions open: {self.sessions_open}; uptime {self.uptime_seconds:.2f}s",
+            f"pool: {len(self.worker_threads)} worker thread(s)",
+        ]
+        utilization = self.utilization()
+        for location in sorted(self.busy_by_location):
+            lines.append(
+                f"  {location:>4s}: busy {self.busy_by_location[location]:.3f}s "
+                f"({utilization[location]:.1%} of uptime), "
+                f"{self.lqp_queries.get(location, 0)} local queries, "
+                f"{self.lqp_tuples_shipped.get(location, 0)} tuples shipped, "
+                f"{self.pool_occupancy.get(location, 0)} queued"
+            )
+        return "\n".join(lines)
+
+
+class PolygenFederation:
+    """A long-lived PQP server: sessions in front, shared workers behind."""
+
+    def __init__(
+        self,
+        schema: PolygenSchema,
+        registry: LQPRegistry,
+        resolver: IdentityResolver | None = None,
+        transforms: TransformRegistry | None = None,
+        defaults: QueryOptions | None = None,
+        max_concurrent_queries: int = 8,
+        tag_pool: TagPool | None = None,
+    ):
+        if max_concurrent_queries < 1:
+            raise ValueError(
+                f"max_concurrent_queries must be >= 1, got {max_concurrent_queries}"
+            )
+        self.schema = schema
+        self.registry = registry
+        self.resolver = resolver or IdentityResolver.identity()
+        self.transforms = transforms or default_registry()
+        self.defaults = defaults or QueryOptions()
+        self.tag_pool = tag_pool or GLOBAL_TAG_POOL
+        self.max_concurrent_queries = max_concurrent_queries
+
+        self._analyzer = SyntaxAnalyzer()
+        self._pool = WorkerPool()
+        self._coordinators = ThreadPoolExecutor(
+            max_workers=max_concurrent_queries, thread_name_prefix="pqp-coordinator"
+        )
+        self._lock = threading.Lock()
+        self._interpreters: Dict[bool, PolygenOperationInterpreter] = {}
+        self._optimizers: Dict[Tuple[bool, bool], QueryOptimizer] = {}
+        self._executors: Dict[Tuple[str, object], Executor] = {}
+        #: Weak: a session a client drops without close() must not be
+        #: pinned (with its last handles and results) for the life of a
+        #: long-running federation.
+        self._sessions: "weakref.WeakSet[Session]" = weakref.WeakSet()
+        self._session_counter = itertools.count(1)
+        self._query_counter = itertools.count(1)
+        self._submitted = 0
+        self._completed = 0
+        self._failed = 0
+        self._cancelled = 0
+        self._active = 0
+        self._busy: Dict[str, float] = {}
+        self._started_at = time.perf_counter()
+        self._closed = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def pool(self) -> WorkerPool:
+        """The shared per-database worker pool (for introspection)."""
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the service down cleanly: close every session (cancelling
+        unfinished queries), drain the coordinators, join the worker
+        threads.  Idempotent; ``submit`` raises afterwards."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            sessions = list(self._sessions)
+        for session in sessions:
+            session.close()
+        self._coordinators.shutdown(wait=True)
+        self._pool.close(wait=True)
+
+    def __enter__(self) -> "PolygenFederation":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- sessions -----------------------------------------------------------
+
+    def session(self, name: str | None = None, **option_overrides) -> Session:
+        """Open a lightweight session.  ``option_overrides`` specialize the
+        federation's default :class:`QueryOptions` for every query this
+        session submits (each still overridable per ``submit``)."""
+        with self._lock:
+            if self._closed:
+                raise ServiceClosedError("federation is closed")
+            number = next(self._session_counter)
+            session = Session(
+                self,
+                name or f"session-{number}",
+                self.defaults.replace(**option_overrides),
+            )
+            self._sessions.add(session)
+            return session
+
+    def _forget_session(self, session: Session) -> None:
+        with self._lock:
+            self._sessions.discard(session)
+
+    # -- pipeline stages (shared by sessions and the compat facade) ---------
+
+    def analyze(
+        self, expression: Expression | str
+    ) -> Tuple[Expression, PolygenOperationMatrix]:
+        """Expression (or bracket-notation text) → POM (paper, Table 1)."""
+        tree = parse_expression(expression) if isinstance(expression, str) else expression
+        return tree, self._analyzer.analyze(tree)
+
+    def plan(
+        self, pom: PolygenOperationMatrix, options: QueryOptions | None = None
+    ) -> IntermediateOperationMatrix:
+        """POM → IOM via the two-pass interpreter (paper, Tables 2–3)."""
+        options = options or self.defaults
+        return self._interpreter_for(options).interpret(pom)
+
+    def optimize(
+        self, iom: IntermediateOperationMatrix, options: QueryOptions | None = None
+    ) -> Tuple[IntermediateOperationMatrix, Optional[OptimizationReport]]:
+        """Optimize a plan under ``options`` (no-op when ``optimize=False``)."""
+        options = options or self.defaults
+        if not options.optimize:
+            return iom, None
+        return self._optimizer_for(options).optimize(iom)
+
+    def _interpreter_for(self, options: QueryOptions) -> PolygenOperationInterpreter:
+        key = options.materialize_full_scheme
+        with self._lock:
+            interpreter = self._interpreters.get(key)
+            if interpreter is None:
+                interpreter = PolygenOperationInterpreter(
+                    self.schema, materialize_full_scheme=key
+                )
+                self._interpreters[key] = interpreter
+            return interpreter
+
+    def _optimizer_for(self, options: QueryOptions) -> QueryOptimizer:
+        key = (options.pushdown, options.prune_projections)
+        with self._lock:
+            optimizer = self._optimizers.get(key)
+            if optimizer is None:
+                optimizer = QueryOptimizer(
+                    schema=self.schema,
+                    resolver=self.resolver,
+                    pushdown=options.pushdown,
+                    prune_projections=options.prune_projections,
+                )
+                self._optimizers[key] = optimizer
+            return optimizer
+
+    def executor_for(self, options: QueryOptions | None = None) -> Executor:
+        """The (cached, reentrant) execution engine ``options`` selects.
+
+        Concurrent engines dispatch into the federation's shared worker
+        pool; serial engines run on the submitting coordinator thread.
+        """
+        options = options or self.defaults
+        key = (options.engine, options.policy)
+        with self._lock:
+            executor = self._executors.get(key)
+            if executor is None:
+                if options.engine == "concurrent":
+                    executor = ConcurrentExecutor(
+                        self.schema,
+                        self.registry,
+                        resolver=self.resolver,
+                        transforms=self.transforms,
+                        policy=options.policy,
+                        tag_pool=self.tag_pool,
+                        pool=self._pool,
+                    )
+                else:
+                    executor = Executor(
+                        self.schema,
+                        self.registry,
+                        resolver=self.resolver,
+                        transforms=self.transforms,
+                        policy=options.policy,
+                        tag_pool=self.tag_pool,
+                    )
+                self._executors[key] = executor
+            return executor
+
+    # -- submission ---------------------------------------------------------
+
+    @staticmethod
+    def _classify(query: Query) -> str:
+        if isinstance(query, IntermediateOperationMatrix):
+            return "plan"
+        if isinstance(query, Expression):
+            return "algebra"
+        if isinstance(query, str):
+            return "sql" if _SQL_RE.match(query) else "algebra"
+        raise TypeError(
+            "submit() accepts SQL text, a polygen algebra expression "
+            f"(text or tree), or an IntermediateOperationMatrix; got {type(query).__name__}"
+        )
+
+    def _submit(self, session: Session, query: Query, options: QueryOptions) -> QueryHandle:
+        kind = self._classify(query)
+        with self._lock:
+            if self._closed:
+                raise ServiceClosedError("federation is closed")
+            query_id = next(self._query_counter)
+            self._submitted += 1
+            self._active += 1
+        cancel = threading.Event()
+        cursor = Cursor(fetch_size=options.fetch_size)
+        handle = QueryHandle(query_id, session, cursor, cancel)
+        try:
+            future = self._coordinators.submit(
+                self._run_query, query, kind, options, cancel, cursor
+            )
+        except RuntimeError:
+            # Lost the race with close(): the coordinator pool shut down
+            # between our closed-check and the submit.  Roll the counters
+            # back and surface the service-level error.
+            with self._lock:
+                self._submitted -= 1
+                self._active -= 1
+            raise ServiceClosedError("federation is closed") from None
+        future.add_done_callback(self._settle)
+        handle._bind(future)
+        return handle
+
+    def run(self, query: Query, options: QueryOptions | None = None) -> QueryResult:
+        """Execute ``query`` synchronously on the *calling* thread.
+
+        The single-user path: no coordinator is involved (so a process
+        that only ever calls ``run`` — e.g. through the
+        :class:`~repro.pqp.processor.PolygenQueryProcessor` facade —
+        holds no service threads beyond the worker pool the concurrent
+        engine warms up).  Counted in :meth:`stats` like any submission.
+        """
+        options = options or self.defaults
+        kind = self._classify(query)
+        with self._lock:
+            if self._closed:
+                raise ServiceClosedError("federation is closed")
+            next(self._query_counter)
+            self._submitted += 1
+            self._active += 1
+        try:
+            # No cursor (nobody could read it before this returns) and no
+            # cancel event (nobody else holds a handle to set it) — the
+            # executors then skip batch slicing and cancellation polling.
+            result = self._run_query(query, kind, options, None, None)
+        except BaseException as exc:
+            with self._lock:
+                self._active -= 1
+                if isinstance(exc, QueryCancelledError):
+                    self._cancelled += 1
+                else:
+                    self._failed += 1
+            raise
+        with self._lock:
+            self._active -= 1
+            self._completed += 1
+        return result
+
+    def _run_query(
+        self,
+        query: Query,
+        kind: str,
+        options: QueryOptions,
+        cancel: threading.Event | None,
+        cursor: Cursor | None,
+    ) -> QueryResult:
+        """The full pipeline for one query, feeding the cursor (when one
+        exists) the moment the plan's result node completes.  ``cancel``
+        and ``cursor`` are ``None`` on the synchronous :meth:`run` path."""
+        try:
+            if cancel is not None and cancel.is_set():
+                raise QueryCancelledError("query cancelled before it started")
+            sql = translation = tree = pom = report = None
+            if kind == "plan":
+                # A pre-built IOM executes as given — the paper's
+                # "Table 3 as the execution plan, without further
+                # optimization"; optimize explicitly first if wanted.
+                iom = query
+            else:
+                if kind == "sql":
+                    sql = query
+                    translation = translate_sql(query, self.schema)
+                    expression = translation.expression
+                else:
+                    expression = query
+                tree, pom = self.analyze(expression)
+                iom = self.plan(pom, options)
+                iom, report = self.optimize(iom, options)
+            executor = self.executor_for(options)
+            trace = executor.execute(
+                iom,
+                cancel=cancel,
+                on_result=None if cursor is None else cursor._feed,
+            )
+            with self._lock:
+                for location, busy in trace.busy_by_location().items():
+                    self._busy[location] = self._busy.get(location, 0.0) + busy
+            return QueryResult(
+                relation=trace.relation,
+                expression=tree,
+                pom=pom,
+                iom=iom,
+                trace=trace,
+                sql=sql,
+                translation=translation,
+                optimization=report,
+            )
+        except BaseException as exc:
+            if cursor is not None:
+                cursor._fail(exc)
+            raise
+
+    def _settle(self, future) -> None:
+        """Done-callback classifying every query's outcome (including ones
+        cancelled before their coordinator ever ran them)."""
+        with self._lock:
+            self._active -= 1
+            if future.cancelled():
+                self._cancelled += 1
+                return
+            error = future.exception()
+            if error is None:
+                self._completed += 1
+            elif isinstance(error, QueryCancelledError):
+                self._cancelled += 1
+            else:
+                self._failed += 1
+
+    # -- observability ------------------------------------------------------
+
+    def stats(self) -> FederationStats:
+        """A snapshot of service counters, pool state and LQP traffic."""
+        lqp_stats = self.registry.stats()
+        with self._lock:
+            return FederationStats(
+                queries_submitted=self._submitted,
+                queries_completed=self._completed,
+                queries_failed=self._failed,
+                queries_cancelled=self._cancelled,
+                queries_active=self._active,
+                sessions_open=len(self._sessions),
+                uptime_seconds=time.perf_counter() - self._started_at,
+                worker_threads=self._pool.thread_names(),
+                pool_occupancy=self._pool.occupancy(),
+                busy_by_location=dict(self._busy),
+                lqp_queries={name: s.queries for name, s in lqp_stats.items()},
+                lqp_tuples_shipped={
+                    name: s.tuples_shipped for name, s in lqp_stats.items()
+                },
+            )
+
+    def validate(self, result: QueryResult, **schedule_kwargs):
+        """Check the scheduling model against a finished query's measured
+        trace: simulates ``result.iom`` with :func:`repro.pqp.schedule.
+        schedule_plan` (catalog cardinalities from this federation's
+        registry) and compares via :func:`repro.pqp.schedule.
+        validate_against_trace`."""
+        from repro.pqp.schedule import schedule_plan, validate_against_trace
+
+        schedule_kwargs.setdefault("registry", self.registry)
+        schedule = schedule_plan(result.iom, result.trace, **schedule_kwargs)
+        return validate_against_trace(schedule, result.trace)
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return (
+            f"PolygenFederation({len(self.registry)} databases, "
+            f"{len(self._sessions)} sessions, {state})"
+        )

@@ -1,0 +1,117 @@
+"""Future-like handles for submitted queries.
+
+``Session.submit()`` returns immediately with a :class:`QueryHandle`; the
+query runs on one of the federation's coordinator threads.  The handle is
+the client's end of that execution: ``result()`` blocks for the full
+:class:`~repro.pqp.result.QueryResult` (relation + every pipeline
+artifact), ``cursor()`` streams just the rows as they surface, ``done()``
+polls, and ``cancel()`` aborts cooperatively — a not-yet-started query
+never runs, a running one stops dispatching plan rows at the next
+scheduling point (an in-flight local call is never interrupted; autonomous
+LQPs owe us no preemption).
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import CancelledError, Future
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import QueryCancelledError
+from repro.pqp.result import QueryResult
+from repro.service.cursor import Cursor
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.service.session import Session
+
+__all__ = ["QueryHandle"]
+
+
+class QueryHandle:
+    """One submitted query: future-like result access plus a row stream."""
+
+    def __init__(
+        self,
+        query_id: int,
+        session: "Session",
+        cursor: Cursor,
+        cancel_event: threading.Event,
+    ):
+        self.query_id = query_id
+        self.session = session
+        self._cursor = cursor
+        self._cancel = cancel_event
+        self._future: Optional[Future] = None
+
+    def _bind(self, future: Future) -> None:
+        self._future = future
+
+    # -- future protocol ----------------------------------------------------
+
+    def result(self, timeout: Optional[float] = None) -> QueryResult:
+        """Block for the full :class:`QueryResult`.
+
+        Re-raises whatever the query raised;
+        :class:`~repro.errors.QueryCancelledError` if it was cancelled.
+        """
+        try:
+            return self._future.result(timeout)
+        except CancelledError:
+            raise QueryCancelledError(
+                f"query #{self.query_id} was cancelled before it started"
+            ) from None
+
+    def exception(self, timeout: Optional[float] = None) -> Optional[BaseException]:
+        """The query's error (without raising), or ``None`` on success."""
+        try:
+            return self._future.exception(timeout)
+        except CancelledError:
+            return QueryCancelledError(
+                f"query #{self.query_id} was cancelled before it started"
+            )
+
+    def done(self) -> bool:
+        return self._future.done()
+
+    def running(self) -> bool:
+        return self._future.running()
+
+    def cancelled(self) -> bool:
+        """True when the query was cancelled (before or during execution)."""
+        if self._future.cancelled():
+            return True
+        if self._future.done():
+            return isinstance(self._future.exception(), QueryCancelledError)
+        return False
+
+    def cancel(self) -> bool:
+        """Request cancellation; returns True unless the query already
+        finished.  Queued queries never start; a running plan stops at its
+        next scheduling point and its queued local jobs become no-ops."""
+        self._cancel.set()
+        if self._future.cancel():
+            # Never started: fail the cursor ourselves, nobody else will.
+            self._cursor._fail(
+                QueryCancelledError(f"query #{self.query_id} cancelled")
+            )
+            return True
+        return not self._future.done() or self.cancelled()
+
+    # -- streaming ----------------------------------------------------------
+
+    def cursor(self) -> Cursor:
+        """The streaming row view of this query (shared, not a copy)."""
+        return self._cursor
+
+    def __repr__(self) -> str:
+        if self._future is None:
+            state = "unbound"
+        elif self.cancelled():
+            state = "cancelled"
+        elif self._future.done():
+            state = "done"
+        elif self._future.running():
+            state = "running"
+        else:
+            state = "queued"
+        return f"QueryHandle(#{self.query_id}, {state})"

@@ -1,0 +1,67 @@
+"""Per-query execution options, collapsed into one immutable dataclass.
+
+The historical :class:`~repro.pqp.processor.PolygenQueryProcessor` grew a
+pile of constructor flags (``optimize``, ``concurrent``, ``pushdown``,
+``prune_projections``, …) that froze one behaviour into each processor
+instance.  A federation serves many users with different needs, so the same
+knobs live here instead: a :class:`QueryOptions` is defaulted on the
+federation, optionally specialized per session, and overridable per
+``submit()`` call — resolution is just :meth:`QueryOptions.replace`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.core.cell import ConflictPolicy
+
+__all__ = ["QueryOptions"]
+
+#: The two execution engines a query can request.
+_ENGINES = ("serial", "concurrent")
+
+
+@dataclass(frozen=True)
+class QueryOptions:
+    """How one query should be planned and executed.
+
+    - ``engine`` — ``"concurrent"`` drives the plan DAG over the shared
+      per-database worker pool (the service default); ``"serial"`` walks
+      the matrix row by row on the coordinating thread, exactly as the
+      paper describes.
+    - ``optimize`` / ``pushdown`` / ``prune_projections`` — the optimizer
+      master switch and its two semantic rewrites (selection pushdown into
+      LQPs; dead-column pruning at materialization).
+    - ``policy`` — the Merge/Coalesce conflict policy.
+    - ``materialize_full_scheme`` — interpreter fidelity knob: retrieve
+      every relation a scheme maps even when the probe needs only some.
+    - ``fetch_size`` — how many result tuples a streaming cursor hands out
+      per batch.
+    """
+
+    engine: str = "concurrent"
+    optimize: bool = True
+    pushdown: bool = True
+    prune_projections: bool = False
+    policy: ConflictPolicy = ConflictPolicy.DROP
+    materialize_full_scheme: bool = False
+    fetch_size: int = 64
+
+    def __post_init__(self):
+        if self.engine not in _ENGINES:
+            raise ValueError(
+                f"engine must be one of {_ENGINES}, got {self.engine!r}"
+            )
+        if self.fetch_size < 1:
+            raise ValueError(f"fetch_size must be >= 1, got {self.fetch_size}")
+
+    def replace(self, **overrides) -> "QueryOptions":
+        """A copy with ``overrides`` applied; unknown names raise TypeError.
+
+        This is the per-call resolution step: federation defaults →
+        session defaults → ``submit(..., **overrides)``.
+        """
+        if not overrides:
+            return self
+        return dataclasses.replace(self, **overrides)

@@ -1,0 +1,13 @@
+"""Service-namespace re-export of the per-database worker pool.
+
+The implementation lives in :mod:`repro.pqp.pool` — the execution engines
+(:class:`~repro.pqp.runtime.ConcurrentExecutor`) dispatch into it, and
+dependencies point downward: ``pqp`` never imports from ``service``.
+The service layer re-exports it here because the *shared, long-lived*
+pool is a service-level concept (a federation owns one and shares it
+across every session's queries).
+"""
+
+from repro.pqp.pool import WorkerPool
+
+__all__ = ["WorkerPool"]

@@ -27,6 +27,7 @@ class TestExamples:
             "ceo_report.py",
             "credibility_ranking.py",
             "federation_at_scale.py",
+            "federation_service.py",
             "heterogeneous_sources.py",
             "lineage_audit.py",
             "quickstart.py",
@@ -66,3 +67,11 @@ class TestExamples:
         output = run_example("heterogeneous_sources.py")
         assert "Identical" in output
         assert "Genentech, {AD, CD}, {AD, CD}" in output
+
+    def test_federation_service(self):
+        output = run_example("federation_service.py")
+        assert "Genentech, CEO Bob Swanson" in output  # the paper's Table 9
+        assert "IBM (origins ['AD', 'PD'])" in output  # streamed with tags
+        assert "executed by ['serial']" in output  # per-session override
+        assert "3 submitted, 3 completed, 0 failed" in output
+        assert "worker thread(s)" in output

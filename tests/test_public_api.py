@@ -23,6 +23,30 @@ class TestLazyExports:
 
         assert repro.PolygenQueryProcessor is PolygenQueryProcessor
 
+    def test_service_classes(self):
+        from repro.pqp.result import QueryResult
+        from repro.service.federation import PolygenFederation
+        from repro.service.options import QueryOptions
+
+        assert repro.PolygenFederation is PolygenFederation
+        assert repro.QueryOptions is QueryOptions
+        assert repro.QueryResult is QueryResult
+
+    def test_dir_lists_the_flat_api(self):
+        listed = dir(repro)
+        for name in repro.__all__:
+            assert name in listed
+        # Lazy exports are discoverable without having been touched.
+        assert "PolygenFederation" in listed and "QueryOptions" in listed
+
+    def test_service_package_dir_and_lazy_exports(self):
+        from repro import service
+
+        assert "PolygenFederation" in dir(service)
+        assert service.Session.__name__ == "Session"
+        with pytest.raises(AttributeError):
+            service.nonexistent_thing
+
     def test_unknown_attribute(self):
         with pytest.raises(AttributeError):
             repro.nonexistent_thing
