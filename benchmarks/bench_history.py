@@ -1,0 +1,131 @@
+"""Shared access to ``BENCH_history.json`` for the perf-trajectory tools.
+
+The benchmark harness (see ``conftest.py``) appends one entry per
+``--bench-json`` run, keyed ``<git sha>@<python major.minor>``.  Two tools
+consume that history and share the parsing here:
+
+- ``report.py`` — renders the trajectory as a markdown trend table with
+  ASCII sparklines (uploaded by CI as ``BENCH_trend.md``),
+- ``check_regression.py`` — the CI gate comparing a run's numbers against
+  the previous SHA's entry.
+
+Entries written before the key carried the python version (plain-SHA keys)
+are still understood: the SHA falls back to the key and the series to the
+entry's recorded ``python`` field.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+__all__ = [
+    "HistoryEntry",
+    "flatten_metrics",
+    "git_sha",
+    "is_speedup_metric",
+    "latest_baseline",
+    "load_history",
+    "python_series",
+]
+
+
+def git_sha() -> str:
+    """The current HEAD SHA, or ``"unknown"`` outside a git checkout."""
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+def python_series(version: str) -> str:
+    """``"3.12.1"`` → ``"3.12"`` — the history key's interpreter component."""
+    return ".".join(version.split(".")[:2])
+
+#: Substrings marking a metric as "speedup-class": higher is better, and a
+#: drop is a performance regression worth failing CI over.  Everything else
+#: (tuple counts, raw seconds, sizes) is informational trend data.
+_SPEEDUP_MARKERS = ("speedup", "overlap", "improvement")
+
+
+@dataclass(frozen=True)
+class HistoryEntry:
+    """One ``--bench-json`` run's merged results."""
+
+    key: str
+    sha: str
+    python_series: str
+    timestamp: str
+    results: Dict[str, Dict[str, object]] = field(default_factory=dict)
+
+    @property
+    def short_sha(self) -> str:
+        return self.sha[:10]
+
+
+def _parse_entry(key: str, raw: dict) -> HistoryEntry:
+    sha = raw.get("sha") or key.split("@", 1)[0]
+    if "@" in key:
+        series = key.split("@", 1)[1]
+    else:
+        series = python_series(raw.get("python", ""))
+    return HistoryEntry(
+        key=key,
+        sha=sha,
+        python_series=series,
+        timestamp=raw.get("timestamp", ""),
+        results=raw.get("results", {}),
+    )
+
+
+def load_history(path: Path) -> List[HistoryEntry]:
+    """Every history entry, oldest first (by recorded timestamp)."""
+    raw = json.loads(Path(path).read_text())
+    entries = [_parse_entry(key, value) for key, value in raw.items()]
+    entries.sort(key=lambda entry: entry.timestamp)
+    return entries
+
+
+def flatten_metrics(results: Dict[str, Dict[str, object]]) -> Dict[str, float]:
+    """``{"bench.metric": value}`` for every numeric metric of a run."""
+    flat: Dict[str, float] = {}
+    for bench, metrics in sorted(results.items()):
+        if not isinstance(metrics, dict):
+            continue
+        for name, value in sorted(metrics.items()):
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            flat[f"{bench}.{name}"] = float(value)
+    return flat
+
+
+def is_speedup_metric(metric: str) -> bool:
+    """True for higher-is-better metrics the regression gate guards."""
+    name = metric.rsplit(".", 1)[-1].lower()
+    return any(marker in name for marker in _SPEEDUP_MARKERS)
+
+
+def latest_baseline(
+    entries: List[HistoryEntry],
+    current_sha: str,
+    series: Optional[str] = None,
+) -> Optional[HistoryEntry]:
+    """The most recent entry from a *different* SHA — the comparison point
+    for a regression check.  When ``series`` is given, only that python
+    series qualifies: speedup ratios are hardware-normalizing but *not*
+    interpreter-normalizing, so comparing a 3.13 run against a 3.12
+    baseline would gate on interpreter differences, not regressions.  A
+    series with no history yet simply has no baseline."""
+    others = [entry for entry in entries if entry.sha != current_sha]
+    if series is not None:
+        others = [entry for entry in others if entry.python_series == series]
+    return others[-1] if others else None

@@ -1,0 +1,126 @@
+#!/usr/bin/env python
+"""CI perf-regression gate over ``BENCH_history.json``.
+
+Compares the current ``--bench-json`` snapshot (``BENCH_runtime.json``)
+against the previous SHA's entry in the accumulated history and **fails
+(exit 1)** when any speedup-class metric — concurrency speedups, measured
+overlap, cost-model improvements; see
+:func:`bench_history.is_speedup_metric` — dropped by more than the
+threshold (default 20%).  Counts and raw seconds are reported but never
+gate: they shift with runner hardware, while speedup *ratios* are
+self-normalizing.
+
+Usage (what ``.github/workflows/ci.yml`` runs after the bench step)::
+
+    python benchmarks/check_regression.py \
+        --current BENCH_runtime.json --history BENCH_history.json
+
+The history file normally starts from the previous CI run's uploaded
+artifact, so the previous SHA's numbers come from *that* run, measured on
+comparable runners.  Without any usable baseline (first run on a branch,
+artifact expired) the gate passes with a notice — a missing baseline is
+not a regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+try:
+    from benchmarks.bench_history import (
+        flatten_metrics,
+        git_sha,
+        is_speedup_metric,
+        latest_baseline,
+        load_history,
+        python_series,
+    )
+except ImportError:  # executed as a script: benchmarks/ is sys.path[0]
+    from bench_history import (
+        flatten_metrics,
+        git_sha,
+        is_speedup_metric,
+        latest_baseline,
+        load_history,
+        python_series,
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--current", default="BENCH_runtime.json", type=Path)
+    parser.add_argument("--history", default="BENCH_history.json", type=Path)
+    parser.add_argument(
+        "--threshold",
+        default=0.20,
+        type=float,
+        help="maximum tolerated fractional drop of a speedup-class metric "
+        "(default 0.20 = 20%%)",
+    )
+    parser.add_argument(
+        "--sha", default=None, help="current git SHA (default: git rev-parse HEAD)"
+    )
+    args = parser.parse_args(argv)
+
+    if not args.current.exists():
+        print(f"gate: no current snapshot at {args.current}; nothing to check")
+        return 0
+    current = json.loads(args.current.read_text())
+    current_metrics = flatten_metrics(current.get("results", {}))
+    series = python_series(current.get("python", "")) or None
+
+    if not args.history.exists():
+        print(f"gate: no history at {args.history}; passing (no baseline yet)")
+        return 0
+    entries = load_history(args.history)
+    sha = args.sha or git_sha()
+    baseline = latest_baseline(entries, sha, series)
+    if baseline is None:
+        print(
+            f"gate: history has no py{series} entry from another SHA; passing"
+        )
+        return 0
+
+    print(
+        f"gate: {sha[:10]} (py{series}) vs {baseline.short_sha} "
+        f"(py{baseline.python_series}, {baseline.timestamp}), "
+        f"threshold {args.threshold:.0%}"
+    )
+    baseline_metrics = flatten_metrics(baseline.results)
+    # A guarded metric that silently vanished from the current run is a
+    # coverage hole, not a pass — say so loudly (benches come and go
+    # legitimately, so this warns rather than fails).
+    for metric in sorted(baseline_metrics):
+        if is_speedup_metric(metric) and metric not in current_metrics:
+            print(f"     WARNING  {metric} was gated in the baseline but is "
+                  "missing from the current run")
+    regressions = []
+    for metric in sorted(current_metrics):
+        if metric not in baseline_metrics or not is_speedup_metric(metric):
+            continue
+        now, before = current_metrics[metric], baseline_metrics[metric]
+        if before <= 0:
+            continue
+        change = now / before - 1.0
+        verdict = "REGRESSION" if change < -args.threshold else "ok"
+        print(f"  {verdict:>10s}  {metric:55s} {before:8.3f} -> {now:8.3f} ({change:+.1%})")
+        if verdict == "REGRESSION":
+            regressions.append((metric, before, now, change))
+
+    if regressions:
+        print(
+            f"gate: FAILED — {len(regressions)} speedup-class metric(s) "
+            f"dropped more than {args.threshold:.0%}:"
+        )
+        for metric, before, now, change in regressions:
+            print(f"  {metric}: {before:.3f} -> {now:.3f} ({change:+.1%})")
+        return 1
+    print("gate: passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

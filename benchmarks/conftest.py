@@ -15,19 +15,27 @@ machine-readable JSON::
 
 Besides overwriting that snapshot, every ``--bench-json`` run also appends
 a timestamped entry to ``BENCH_history.json`` (next to the snapshot),
-keyed by the current git SHA — runs on the same SHA merge their result
-dicts — so successive PRs accumulate a tracked performance trajectory
-instead of each overwriting the last.
+keyed by the current git SHA *and* python major.minor (``<sha>@<py>``) —
+runs on the same SHA and python merge their result dicts — so successive
+PRs accumulate a tracked performance trajectory instead of each
+overwriting the last, and CI matrix jobs on different interpreters don't
+clobber each other's entries.  ``benchmarks/report.py`` renders the
+history as a trend table; ``benchmarks/check_regression.py`` gates CI on
+it.
 """
 
 import datetime
 import json
 import platform
-import subprocess
 import sys
 from pathlib import Path
 
 import pytest
+
+try:
+    from benchmarks.bench_history import git_sha, python_series
+except ImportError:  # collected with benchmarks/ itself as rootdir
+    from bench_history import git_sha, python_series
 
 from repro.algebra_lang import parse_expression
 from repro.datasets.paper import (
@@ -64,35 +72,30 @@ def pytest_addoption(parser):
     )
 
 
-def _git_sha() -> str:
-    try:
-        return subprocess.run(
-            ["git", "rev-parse", "HEAD"],
-            capture_output=True,
-            text=True,
-            timeout=10,
-            check=True,
-        ).stdout.strip()
-    except (OSError, subprocess.SubprocessError):
-        return "unknown"
-
-
 def _append_history(snapshot_path: Path, payload: dict) -> None:
-    """Merge this run's results into BENCH_history.json under the git SHA."""
+    """Merge this run's results into BENCH_history.json.
+
+    Entries are keyed ``<sha>@<python major.minor>`` — the SHA alone would
+    make CI matrix jobs on different interpreters merge (and clobber) one
+    another's numbers — and each entry also records both components as
+    fields so consumers never need to parse keys.
+    """
     history_path = snapshot_path.with_name("BENCH_history.json")
     try:
         history = json.loads(history_path.read_text())
     except (OSError, ValueError):
         history = {}
-    sha = _git_sha()
-    entry = history.get(sha) or {"results": {}}
+    sha = git_sha()
+    key = f"{sha}@{python_series(payload['python'])}"
+    entry = history.get(key) or {"results": {}}
     entry["timestamp"] = (
         datetime.datetime.now(datetime.timezone.utc).isoformat(timespec="seconds")
     )
+    entry["sha"] = sha
     entry["python"] = payload["python"]
     entry["platform"] = payload["platform"]
     entry["results"].update(payload["results"])
-    history[sha] = entry
+    history[key] = entry
     history_path.write_text(json.dumps(history, indent=2, sort_keys=True) + "\n")
 
 

@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""Render ``BENCH_history.json`` as a markdown trend report.
+
+One table per python series (history entries are keyed by SHA *and*
+interpreter, so a 3.10 runner's numbers never dilute the 3.12 trend): each
+numeric metric gets its oldest and newest values, the relative change, and
+an ASCII sparkline over every recorded run.  CI writes the result to
+``BENCH_trend.md`` and uploads it next to the raw history, so the perf
+trajectory of the repo is one artifact click away.
+
+Usage::
+
+    python benchmarks/report.py --history BENCH_history.json --output BENCH_trend.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Dict, List
+
+try:
+    from benchmarks.bench_history import (
+        HistoryEntry,
+        flatten_metrics,
+        is_speedup_metric,
+        load_history,
+    )
+except ImportError:  # executed as a script: benchmarks/ is sys.path[0]
+    from bench_history import (
+        HistoryEntry,
+        flatten_metrics,
+        is_speedup_metric,
+        load_history,
+    )
+
+_SPARK = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: List[float]) -> str:
+    """Min-max normalized sparkline; a flat series renders mid-height."""
+    if not values:
+        return ""
+    low, high = min(values), max(values)
+    if high == low:
+        return _SPARK[3] * len(values)
+    span = high - low
+    return "".join(
+        _SPARK[round((value - low) / span * (len(_SPARK) - 1))] for value in values
+    )
+
+
+def _format(value: float) -> str:
+    if value == int(value) and abs(value) < 1e6:
+        return str(int(value))
+    return f"{value:.4g}"
+
+
+def render(entries: List[HistoryEntry]) -> str:
+    """The full markdown report over every python series in the history."""
+    lines = ["# Benchmark trend", ""]
+    if not entries:
+        lines.append("_No benchmark history recorded yet._")
+        return "\n".join(lines) + "\n"
+    by_series: Dict[str, List[HistoryEntry]] = {}
+    for entry in entries:
+        by_series.setdefault(entry.python_series or "unknown", []).append(entry)
+    for series in sorted(by_series):
+        runs = by_series[series]
+        lines.append(f"## Python {series}")
+        lines.append("")
+        lines.append(
+            "Runs (oldest → newest): "
+            + " → ".join(f"`{run.short_sha}`" for run in runs)
+        )
+        lines.append("")
+        lines.append("| metric | gated | first | last | Δ | trend |")
+        lines.append("|---|---|---:|---:|---:|---|")
+        flats = [flatten_metrics(run.results) for run in runs]
+        metrics = sorted({name for flat in flats for name in flat})
+        for metric in metrics:
+            values = [flat[metric] for flat in flats if metric in flat]
+            first, last = values[0], values[-1]
+            delta = f"{last / first - 1.0:+.1%}" if first else "n/a"
+            gated = "yes" if is_speedup_metric(metric) else ""
+            lines.append(
+                f"| `{metric}` | {gated} | {_format(first)} | {_format(last)} "
+                f"| {delta} | {sparkline(values)} |"
+            )
+        lines.append("")
+    lines.append(
+        "_Speedup-class metrics (`gated = yes`) are guarded by "
+        "`benchmarks/check_regression.py`; the rest are informational._"
+    )
+    return "\n".join(lines) + "\n"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--history", default="BENCH_history.json", type=Path)
+    parser.add_argument(
+        "--output",
+        default=None,
+        type=Path,
+        help="write the markdown here (default: stdout)",
+    )
+    args = parser.parse_args(argv)
+    entries = load_history(args.history) if args.history.exists() else []
+    report = render(entries)
+    if args.output is None:
+        print(report, end="")
+    else:
+        args.output.write_text(report)
+        print(f"wrote {args.output} ({len(entries)} history entries)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,7 +14,13 @@ behaves as a local relational system" (paper, §I).  This package provides:
 """
 
 from repro.lqp.base import LocalQueryProcessor
-from repro.lqp.cost import AccountingLQP, CostModel, TransferStats
+from repro.lqp.cost import (
+    AccountingLQP,
+    CalibratedCostModel,
+    CostModel,
+    LatencyLQP,
+    TransferStats,
+)
 from repro.lqp.csv_lqp import CsvLQP
 from repro.lqp.registry import LQPRegistry
 from repro.lqp.relational_lqp import RelationalLQP
@@ -26,7 +32,9 @@ __all__ = [
     "CsvLQP",
     "LQPRegistry",
     "CostModel",
+    "CalibratedCostModel",
     "AccountingLQP",
+    "LatencyLQP",
     "TransferStats",
     "tag_local_relation",
     "materialize",

@@ -21,13 +21,19 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass
-from typing import Any, Tuple
+from typing import Any, Sequence, Tuple
 
 from repro.core.predicate import Theta
 from repro.lqp.base import LocalQueryProcessor
 from repro.relational.relation import Relation
 
-__all__ = ["CostModel", "TransferStats", "AccountingLQP", "LatencyLQP"]
+__all__ = [
+    "CostModel",
+    "CalibratedCostModel",
+    "TransferStats",
+    "AccountingLQP",
+    "LatencyLQP",
+]
 
 
 @dataclass(frozen=True)
@@ -44,6 +50,70 @@ class CostModel:
 
     def cost(self, queries: int, tuples: int) -> float:
         return self.per_query * queries + self.per_tuple * tuples
+
+
+@dataclass(frozen=True)
+class CalibratedCostModel(CostModel):
+    """A :class:`CostModel` fitted to *observed* executions of one LQP.
+
+    The paper's sources are autonomous: the PQP cannot inspect their
+    optimizers or catalogs, so the only honest cost model is one learned
+    from the traffic the federation itself observed.  Each observation is
+    one local query — ``(tuples shipped, measured seconds)`` — and the fit
+    is ordinary least squares of ``duration ≈ per_query + per_tuple·tuples``
+    (units are therefore *seconds*, unlike the static model's abstract
+    milliseconds).  Degenerate sample sets fall back gracefully: a single
+    distinct tuple count cannot separate the two components, so the
+    per-tuple rate collapses to zero and the per-query intercept absorbs
+    the mean; negative components are re-fit with the offending component
+    pinned at zero (a latency cannot be negative).
+
+    ``observations`` and ``residual`` (root-mean-square error of the fit,
+    seconds) let callers judge how much to trust the model.
+    """
+
+    observations: int = 0
+    residual: float = 0.0
+
+    @classmethod
+    def fit(cls, samples: Sequence[Tuple[int, float]]) -> "CalibratedCostModel":
+        """Least-squares fit over ``(tuples, seconds)`` observations."""
+        if not samples:
+            raise ValueError("cannot fit a cost model to zero observations")
+        count = len(samples)
+        mean_t = sum(t for t, _ in samples) / count
+        mean_d = sum(d for _, d in samples) / count
+        var_t = sum((t - mean_t) ** 2 for t, _ in samples)
+        if var_t == 0.0:
+            per_query, per_tuple = max(mean_d, 0.0), 0.0
+        else:
+            cov = sum((t - mean_t) * (d - mean_d) for t, d in samples)
+            per_tuple = cov / var_t
+            per_query = mean_d - per_tuple * mean_t
+            if per_tuple < 0.0:
+                # Slower for *fewer* tuples is noise, not physics.
+                per_query, per_tuple = max(mean_d, 0.0), 0.0
+            elif per_query < 0.0:
+                # Through-origin refit: all latency is per-tuple.
+                denominator = sum(t * t for t, _ in samples)
+                per_query = 0.0
+                per_tuple = (
+                    sum(t * d for t, d in samples) / denominator
+                    if denominator
+                    else 0.0
+                )
+        residual = (
+            sum(
+                (d - (per_query + per_tuple * t)) ** 2 for t, d in samples
+            )
+            / count
+        ) ** 0.5
+        return cls(
+            per_query=per_query,
+            per_tuple=per_tuple,
+            observations=count,
+            residual=residual,
+        )
 
 
 @dataclass

@@ -32,6 +32,7 @@ in :mod:`repro.service`; the facade is now a single-session federation
 under the hood.
 """
 
+from repro.pqp.calibrate import CostCalibrator
 from repro.pqp.executor import ExecutionTrace, Executor, RowTiming
 from repro.pqp.interpreter import PolygenOperationInterpreter
 from repro.pqp.matrix import (
@@ -43,13 +44,16 @@ from repro.pqp.matrix import (
     ResultOperand,
     SchemeOperand,
 )
-from repro.pqp.optimizer import OptimizationReport, QueryOptimizer
+from repro.pqp.optimizer import OptimizationReport, QueryOptimizer, ShapeChoice
 from repro.pqp.plandag import PlanDAG
 from repro.pqp.processor import PolygenQueryProcessor, QueryResult
 from repro.pqp.runtime import ConcurrentExecutor
 from repro.pqp.schedule import (
     PlanSchedule,
+    PlanShape,
     ScheduleValidation,
+    decompose_merges,
+    rank_plan_shapes,
     schedule_plan,
     validate_against_trace,
 )
@@ -67,6 +71,8 @@ __all__ = [
     "PolygenOperationInterpreter",
     "QueryOptimizer",
     "OptimizationReport",
+    "ShapeChoice",
+    "CostCalibrator",
     "Executor",
     "ConcurrentExecutor",
     "ExecutionTrace",
@@ -75,7 +81,10 @@ __all__ = [
     "PolygenQueryProcessor",
     "QueryResult",
     "PlanSchedule",
+    "PlanShape",
     "ScheduleValidation",
+    "decompose_merges",
+    "rank_plan_shapes",
     "schedule_plan",
     "validate_against_trace",
 ]

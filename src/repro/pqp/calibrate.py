@@ -1,0 +1,223 @@
+"""Trace-driven cost calibration: learning per-LQP cost models.
+
+The paper's local databases are autonomous — the PQP can neither inspect
+their optimizers nor read their catalogs, so *a priori* cost constants
+(:class:`~repro.lqp.cost.CostModel`'s defaults) are guesses.  What the
+federation *does* own is evidence: every executed plan returns an
+:class:`~repro.pqp.executor.ExecutionTrace` with measured per-row timings
+and materialized cardinalities.  A :class:`CostCalibrator` turns that
+evidence into :class:`~repro.lqp.cost.CalibratedCostModel`\\ s, one per
+local database, in the Mariposa/Garlic tradition of feedback-driven
+per-source costing:
+
+- each completed **local** row contributes one observation
+  ``(tuples shipped, measured seconds)`` to its database's sliding window,
+- each completed **PQP** row contributes ``(tuples consumed, seconds)`` to
+  a through-origin fit of the PQP's per-tuple processing rate,
+- models are re-fit lazily (least squares, see
+  :meth:`~repro.lqp.cost.CalibratedCostModel.fit`) whenever new evidence
+  arrived since the last read,
+- after every observation the calibrator also *scores itself*: it predicts
+  the observed plan's makespan with its current models and records the
+  relative error against the measured wall clock — the number
+  :meth:`~repro.service.federation.PolygenFederation.stats` reports so an
+  operator can tell whether the learned models have converged.
+
+Windows are bounded (``window`` observations per database) so a long-lived
+federation adapts when a source's performance drifts instead of averaging
+over its whole history.  All methods are thread-safe: coordinator threads
+observe concurrently while other threads read models for planning.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Deque, Dict, Optional, Tuple
+
+from repro.lqp.cost import CalibratedCostModel
+from repro.pqp.executor import ExecutionTrace
+from repro.pqp.matrix import IntermediateOperationMatrix, Operation
+from repro.pqp.schedule import merge_fold_tuples, schedule_plan
+
+__all__ = ["CostCalibrator"]
+
+#: Fallback PQP per-tuple rate (seconds) before any PQP row was observed.
+_DEFAULT_PQP_RATE = 0.0
+
+#: Self-scoring cadence: every plan while the models are young, then a
+#: deterministic sample.  Scoring forces a refit plus a plan simulation, so
+#: an always-on federation that never reads the models shouldn't pay it per
+#: query; a 1-in-N sample keeps the reported error fresh at bounded cost.
+_SCORE_WARMUP = 16
+_SCORE_INTERVAL = 4
+
+
+class CostCalibrator:
+    """Accumulates execution evidence and fits per-LQP cost models."""
+
+    def __init__(self, window: int = 512):
+        if window < 2:
+            raise ValueError(f"window must be >= 2 observations, got {window}")
+        self._window = window
+        self._lock = threading.Lock()
+        #: database → (tuples shipped, seconds) ring buffer.
+        self._local: Dict[str, Deque[Tuple[int, float]]] = {}
+        #: (tuples consumed, seconds) of PQP rows, one shared ring buffer.
+        self._pqp: Deque[Tuple[int, float]] = deque(maxlen=window)
+        self._models: Dict[str, CalibratedCostModel] = {}
+        self._pqp_rate: Optional[float] = None
+        self._dirty = False
+        #: |predicted − measured| / measured makespan, recent plans.
+        self._errors: Deque[float] = deque(maxlen=window)
+        self._observed_plans = 0
+
+    # -- evidence intake ----------------------------------------------------
+
+    def observe(self, iom: IntermediateOperationMatrix, trace: ExecutionTrace) -> None:
+        """Fold one executed plan's measurements into the windows.
+
+        Rows without a timing or a materialized result (a cancelled plan's
+        stragglers) are skipped.  The plan is then re-simulated under the
+        updated models and the makespan prediction error recorded — every
+        plan during warm-up, a deterministic sample afterwards, so the
+        intake path stays cheap for federations that never plan by cost.
+        """
+        with self._lock:
+            for row in iom:
+                index = row.result.index
+                timing = trace.timings.get(index)
+                relation = trace.results.get(index)
+                if timing is None or relation is None:
+                    continue
+                if row.is_local:
+                    samples = self._local.get(row.el)
+                    if samples is None:
+                        samples = deque(maxlen=self._window)
+                        self._local[row.el] = samples
+                    samples.append((relation.cardinality, timing.duration))
+                else:
+                    inputs = [
+                        trace.results[ref.index].cardinality
+                        for ref in row.referenced_results()
+                        if ref.index in trace.results
+                    ]
+                    # Merges are observed at their fold size — the same
+                    # x-variable the simulator charges them — so the
+                    # fitted PQP rate and the predictions stay consistent.
+                    consumed = (
+                        merge_fold_tuples(inputs)
+                        if row.op is Operation.MERGE
+                        else sum(inputs)
+                    )
+                    self._pqp.append((consumed, timing.duration))
+            self._dirty = True
+            self._observed_plans += 1
+            plan_number = self._observed_plans
+        if plan_number <= _SCORE_WARMUP or plan_number % _SCORE_INTERVAL == 0:
+            self._score_prediction(iom, trace)
+
+    def _score_prediction(
+        self, iom: IntermediateOperationMatrix, trace: ExecutionTrace
+    ) -> None:
+        """Predict the observed plan's makespan with the current models and
+        log the relative error against the measured wall clock."""
+        measured = trace.wall_clock
+        if measured <= 0.0:
+            return
+        local_costs = self.local_costs()
+        if not local_costs:
+            return
+        predicted = schedule_plan(
+            iom,
+            trace,
+            local_costs=local_costs,
+            default_cost=CalibratedCostModel(per_query=0.0, per_tuple=0.0),
+            pqp_cost_per_tuple=self.pqp_cost_per_tuple() or _DEFAULT_PQP_RATE,
+        ).makespan
+        with self._lock:
+            self._errors.append(abs(predicted - measured) / measured)
+
+    # -- fitted models ------------------------------------------------------
+
+    def _refit(self) -> None:
+        """Re-fit every stale model (caller holds the lock)."""
+        if not self._dirty:
+            return
+        self._models = {
+            name: CalibratedCostModel.fit(tuple(samples))
+            for name, samples in self._local.items()
+            if samples
+        }
+        if self._pqp:
+            total_work = sum(t * t for t, _ in self._pqp)
+            self._pqp_rate = (
+                sum(t * d for t, d in self._pqp) / total_work if total_work else 0.0
+            )
+        self._dirty = False
+
+    def local_costs(self) -> Dict[str, CalibratedCostModel]:
+        """database → fitted model, for every database observed so far."""
+        with self._lock:
+            self._refit()
+            return dict(self._models)
+
+    def model_for(self, database: str) -> Optional[CalibratedCostModel]:
+        with self._lock:
+            self._refit()
+            return self._models.get(database)
+
+    def pqp_cost_per_tuple(self) -> Optional[float]:
+        """Fitted PQP per-tuple processing rate (seconds), or ``None``
+        before any PQP row was observed."""
+        with self._lock:
+            self._refit()
+            return self._pqp_rate
+
+    # -- self-assessment ----------------------------------------------------
+
+    def prediction_error(self) -> Optional[float]:
+        """Mean relative makespan error of recent predictions (lower is
+        better; ``None`` before the first scored plan)."""
+        with self._lock:
+            if not self._errors:
+                return None
+            return sum(self._errors) / len(self._errors)
+
+    def sample_counts(self) -> Dict[str, int]:
+        """database → observations currently in its window."""
+        with self._lock:
+            return {name: len(samples) for name, samples in self._local.items()}
+
+    @property
+    def observed_plans(self) -> int:
+        return self._observed_plans
+
+    def render(self) -> str:
+        models = self.local_costs()
+        lines = [
+            f"calibration: {self.observed_plans} plans observed, "
+            f"prediction error "
+            + (
+                f"{self.prediction_error():.1%}"
+                if self.prediction_error() is not None
+                else "n/a"
+            )
+        ]
+        for name in sorted(models):
+            model = models[name]
+            lines.append(
+                f"  {name:>4s}: per_query {model.per_query * 1e3:.2f}ms, "
+                f"per_tuple {model.per_tuple * 1e6:.2f}us "
+                f"({model.observations} obs, rms {model.residual * 1e3:.2f}ms)"
+            )
+        rate = self.pqp_cost_per_tuple()
+        if rate is not None:
+            lines.append(f"  PQP : per_tuple {rate * 1e6:.2f}us")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"CostCalibrator({len(self.sample_counts())} databases, "
+            f"{self.observed_plans} plans observed)"
+        )

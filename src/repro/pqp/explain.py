@@ -115,6 +115,16 @@ def execution_report(result: QueryResult) -> str:
     )
     report = result.optimization
     if report is not None:
+        # Cost-based runs report a ShapeChoice wrapping the winning
+        # shape's rewrite counters.
+        choice = getattr(report, "chosen", None)
+        if choice is not None:
+            lines.append(
+                f"optimizer: cost-based shape {choice!r} "
+                f"(predicted makespan {report.predicted_makespan:.4f}, "
+                f"{len(report.considered)} shapes considered)"
+            )
+            report = report.report
         lines.append(
             f"optimizer: {report.retrieves_deduplicated} retrieves and "
             f"{report.merges_deduplicated} merges deduplicated, "

@@ -9,13 +9,13 @@ without either importing the other.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
 
 from repro.core.expression import Expression
 from repro.core.relation import PolygenRelation
 from repro.pqp.executor import ExecutionTrace
 from repro.pqp.matrix import IntermediateOperationMatrix, PolygenOperationMatrix
-from repro.pqp.optimizer import OptimizationReport
+from repro.pqp.optimizer import OptimizationReport, ShapeChoice
 from repro.translate.translator import TranslationResult
 
 __all__ = ["QueryResult"]
@@ -32,7 +32,10 @@ class QueryResult:
     trace: ExecutionTrace
     sql: Optional[str] = None
     translation: Optional[TranslationResult] = None
-    optimization: Optional[OptimizationReport] = None
+    #: The rewrite report, or — under ``optimize="cost"`` — the
+    #: :class:`~repro.pqp.optimizer.ShapeChoice` (its ``.report`` holds the
+    #: winning shape's rewrite counters).
+    optimization: Optional[Union[OptimizationReport, ShapeChoice]] = None
 
     @property
     def lineage(self):

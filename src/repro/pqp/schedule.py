@@ -23,23 +23,43 @@ This is the *model*; :class:`~repro.pqp.runtime.ConcurrentExecutor` is the
 reality.  :func:`validate_against_trace` compares the two: a trace's
 measured per-row timings yield a measured makespan and busy time, the
 direct analogues of the simulated makespan and serial cost.
+
+The module is also the federation's *what-if* engine: the same plan can be
+shaped several ways — rewrites on or off, an n-ary Merge decomposed into a
+chain of binary Merges ordered by when each source is predicted to land —
+and :func:`rank_plan_shapes` scores every candidate by simulated makespan
+so a cost-based optimizer can pick the cheapest
+(:meth:`repro.pqp.optimizer.QueryOptimizer.optimize_cost_based`).  Merge
+rows are charged their real *fold* cost (the executor evaluates an n-ary
+Merge as a left fold of Outer Natural Total Joins, touching cumulative
+prefix sizes), which is exactly why decomposing a Merge pays: the partial
+folds run while slower sources are still shipping.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.lqp.cost import CostModel
 from repro.lqp.registry import LQPRegistry
 from repro.pqp.executor import ExecutionTrace
-from repro.pqp.matrix import IntermediateOperationMatrix, MatrixRow, Operation
+from repro.pqp.matrix import (
+    IntermediateOperationMatrix,
+    MatrixRow,
+    Operation,
+    ResultOperand,
+)
 from repro.pqp.plandag import PlanDAG
 
 __all__ = [
     "PlanSchedule",
+    "PlanShape",
     "ScheduledRow",
     "ScheduleValidation",
+    "decompose_merges",
+    "merge_fold_tuples",
+    "rank_plan_shapes",
     "schedule_plan",
     "validate_against_trace",
 ]
@@ -166,6 +186,21 @@ def _estimate_tuples(
     return produced
 
 
+def merge_fold_tuples(inputs: Sequence[int]) -> int:
+    """Tuples an n-ary Merge actually touches: the executor evaluates it as
+    a left fold of binary Outer Natural Total Joins, so every step pays the
+    cumulative prefix plus the next operand.  For two inputs this is their
+    plain sum (one join); for one input, that input."""
+    if len(inputs) <= 1:
+        return sum(inputs)
+    touched = 0
+    prefix = inputs[0]
+    for size in inputs[1:]:
+        touched += prefix + size
+        prefix += size
+    return touched
+
+
 def _row_cost(
     row: MatrixRow,
     produced: Dict[int, int],
@@ -176,7 +211,11 @@ def _row_cost(
     if row.is_local:
         model = local_costs.get(row.el, default_cost)
         return model.cost(queries=1, tuples=produced[row.result.index])
-    consumed = sum(produced[ref.index] for ref in row.referenced_results())
+    inputs = [produced[ref.index] for ref in row.referenced_results()]
+    if row.op is Operation.MERGE:
+        consumed = merge_fold_tuples(inputs)
+    else:
+        consumed = sum(inputs)
     return pqp_cost_per_tuple * max(consumed, 1)
 
 
@@ -282,3 +321,146 @@ def validate_against_trace(
             measured_busy / measured_makespan if measured_makespan > 0 else 1.0
         ),
     )
+
+
+# ----------------------------------------------------------------------
+# Plan shapes: alternative formulations of the same query
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PlanShape:
+    """One candidate formulation of a plan, with its simulated schedule."""
+
+    name: str
+    iom: IntermediateOperationMatrix
+    schedule: PlanSchedule
+
+    @property
+    def makespan(self) -> float:
+        return self.schedule.makespan
+
+
+def decompose_merges(
+    iom: IntermediateOperationMatrix,
+    finish_times: Mapping[int, float],
+) -> Optional[IntermediateOperationMatrix]:
+    """Rewrite every n-ary (n ≥ 3) Merge into a left-deep chain of binary
+    Merges, ordered by predicted input availability (earliest first).
+
+    The result relation is unchanged — the paper proves Merge's fold order
+    immaterial (§II, property-tested in ``tests/property``) — but the
+    *schedule* is not: each binary Merge becomes dispatchable the moment
+    its two inputs land, so the fold over fast sources overlaps the slow
+    sources' shipping instead of waiting for the whole input set.  Putting
+    the latest-predicted source last minimizes the work remaining after it
+    arrives, which is where calibrated per-LQP models earn their keep: they
+    know which source is *actually* slow.
+
+    ``finish_times`` maps the plan's ``R(#)`` indices to predicted finish
+    times (e.g. from :func:`schedule_plan`'s rows).  Returns ``None`` when
+    the plan has no Merge wide enough to decompose.  Row numbering is
+    rebuilt, so the returned matrix's indices differ from the input's.
+    """
+    wide = [
+        row
+        for row in iom
+        if row.op is Operation.MERGE
+        and isinstance(row.lhr, tuple)
+        and len(row.lhr) >= 3
+    ]
+    if not wide:
+        return None
+    mapping: Dict[int, int] = {}
+    out: List[MatrixRow] = []
+    next_index = 1
+
+    def remapped(ref: ResultOperand) -> ResultOperand:
+        return ResultOperand(mapping.get(ref.index, ref.index))
+
+    for row in iom:
+        if row in wide:
+            ordered = sorted(
+                row.lhr,
+                key=lambda ref: (finish_times.get(ref.index, 0.0), ref.index),
+            )
+            left = remapped(ordered[0])
+            for part in ordered[1:-1]:
+                out.append(
+                    replace(
+                        row,
+                        result=ResultOperand(next_index),
+                        lhr=(left, remapped(part)),
+                    )
+                )
+                left = ResultOperand(next_index)
+                next_index += 1
+            out.append(
+                replace(
+                    row,
+                    result=ResultOperand(next_index),
+                    lhr=(left, remapped(ordered[-1])),
+                )
+            )
+            mapping[row.result.index] = next_index
+            next_index += 1
+        else:
+            rewired = row.with_remapped_results(mapping)
+            mapping[row.result.index] = next_index
+            out.append(replace(rewired, result=ResultOperand(next_index)))
+            next_index += 1
+    return IntermediateOperationMatrix(out)
+
+
+def rank_plan_shapes(
+    candidates: Iterable[Tuple[str, IntermediateOperationMatrix]],
+    local_costs: Optional[Dict[str, CostModel]] = None,
+    default_cost: CostModel = CostModel(per_query=1.0, per_tuple=0.01),
+    pqp_cost_per_tuple: float = 0.002,
+    registry: Optional[LQPRegistry] = None,
+    decompose: bool = True,
+) -> Tuple[PlanShape, ...]:
+    """Score alternative plan shapes by simulated makespan, best first.
+
+    Each named candidate is scheduled under the supplied cost models
+    (calibrated per-LQP models when the caller has them, the static default
+    otherwise) with catalog cardinalities from ``registry``.  With
+    ``decompose`` (the default), every candidate containing an n-ary Merge
+    also contributes a ``<name>+merge-chain`` variant — the Merge unrolled
+    into binary steps ordered by that candidate's own predicted source
+    finish times, so different cost models genuinely produce *different*
+    chains.  Ties prefer fewer rows, then earlier candidates.
+    """
+    shapes: List[PlanShape] = []
+    for name, candidate in candidates:
+        schedule = schedule_plan(
+            candidate,
+            local_costs=local_costs,
+            default_cost=default_cost,
+            pqp_cost_per_tuple=pqp_cost_per_tuple,
+            registry=registry,
+        )
+        shapes.append(PlanShape(name=name, iom=candidate, schedule=schedule))
+        if not decompose:
+            continue
+        finishes = {item.row.result.index: item.finish for item in schedule.rows}
+        chained = decompose_merges(candidate, finishes)
+        if chained is None:
+            continue
+        shapes.append(
+            PlanShape(
+                name=f"{name}+merge-chain",
+                iom=chained,
+                schedule=schedule_plan(
+                    chained,
+                    local_costs=local_costs,
+                    default_cost=default_cost,
+                    pqp_cost_per_tuple=pqp_cost_per_tuple,
+                    registry=registry,
+                ),
+            )
+        )
+    order = {id(shape): position for position, shape in enumerate(shapes)}
+    shapes.sort(key=lambda shape: (shape.makespan, len(shape.iom), order[id(shape)]))
+    return tuple(shapes)
+

@@ -38,6 +38,7 @@ checked against what the service actually did.
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
 import re
 import threading
@@ -53,11 +54,13 @@ from repro.core.expression import Expression
 from repro.errors import ExecutionError, QueryCancelledError, ServiceClosedError
 from repro.integration.domains import TransformRegistry, default_registry
 from repro.integration.identity import IdentityResolver
+from repro.lqp.cost import CalibratedCostModel
 from repro.lqp.registry import LQPRegistry
+from repro.pqp.calibrate import CostCalibrator
 from repro.pqp.executor import ExecutionTrace, Executor
 from repro.pqp.interpreter import PolygenOperationInterpreter
 from repro.pqp.matrix import IntermediateOperationMatrix, PolygenOperationMatrix
-from repro.pqp.optimizer import OptimizationReport, QueryOptimizer
+from repro.pqp.optimizer import OptimizationReport, QueryOptimizer, ShapeChoice
 from repro.pqp.result import QueryResult
 from repro.pqp.runtime import ConcurrentExecutor
 from repro.pqp.syntax_analyzer import SyntaxAnalyzer
@@ -99,6 +102,15 @@ class FederationStats:
     lqp_queries: Dict[str, int]
     #: database → tuples shipped to the PQP.
     lqp_tuples_shipped: Dict[str, int]
+    #: database → cost model fitted from this federation's own traces.
+    calibrated_models: Dict[str, CalibratedCostModel] = dataclasses.field(
+        default_factory=dict
+    )
+    #: Mean relative error of the calibrated model's makespan predictions
+    #: over recent queries (``None`` before the first calibrated query).
+    cost_model_error: Optional[float] = None
+    #: Queries whose traces have fed the calibrator so far.
+    plans_calibrated: int = 0
 
     def utilization(self) -> Dict[str, float]:
         """location → fraction of the federation's uptime it spent busy.
@@ -131,6 +143,23 @@ class FederationStats:
                 f"{self.lqp_tuples_shipped.get(location, 0)} tuples shipped, "
                 f"{self.pool_occupancy.get(location, 0)} queued"
             )
+        if self.calibrated_models:
+            error = (
+                f"{self.cost_model_error:.1%}"
+                if self.cost_model_error is not None
+                else "n/a"
+            )
+            lines.append(
+                f"cost models: {len(self.calibrated_models)} calibrated over "
+                f"{self.plans_calibrated} plans, makespan prediction error {error}"
+            )
+            for name in sorted(self.calibrated_models):
+                model = self.calibrated_models[name]
+                lines.append(
+                    f"  {name:>4s}: per_query {model.per_query * 1e3:.2f}ms, "
+                    f"per_tuple {model.per_tuple * 1e6:.2f}us "
+                    f"({model.observations} obs)"
+                )
         return "\n".join(lines)
 
 
@@ -160,6 +189,9 @@ class PolygenFederation:
         self.max_concurrent_queries = max_concurrent_queries
 
         self._analyzer = SyntaxAnalyzer()
+        #: Learns per-LQP cost models from every completed query's trace;
+        #: the cost-based optimizer (``optimize="cost"``) plans with them.
+        self.calibrator = CostCalibrator()
         self._pool = WorkerPool()
         self._coordinators = ThreadPoolExecutor(
             max_workers=max_concurrent_queries, thread_name_prefix="pqp-coordinator"
@@ -254,12 +286,45 @@ class PolygenFederation:
 
     def optimize(
         self, iom: IntermediateOperationMatrix, options: QueryOptions | None = None
-    ) -> Tuple[IntermediateOperationMatrix, Optional[OptimizationReport]]:
-        """Optimize a plan under ``options`` (no-op when ``optimize=False``)."""
+    ) -> Tuple[
+        IntermediateOperationMatrix, Union[OptimizationReport, ShapeChoice, None]
+    ]:
+        """Optimize a plan under ``options`` (no-op when ``optimize=False``).
+
+        ``optimize="cost"`` runs the cost-based mode: candidate shapes are
+        scored by simulated makespan under this federation's *calibrated*
+        per-LQP cost models (static defaults before any query has been
+        observed) and the cheapest is executed.  Returns a
+        :class:`~repro.pqp.optimizer.ShapeChoice` as the report then.
+        """
         options = options or self.defaults
         if not options.optimize:
             return iom, None
-        return self._optimizer_for(options).optimize(iom)
+        optimizer = self._optimizer_for(options)
+        if options.optimize != "cost":
+            return optimizer.optimize(iom)
+        local_costs = self.calibrator.local_costs()
+        kwargs = {"registry": self.registry}
+        if local_costs:
+            kwargs["local_costs"] = local_costs
+            # Unobserved databases get the fleet average rather than the
+            # static default, keeping every cost in measured seconds.
+            kwargs["default_cost"] = CalibratedCostModel(
+                per_query=sum(m.per_query for m in local_costs.values())
+                / len(local_costs),
+                per_tuple=sum(m.per_tuple for m in local_costs.values())
+                / len(local_costs),
+            )
+        rate = self.calibrator.pqp_cost_per_tuple()
+        if rate is not None:
+            kwargs["pqp_cost_per_tuple"] = rate
+        elif local_costs:
+            # Calibrated local models are in measured seconds; mixing in
+            # the static (abstract-unit) PQP default would let bogus PQP
+            # cost dominate the ranking.  With no PQP row observed yet,
+            # charge the PQP nothing rather than something in wrong units.
+            kwargs["pqp_cost_per_tuple"] = 0.0
+        return optimizer.optimize_cost_based(iom, **kwargs)
 
     def _interpreter_for(self, options: QueryOptions) -> PolygenOperationInterpreter:
         key = options.materialize_full_scheme
@@ -435,6 +500,9 @@ class PolygenFederation:
             with self._lock:
                 for location, busy in trace.busy_by_location().items():
                     self._busy[location] = self._busy.get(location, 0.0) + busy
+            # Feed the completed trace back into the calibrator so the next
+            # cost-based plan is scheduled with fresher models.
+            self.calibrator.observe(iom, trace)
             return QueryResult(
                 relation=trace.relation,
                 expression=tree,
@@ -471,6 +539,9 @@ class PolygenFederation:
     def stats(self) -> FederationStats:
         """A snapshot of service counters, pool state and LQP traffic."""
         lqp_stats = self.registry.stats()
+        calibrated = self.calibrator.local_costs()
+        model_error = self.calibrator.prediction_error()
+        plans_calibrated = self.calibrator.observed_plans
         with self._lock:
             return FederationStats(
                 queries_submitted=self._submitted,
@@ -487,6 +558,9 @@ class PolygenFederation:
                 lqp_tuples_shipped={
                     name: s.tuples_shipped for name, s in lqp_stats.items()
                 },
+                calibrated_models=calibrated,
+                cost_model_error=model_error,
+                plans_calibrated=plans_calibrated,
             )
 
     def validate(self, result: QueryResult, **schedule_kwargs):

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
+from typing import Union
 
 from repro.core.cell import ConflictPolicy
 
@@ -20,6 +21,10 @@ __all__ = ["QueryOptions"]
 
 #: The two execution engines a query can request.
 _ENGINES = ("serial", "concurrent")
+
+#: Valid ``optimize`` settings: the rewrite pipeline on/off, or the
+#: cost-based mode that picks the cheapest simulated plan shape.
+_OPTIMIZE_MODES = (True, False, "cost")
 
 
 @dataclass(frozen=True)
@@ -32,7 +37,12 @@ class QueryOptions:
       paper describes.
     - ``optimize`` / ``pushdown`` / ``prune_projections`` — the optimizer
       master switch and its two semantic rewrites (selection pushdown into
-      LQPs; dead-column pruning at materialization).
+      LQPs; dead-column pruning at materialization).  ``optimize="cost"``
+      selects the cost-based mode: candidate plan shapes (rewrites on/off,
+      Merge chains ordered by predicted source availability) are scored by
+      simulated makespan under the federation's calibrated per-LQP cost
+      models and the cheapest wins; ``pushdown`` still gates whether
+      pushdown shapes are candidates at all.
     - ``policy`` — the Merge/Coalesce conflict policy.
     - ``materialize_full_scheme`` — interpreter fidelity knob: retrieve
       every relation a scheme maps even when the probe needs only some.
@@ -41,7 +51,7 @@ class QueryOptions:
     """
 
     engine: str = "concurrent"
-    optimize: bool = True
+    optimize: Union[bool, str] = True
     pushdown: bool = True
     prune_projections: bool = False
     policy: ConflictPolicy = ConflictPolicy.DROP
@@ -52,6 +62,10 @@ class QueryOptions:
         if self.engine not in _ENGINES:
             raise ValueError(
                 f"engine must be one of {_ENGINES}, got {self.engine!r}"
+            )
+        if self.optimize not in _OPTIMIZE_MODES:
+            raise ValueError(
+                f"optimize must be one of {_OPTIMIZE_MODES}, got {self.optimize!r}"
             )
         if self.fetch_size < 1:
             raise ValueError(f"fetch_size must be >= 1, got {self.fetch_size}")

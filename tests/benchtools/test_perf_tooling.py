@@ -1,0 +1,185 @@
+"""Unit tests for the perf-trajectory tooling (trend report + CI gate)."""
+
+import json
+
+import pytest
+
+from benchmarks.bench_history import (
+    flatten_metrics,
+    is_speedup_metric,
+    latest_baseline,
+    load_history,
+)
+from benchmarks.check_regression import main as gate_main
+from benchmarks.report import render, sparkline
+
+
+def _entry(sha, python, timestamp, speedup, *, old_key=False):
+    key = sha if old_key else f"{sha}@{'.'.join(python.split('.')[:2])}"
+    return key, {
+        "sha": None if old_key else sha,
+        "python": python,
+        "platform": "test",
+        "timestamp": timestamp,
+        "results": {
+            "bench": {"speedup": speedup, "seconds": 1.0 / speedup, "tuples": 42}
+        },
+    }
+
+
+def _write_history(path, entries):
+    history = {}
+    for key, value in entries:
+        value = {k: v for k, v in value.items() if v is not None}
+        history[key] = value
+    path.write_text(json.dumps(history))
+    return path
+
+
+class TestHistoryParsing:
+    def test_new_and_old_key_formats(self, tmp_path):
+        path = _write_history(
+            tmp_path / "h.json",
+            [
+                _entry("a" * 40, "3.11.7", "2026-01-01T00:00:00+00:00", 2.0, old_key=True),
+                _entry("b" * 40, "3.12.1", "2026-01-02T00:00:00+00:00", 3.0),
+            ],
+        )
+        old, new = load_history(path)
+        assert old.sha == "a" * 40 and old.python_series == "3.11"
+        assert new.sha == "b" * 40 and new.python_series == "3.12"
+        assert old.timestamp < new.timestamp
+
+    def test_flatten_and_classify(self):
+        flat = flatten_metrics({"bench": {"speedup": 2.5, "name": "x", "tuples": 7}})
+        assert flat == {"bench.speedup": 2.5, "bench.tuples": 7.0}
+        assert is_speedup_metric("bench.speedup")
+        assert is_speedup_metric("b.measured_overlap")
+        assert is_speedup_metric("b.choice_speedup")
+        assert not is_speedup_metric("bench.tuples")
+        assert not is_speedup_metric("bench.seconds")
+
+    def test_latest_baseline_prefers_matching_python(self, tmp_path):
+        path = _write_history(
+            tmp_path / "h.json",
+            [
+                _entry("a" * 40, "3.12.1", "2026-01-01T00:00:00+00:00", 2.0),
+                _entry("b" * 40, "3.11.7", "2026-01-02T00:00:00+00:00", 3.0),
+                _entry("c" * 40, "3.12.1", "2026-01-03T00:00:00+00:00", 4.0),
+            ],
+        )
+        entries = load_history(path)
+        baseline = latest_baseline(entries, current_sha="c" * 40, series="3.12")
+        assert baseline.sha == "a" * 40  # same series, other SHA
+        # Other series never qualify: a 3.13 run has no baseline until a
+        # 3.13 entry exists (speedups don't normalize across interpreters).
+        assert latest_baseline(entries, current_sha="c" * 40, series="3.13") is None
+        assert latest_baseline(entries[:1], current_sha="a" * 40) is None
+
+
+class TestGate:
+    def _snapshot(self, tmp_path, speedup, python="3.12.1"):
+        path = tmp_path / "BENCH_runtime.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "python": python,
+                    "platform": "test",
+                    "results": {"bench": {"speedup": speedup, "seconds": 1.0}},
+                }
+            )
+        )
+        return path
+
+    def test_regression_fails(self, tmp_path, capsys):
+        history = _write_history(
+            tmp_path / "h.json",
+            [_entry("a" * 40, "3.12.1", "2026-01-01T00:00:00+00:00", 4.0)],
+        )
+        current = self._snapshot(tmp_path, speedup=2.0)
+        code = gate_main(
+            ["--current", str(current), "--history", str(history), "--sha", "b" * 40]
+        )
+        assert code == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_small_drop_passes(self, tmp_path):
+        history = _write_history(
+            tmp_path / "h.json",
+            [_entry("a" * 40, "3.12.1", "2026-01-01T00:00:00+00:00", 4.0)],
+        )
+        current = self._snapshot(tmp_path, speedup=3.6)
+        assert (
+            gate_main(
+                ["--current", str(current), "--history", str(history), "--sha", "b" * 40]
+            )
+            == 0
+        )
+
+    def test_custom_threshold(self, tmp_path):
+        history = _write_history(
+            tmp_path / "h.json",
+            [_entry("a" * 40, "3.12.1", "2026-01-01T00:00:00+00:00", 4.0)],
+        )
+        current = self._snapshot(tmp_path, speedup=3.6)
+        code = gate_main(
+            [
+                "--current", str(current),
+                "--history", str(history),
+                "--sha", "b" * 40,
+                "--threshold", "0.05",
+            ]
+        )
+        assert code == 1
+
+    def test_no_baseline_passes(self, tmp_path):
+        # History only holds the current SHA (first run): nothing to gate.
+        history = _write_history(
+            tmp_path / "h.json",
+            [_entry("a" * 40, "3.12.1", "2026-01-01T00:00:00+00:00", 4.0)],
+        )
+        current = self._snapshot(tmp_path, speedup=1.0)
+        assert (
+            gate_main(
+                ["--current", str(current), "--history", str(history), "--sha", "a" * 40]
+            )
+            == 0
+        )
+
+    def test_missing_files_pass(self, tmp_path):
+        assert gate_main(["--current", str(tmp_path / "none.json")]) == 0
+        current = self._snapshot(tmp_path, speedup=1.0)
+        assert (
+            gate_main(
+                [
+                    "--current", str(current),
+                    "--history", str(tmp_path / "none.json"),
+                    "--sha", "a" * 40,
+                ]
+            )
+            == 0
+        )
+
+
+class TestReport:
+    def test_sparkline_normalizes(self):
+        assert sparkline([1.0, 2.0, 3.0]) == "▁▅█"
+        assert sparkline([5.0, 5.0]) == "▄▄"
+        assert sparkline([]) == ""
+
+    def test_render_groups_by_python_series(self, tmp_path):
+        path = _write_history(
+            tmp_path / "h.json",
+            [
+                _entry("a" * 40, "3.11.7", "2026-01-01T00:00:00+00:00", 2.0),
+                _entry("b" * 40, "3.11.7", "2026-01-02T00:00:00+00:00", 3.0),
+                _entry("b" * 40, "3.12.1", "2026-01-02T00:00:00+00:00", 2.5),
+            ],
+        )
+        text = render(load_history(path))
+        assert "## Python 3.11" in text and "## Python 3.12" in text
+        assert "`bench.speedup`" in text
+        assert "+50.0%" in text  # 2.0 -> 3.0 on the 3.11 series
+
+    def test_render_empty(self):
+        assert "No benchmark history" in render([])

@@ -1,12 +1,16 @@
 """Executor-equivalence properties.
 
-The concurrent runtime and the optimizer's semantic rewrites (selection
-pushdown, projection pruning) must be invisible in the answer: for any
-query, the relation they produce — data, headings, *and tags* — equals the
-serial, unoptimized pipeline's.  Hypothesis drives randomized polygen
-queries over the paper's federation (whose identity resolver and domain
-transforms are exactly the hazards pushdown must respect) through four
-differently-configured processors and asserts tag-identical results.
+The concurrent runtime, the optimizer's semantic rewrites (selection
+pushdown, projection pruning) and the cost-based shape selection must be
+invisible in the answer: for any query, the relation they produce — data,
+headings, *and tags* — equals the serial, unoptimized pipeline's.
+Hypothesis drives randomized polygen queries over the paper's federation
+(whose identity resolver and domain transforms are exactly the hazards
+pushdown must respect) through five differently-configured processors and
+asserts tag-identical results.  The cost-based engine re-plans every query
+under models calibrated from its own preceding queries — so across a run
+its *shapes* drift (flat Merges become availability-ordered chains) while
+its answers must not.
 """
 
 import pytest
@@ -137,7 +141,16 @@ def engines():
         "concurrent_optimized": _processor(
             concurrent=True, pushdown=True, prune_projections=True
         ),
+        "cost_optimized": _processor(concurrent=True, optimize="cost"),
     }
+
+
+_VARIANTS = (
+    "optimized",
+    "concurrent",
+    "concurrent_optimized",
+    "cost_optimized",
+)
 
 
 @settings(
@@ -148,7 +161,7 @@ def engines():
 @given(query=queries())
 def test_all_engines_agree(engines, query):
     baseline = engines["baseline"].run_algebra(query)
-    for name in ("optimized", "concurrent", "concurrent_optimized"):
+    for name in _VARIANTS:
         other = engines[name].run_algebra(query)
         assert other.relation == baseline.relation, (
             f"{name} diverged from serial/unoptimized on {query!r}"
@@ -160,6 +173,6 @@ def test_paper_query_agrees_across_engines(engines):
     from tests.integration.conftest import PAPER_SQL
 
     baseline = engines["baseline"].run_sql(PAPER_SQL)
-    for name in ("optimized", "concurrent", "concurrent_optimized"):
+    for name in _VARIANTS:
         other = engines[name].run_sql(PAPER_SQL)
         assert other.relation == baseline.relation

@@ -142,6 +142,26 @@ class TestSubmission:
                 handle.result(timeout=30)
             assert isinstance(handle.exception(), TranslationError)
 
+    def test_cost_based_optimization_through_sessions(self, reference):
+        from repro.pqp.optimizer import ShapeChoice
+
+        with _federation() as federation:
+            with federation.session(optimize="cost") as session:
+                first = session.execute(PAPER_SQL)
+                # Calibrated on the first query's trace, re-planned here.
+                second = session.execute(PAPER_SQL)
+            # Per-submit override works too.
+            with federation.session() as session:
+                third = session.execute(PAPER_SQL, optimize="cost")
+            stats = federation.stats()
+        for result in (first, second, third):
+            assert result.relation == reference.relation
+            assert result.lineage == reference.lineage
+            assert isinstance(result.optimization, ShapeChoice)
+            assert result.optimization.predicted_makespan > 0
+        assert stats.plans_calibrated == 3
+        assert set(stats.calibrated_models) == {"AD", "PD", "CD"}
+
 
 class TestStreamingCursor:
     def test_cursor_streams_all_rows(self, reference):
