@@ -43,6 +43,8 @@ __all__ = [
     "PolygenFederation",
     "QueryOptions",
     "QueryResult",
+    "LQPServer",
+    "RemoteLQP",
 ]
 
 #: flat name → (module, attribute) for the lazy re-exports below.
@@ -54,6 +56,8 @@ _LAZY_EXPORTS = {
     "PolygenFederation": ("repro.service.federation", "PolygenFederation"),
     "QueryOptions": ("repro.service.options", "QueryOptions"),
     "QueryResult": ("repro.pqp.result", "QueryResult"),
+    "LQPServer": ("repro.net.server", "LQPServer"),
+    "RemoteLQP": ("repro.net.client", "RemoteLQP"),
 }
 
 

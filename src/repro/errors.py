@@ -11,7 +11,9 @@ The hierarchy mirrors the layers of the system:
 - catalog/schema-integration problems (:class:`CatalogError` and friends),
 - parsing problems for the two front-end languages (:class:`ParseError`),
 - query translation and execution problems (:class:`TranslationError`,
-  :class:`ExecutionError`).
+  :class:`ExecutionError`),
+- network/transport problems between a PQP and a remote LQP
+  (:class:`NetworkError` and friends).
 """
 
 from __future__ import annotations
@@ -43,6 +45,11 @@ __all__ = [
     "ServiceClosedError",
     "UnknownDatabaseError",
     "UnknownRelationError",
+    "NetworkError",
+    "ProtocolError",
+    "ConnectionLostError",
+    "RemoteTimeoutError",
+    "RemoteQueryError",
     "LocalEngineError",
     "ConstraintViolationError",
 ]
@@ -235,6 +242,47 @@ class UnknownRelationError(ExecutionError, KeyError):
 
     def __str__(self) -> str:
         return self.args[0]
+
+
+# ---------------------------------------------------------------------------
+# Network / remote-LQP transport errors
+# ---------------------------------------------------------------------------
+
+
+class NetworkError(ExecutionError):
+    """A failure in the PQP↔LQP network layer (:mod:`repro.net`).
+
+    Subclass of :class:`ExecutionError`: to a running plan, a remote source
+    that cannot be reached is an execution failure like any other, so
+    existing error handling (executor wrapping, handle/cursor surfacing)
+    needs no special cases — while callers that care *can* discriminate the
+    transport failure modes below.
+    """
+
+
+class ProtocolError(NetworkError):
+    """A malformed, oversized, or version-incompatible wire frame."""
+
+
+class ConnectionLostError(NetworkError):
+    """The connection to a remote LQP could not be established, or dropped
+    mid-request (including mid-chunk-stream)."""
+
+
+class RemoteTimeoutError(NetworkError):
+    """A remote LQP produced no response frame within the transport's
+    timeout.  A best-effort cancel is sent to the server first."""
+
+
+class RemoteQueryError(NetworkError):
+    """The remote LQP executed the request and *failed*; carries the
+    server-side error type and message."""
+
+    def __init__(self, error_type: str, message: str, database: str | None = None):
+        self.error_type = error_type
+        self.database = database
+        where = f" at {database!r}" if database else ""
+        super().__init__(f"remote LQP{where} raised {error_type}: {message}")
 
 
 class LocalEngineError(PolygenError):

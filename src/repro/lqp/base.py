@@ -27,6 +27,15 @@ __all__ = ["LocalQueryProcessor"]
 class LocalQueryProcessor(abc.ABC):
     """Interface every local query processor implements."""
 
+    #: How many requests this LQP can usefully serve *at once*.  The paper
+    #: assumes one connection per local database, so in-process engines
+    #: stay at 1 (rows at the same LQP queue); a network-backed LQP
+    #: (:class:`repro.net.client.RemoteLQP`) advertises its transport's
+    #: multiplexing level, and the worker pool sizes that database's
+    #: worker group accordingly.  Wrappers must delegate to their inner
+    #: LQP so the value survives accounting/latency decoration.
+    native_concurrency: int = 1
+
     @property
     @abc.abstractmethod
     def name(self) -> str:

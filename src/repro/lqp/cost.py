@@ -162,6 +162,10 @@ class AccountingLQP(LocalQueryProcessor):
     def inner(self) -> LocalQueryProcessor:
         return self._inner
 
+    @property
+    def native_concurrency(self) -> int:
+        return self._inner.native_concurrency
+
     def relation_names(self) -> Tuple[str, ...]:
         return self._inner.relation_names()
 
@@ -211,6 +215,10 @@ class LatencyLQP(LocalQueryProcessor):
     @property
     def inner(self) -> LocalQueryProcessor:
         return self._inner
+
+    @property
+    def native_concurrency(self) -> int:
+        return self._inner.native_concurrency
 
     def cost_model(self) -> CostModel:
         """The injected delays as a :class:`CostModel` (units: seconds), so

@@ -16,7 +16,7 @@ nothing for the safety.
 from __future__ import annotations
 
 import threading
-from typing import Dict, Iterator, Tuple
+from typing import Dict, Iterator, Tuple, Union
 
 from repro.errors import ExecutionError, UnknownDatabaseError
 from repro.lqp.base import LocalQueryProcessor
@@ -30,19 +30,60 @@ class LQPRegistry:
 
     def __init__(self) -> None:
         self._lqps: Dict[str, AccountingLQP] = {}
+        #: Remote LQPs this registry dialed itself (URL registrations).
+        #: The registry owns their connections: :meth:`close` closes them.
+        #: Caller-constructed LQPs stay the caller's to close.
+        self._dialed: list = []
         self._lock = threading.Lock()
 
     def register(
-        self, lqp: LocalQueryProcessor, cost_model: CostModel | None = None
+        self,
+        lqp: Union[LocalQueryProcessor, str],
+        cost_model: CostModel | None = None,
+        **remote_options,
     ) -> AccountingLQP:
         """Register an LQP under its database name.  Returns the accounting
-        wrapper actually stored (useful for reading stats later)."""
-        with self._lock:
-            if lqp.name in self._lqps:
-                raise ExecutionError(f"an LQP is already registered for {lqp.name!r}")
-            wrapped = AccountingLQP(lqp, cost_model)
-            self._lqps[lqp.name] = wrapped
-            return wrapped
+        wrapper actually stored (useful for reading stats later).
+
+        ``lqp`` may also be a ``polygen://host:port`` URL: the registry
+        then dials the :class:`~repro.net.server.LQPServer` at that
+        address and registers the resulting
+        :class:`~repro.net.client.RemoteLQP` (the database name arrives in
+        the server's hello frame).  ``remote_options`` — ``concurrency``,
+        ``timeout``, ``retries``, … — are forwarded to the ``RemoteLQP``
+        constructor, and are rejected for in-process registrations.
+        """
+        dialed = None
+        if isinstance(lqp, str):
+            # Imported here: repro.net builds on repro.lqp, not the
+            # reverse, and in-process federations never pay for asyncio.
+            from repro.net.client import RemoteLQP
+
+            lqp = dialed = RemoteLQP(lqp, **remote_options)
+        elif remote_options:
+            raise TypeError(
+                "remote transport options "
+                f"{sorted(remote_options)} only apply to polygen:// URL "
+                "registrations"
+            )
+        try:
+            with self._lock:
+                if lqp.name in self._lqps:
+                    raise ExecutionError(
+                        f"an LQP is already registered for {lqp.name!r}"
+                    )
+                wrapped = AccountingLQP(lqp, cost_model)
+                self._lqps[lqp.name] = wrapped
+                if dialed is not None:
+                    self._dialed.append(dialed)
+                return wrapped
+        except BaseException:
+            # A connection we dialed ourselves must not outlive a failed
+            # registration (the name was taken): close it rather than
+            # leaking the socket and its event-loop thread until GC.
+            if dialed is not None:
+                dialed.close()
+            raise
 
     def get(self, database: str) -> AccountingLQP:
         try:
@@ -83,3 +124,17 @@ class LQPRegistry:
     def reset_stats(self) -> None:
         for lqp in self:
             lqp.stats.reset()
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Close every remote connection *this registry dialed* (URL
+        registrations).  Idempotent; caller-constructed LQPs — including
+        hand-built :class:`~repro.net.client.RemoteLQP`\\ s — are untouched,
+        they belong to whoever made them.  Called by
+        :meth:`~repro.service.federation.PolygenFederation.close`, so a
+        federation built from URLs tears its transports down with it."""
+        with self._lock:
+            dialed, self._dialed = self._dialed, []
+        for remote in dialed:
+            remote.close()

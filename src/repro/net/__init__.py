@@ -1,0 +1,36 @@
+"""The network layer: a wire protocol and remote LQP transport.
+
+The paper's Figure-1 architecture connects the PQP to each autonomous
+Local Query Processor over its own connection — but until this package
+existed, every LQP in the reproduction ran *in-process*: the federation
+was heterogeneous in dialect, not in deployment.  ``repro.net`` closes
+that gap, in the polystore-middleware tradition (BigDAWG's engine shims):
+
+- :mod:`repro.net.protocol` — a versioned, length-prefixed JSON wire
+  protocol carrying LQP operations, catalog/schema payloads, tuples in
+  bounded chunks, errors, and cancellation;
+- :mod:`repro.net.server` — :class:`~repro.net.server.LQPServer`, a
+  threaded TCP server exposing any existing
+  :class:`~repro.lqp.base.LocalQueryProcessor` at an address;
+- :mod:`repro.net.transport` — :class:`~repro.net.transport.ConnectionMux`,
+  an asyncio multiplexer driving N in-flight requests over one connection;
+- :mod:`repro.net.client` — :class:`~repro.net.client.RemoteLQP`, a
+  drop-in ``LocalQueryProcessor`` backed by that multiplexer, registrable
+  straight into an :class:`~repro.lqp.registry.LQPRegistry` by
+  ``polygen://host:port`` URL.
+"""
+
+from repro.net.client import RemoteLQP
+from repro.net.protocol import PROTOCOL_VERSION, format_url, parse_url
+from repro.net.server import LQPServer
+from repro.net.transport import ConnectionMux, TransportStats
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ConnectionMux",
+    "LQPServer",
+    "RemoteLQP",
+    "TransportStats",
+    "format_url",
+    "parse_url",
+]

@@ -1,0 +1,314 @@
+"""The polygen wire protocol: versioned, length-prefixed JSON frames.
+
+Every message between a PQP-side client and an :class:`~repro.net.server.
+LQPServer` is one **frame**: a 4-byte big-endian payload length followed by
+a UTF-8 JSON object.  JSON keeps the protocol inspectable (``tcpdump`` of a
+federation is readable) and exactly matches the catalog's existing
+serialization (:mod:`repro.catalog.serialize`), which rides along as the
+``schema`` payload; the length prefix makes framing trivial in both the
+threaded server and the asyncio client, and lets either side reject an
+oversized or garbage frame before parsing it.
+
+Message vocabulary (``kind`` discriminates server→client frames, ``op``
+client→server requests)::
+
+    server → client on connect:
+      {"kind": "hello", "protocol": 1, "database": "AD", "relations": [...]}
+
+    client → server:
+      {"id": 7, "op": "retrieve",    "relation": "ALUMNUS"}
+      {"id": 8, "op": "select",      "relation": ..., "attribute": ...,
+                                     "theta": "=", "value": ...}
+      {"id": 9, "op": "relation_names" | "cardinality" | "catalog"
+                                     | "schema" | "ping"}
+      {"op": "cancel", "target": 7}            # no id: fire-and-forget
+
+    server → client, keyed to the request id:
+      {"id": 7, "kind": "chunk",  "seq": 0, "attributes": [...], "rows": [...]}
+      {"id": 7, "kind": "end",    "chunks": 3, "tuples": 700}
+      {"id": 9, "kind": "result", "value": ...}
+      {"id": 8, "kind": "error",  "error_type": "UnknownRelationError",
+                                  "message": "..."}
+
+Relations travel as **bounded chunks** (``chunk_size`` tuples per frame),
+so a large remote result streams instead of landing as one giant frame —
+the client can hand rows onward while later chunks are still in flight,
+and per-frame memory stays bounded on both sides.
+
+Data values on the wire are the JSON scalars — exactly the value domain of
+the reproduction's local engines (str/int/float/bool, ``None`` for the
+paper's nil).  Anything else is refused *before* transmission with a
+:class:`~repro.errors.ProtocolError` rather than silently coerced.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Callable, Dict, Iterator, List, Sequence, Tuple
+
+from repro.errors import ProtocolError
+from repro.relational.relation import Relation
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
+    "DEFAULT_CHUNK_TUPLES",
+    "URL_SCHEME",
+    "encode_frame",
+    "decode_payload",
+    "read_frame",
+    "hello_message",
+    "check_hello",
+    "request_message",
+    "cancel_message",
+    "chunk_message",
+    "end_message",
+    "result_message",
+    "error_message",
+    "wire_value",
+    "wire_rows",
+    "rows_from_wire",
+    "relation_chunks",
+    "relation_from_wire",
+    "parse_url",
+    "format_url",
+]
+
+#: Bumped on every incompatible message-shape change; both ends refuse to
+#: talk across versions (the hello frame carries it).
+PROTOCOL_VERSION = 1
+
+#: Hard ceiling on one frame's JSON payload.  Generous for chunked tuples
+#: (a 1024-tuple chunk of wide string rows is well under 1 MiB) while
+#: stopping a garbage length prefix from provoking a gigabyte allocation.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+#: Default tuples per chunk frame.
+DEFAULT_CHUNK_TUPLES = 256
+
+#: The registration URL scheme: ``polygen://host:port``.
+URL_SCHEME = "polygen"
+
+_LENGTH = struct.Struct(">I")
+
+#: The JSON-native scalar types — identical to the local engines' value
+#: domain (bool listed before int since bool is an int subclass).
+_WIRE_SCALARS = (bool, int, float, str)
+
+
+# -- framing ----------------------------------------------------------------
+
+
+def encode_frame(message: Dict[str, Any]) -> bytes:
+    """``message`` → length-prefixed UTF-8 JSON bytes."""
+    try:
+        payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"message is not JSON-serializable: {exc}") from exc
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(payload)} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"
+        )
+    return _LENGTH.pack(len(payload)) + payload
+
+
+def decode_payload(payload: bytes) -> Dict[str, Any]:
+    """JSON payload bytes → message dict (framing already stripped)."""
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError(f"undecodable frame payload: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"frame payload must be a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+def read_frame(read_exactly: Callable[[int], bytes]) -> Dict[str, Any]:
+    """Read one frame through ``read_exactly(n) -> n bytes``.
+
+    Shared by the threaded server (a blocking socket reader) and any
+    synchronous client; the asyncio transport reads frames with the same
+    logic over ``StreamReader.readexactly``.  Raises :class:`ProtocolError`
+    on a length prefix beyond :data:`MAX_FRAME_BYTES`.
+    """
+    (length,) = _LENGTH.unpack(read_exactly(_LENGTH.size))
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"incoming frame announces {length} bytes "
+            f"(limit {MAX_FRAME_BYTES}); refusing to read it"
+        )
+    return decode_payload(read_exactly(length))
+
+
+# -- message builders -------------------------------------------------------
+
+
+def hello_message(database: str, relations: Sequence[str]) -> Dict[str, Any]:
+    return {
+        "kind": "hello",
+        "protocol": PROTOCOL_VERSION,
+        "database": database,
+        "relations": list(relations),
+    }
+
+
+def check_hello(message: Dict[str, Any], where: str) -> Dict[str, Any]:
+    """Validate a server's hello frame; raises :class:`ProtocolError`."""
+    if message.get("kind") != "hello":
+        raise ProtocolError(
+            f"{where} did not open with a hello frame (got {message.get('kind')!r})"
+        )
+    version = message.get("protocol")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"{where} speaks protocol version {version!r}; "
+            f"this client speaks {PROTOCOL_VERSION}"
+        )
+    if not isinstance(message.get("database"), str) or not message["database"]:
+        raise ProtocolError(f"{where} hello frame lacks a database name")
+    return message
+
+
+def request_message(request_id: int, op: str, **params: Any) -> Dict[str, Any]:
+    message = {"id": request_id, "op": op}
+    message.update(params)
+    return message
+
+
+def cancel_message(target: int) -> Dict[str, Any]:
+    return {"op": "cancel", "target": target}
+
+
+def chunk_message(
+    request_id: int, seq: int, attributes: Sequence[str], rows: List[List[Any]]
+) -> Dict[str, Any]:
+    return {
+        "id": request_id,
+        "kind": "chunk",
+        "seq": seq,
+        "attributes": list(attributes),
+        "rows": rows,
+    }
+
+
+def end_message(
+    request_id: int, chunks: int, tuples: int, attributes: Sequence[str]
+) -> Dict[str, Any]:
+    """Stream terminator.  Carries the heading too: an empty relation
+    ships zero chunk frames, and the receiver still needs its attributes
+    to reconstruct the (empty) relation faithfully."""
+    return {
+        "id": request_id,
+        "kind": "end",
+        "chunks": chunks,
+        "tuples": tuples,
+        "attributes": list(attributes),
+    }
+
+
+def result_message(request_id: int, value: Any) -> Dict[str, Any]:
+    return {"id": request_id, "kind": "result", "value": value}
+
+
+def error_message(request_id: int, error: BaseException) -> Dict[str, Any]:
+    return {
+        "id": request_id,
+        "kind": "error",
+        "error_type": type(error).__name__,
+        "message": str(error),
+    }
+
+
+# -- value / relation payloads ----------------------------------------------
+
+
+def wire_value(value: Any) -> Any:
+    """Check one datum is wire-representable (JSON scalar or nil)."""
+    if value is None or isinstance(value, _WIRE_SCALARS):
+        return value
+    raise ProtocolError(
+        f"value of type {type(value).__name__} is not wire-representable "
+        "(the polygen wire protocol carries JSON scalars and nil)"
+    )
+
+
+def wire_rows(rows: Sequence[Sequence[Any]]) -> List[List[Any]]:
+    """Relation rows → JSON-ready lists, validating every datum."""
+    return [[wire_value(value) for value in row] for row in rows]
+
+
+def rows_from_wire(rows: Sequence[Sequence[Any]]) -> List[Tuple[Any, ...]]:
+    return [tuple(row) for row in rows]
+
+
+def relation_chunks(
+    relation: Relation, chunk_size: int = DEFAULT_CHUNK_TUPLES
+) -> Iterator[List[List[Any]]]:
+    """Split a relation's rows into wire-ready chunks.
+
+    An empty relation yields no chunks at all; its heading reaches the
+    receiver on the ``end`` frame (see :func:`end_message`).
+    """
+    if chunk_size < 1:
+        raise ProtocolError(f"chunk_size must be >= 1, got {chunk_size}")
+    rows = relation.rows
+    for start in range(0, len(rows), chunk_size):
+        yield wire_rows(rows[start : start + chunk_size])
+
+
+def relation_from_wire(
+    attributes: Sequence[str] | None,
+    rows: Sequence[Sequence[Any]],
+    fallback_attributes: Sequence[str] | None = None,
+) -> Relation:
+    """Rebuild a :class:`Relation` from streamed chunks.
+
+    ``attributes`` is what the chunk frames carried (``None`` when the
+    result was empty and no chunk flowed); ``fallback_attributes`` lets the
+    caller supply the heading it learned out-of-band (the catalog) so an
+    empty remote result still reconstructs with its true heading.
+    """
+    heading = attributes if attributes is not None else fallback_attributes
+    if heading is None:
+        raise ProtocolError(
+            "cannot reconstruct a relation: no chunk carried a heading and "
+            "no fallback heading is known"
+        )
+    return Relation(list(heading), rows_from_wire(rows))
+
+
+# -- URLs -------------------------------------------------------------------
+
+
+def parse_url(url: str) -> Tuple[str, int]:
+    """``polygen://host:port`` → ``(host, port)``.
+
+    Accepts IPv6 literals in brackets (``polygen://[::1]:9470``).
+    """
+    prefix = f"{URL_SCHEME}://"
+    if not url.startswith(prefix):
+        raise ProtocolError(
+            f"remote LQP URLs use the {prefix}host:port form, got {url!r}"
+        )
+    rest = url[len(prefix) :]
+    host, separator, port_text = rest.rpartition(":")
+    if not separator or not host:
+        raise ProtocolError(f"remote LQP URL {url!r} lacks a host:port pair")
+    if host.startswith("[") and host.endswith("]"):
+        host = host[1:-1]
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ProtocolError(f"remote LQP URL {url!r} has a non-numeric port") from None
+    if not 0 < port < 65536:
+        raise ProtocolError(f"remote LQP URL {url!r} has an out-of-range port")
+    return host, port
+
+
+def format_url(host: str, port: int) -> str:
+    if ":" in host:  # IPv6 literal
+        return f"{URL_SCHEME}://[{host}]:{port}"
+    return f"{URL_SCHEME}://{host}:{port}"

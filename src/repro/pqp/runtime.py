@@ -9,7 +9,11 @@ Operation Matrix row by row and therefore waits on every local round-trip;
 
 - every local database gets **one worker thread** (matching the
   single-connection assumption of the scheduling model: rows at the same
-  LQP queue, rows at different LQPs overlap),
+  LQP queue, rows at different LQPs overlap) — unless its LQP advertises
+  ``native_concurrency > 1`` (a network-multiplexed
+  :class:`~repro.net.client.RemoteLQP`), in which case its worker group
+  widens to that many threads and same-database rows overlap in flight
+  over the LQP's single multiplexed connection,
 - a local row (Retrieve / single-comparison Select) is dispatched to its
   database's worker the moment every ``R(#)`` it consumes is ready,
 - PQP rows (the polygen algebra over earlier results) run on the
@@ -150,10 +154,27 @@ class ConcurrentExecutor(Executor):
         if owned:
             pool = WorkerPool()
 
+        #: database → worker-group width, resolved once per plan.  An
+        #: in-process LQP stays at the paper's single connection (width 1);
+        #: a RemoteLQP advertises its multiplexer's concurrency and gets
+        #: that many pool workers, so same-database rows overlap in flight.
+        widths: Dict[str, int] = {}
+
+        def native_width(database: str) -> int:
+            width = widths.get(database)
+            if width is None:
+                width = max(1, self._registry.get(database).native_concurrency)
+                widths[database] = width
+            return width
+
         def dispatch(index: int) -> None:
             row = dag.row(index)
             if row.is_local:
-                pool.submit(row.el, lambda row=row: run_local(row))
+                pool.submit(
+                    row.el,
+                    lambda row=row: run_local(row),
+                    width=native_width(row.el),
+                )
             else:
                 ready_pqp.append(row)
 

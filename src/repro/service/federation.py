@@ -46,7 +46,11 @@ import time
 import weakref
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Dict, Optional, Tuple, Union
+
+if TYPE_CHECKING:  # pragma: no cover - typing only; service never needs
+    # to import the network layer unless remote LQPs are registered.
+    from repro.net.transport import TransportStats
 
 from repro.algebra_lang.parser import parse_expression
 from repro.catalog.schema import PolygenSchema
@@ -106,6 +110,12 @@ class FederationStats:
     calibrated_models: Dict[str, CalibratedCostModel] = dataclasses.field(
         default_factory=dict
     )
+    #: database → transport counters, for every network-backed LQP
+    #: (:class:`~repro.net.client.RemoteLQP`) in the registry: requests,
+    #: bytes, chunks, retries/timeouts, in-flight high-water mark.
+    remote_transports: Dict[str, "TransportStats"] = dataclasses.field(
+        default_factory=dict
+    )
     #: Mean relative error of the calibrated model's makespan predictions
     #: over recent queries (``None`` before the first calibrated query).
     cost_model_error: Optional[float] = None
@@ -159,6 +169,12 @@ class FederationStats:
                     f"  {name:>4s}: per_query {model.per_query * 1e3:.2f}ms, "
                     f"per_tuple {model.per_tuple * 1e6:.2f}us "
                     f"({model.observations} obs)"
+                )
+        if self.remote_transports:
+            lines.append(f"remote transports: {len(self.remote_transports)}")
+            for name in sorted(self.remote_transports):
+                lines.append(
+                    f"  {name:>4s}: {self.remote_transports[name].render()}"
                 )
         return "\n".join(lines)
 
@@ -229,7 +245,9 @@ class PolygenFederation:
     def close(self) -> None:
         """Shut the service down cleanly: close every session (cancelling
         unfinished queries), drain the coordinators, join the worker
-        threads.  Idempotent; ``submit`` raises afterwards."""
+        threads, and close any remote connections the registry dialed for
+        ``polygen://`` URL registrations.  Idempotent; ``submit`` raises
+        afterwards."""
         with self._lock:
             if self._closed:
                 return
@@ -239,6 +257,7 @@ class PolygenFederation:
             session.close()
         self._coordinators.shutdown(wait=True)
         self._pool.close(wait=True)
+        self.registry.close()
 
     def __enter__(self) -> "PolygenFederation":
         return self
@@ -536,9 +555,29 @@ class PolygenFederation:
 
     # -- observability ------------------------------------------------------
 
+    def _remote_transport_stats(self) -> Dict[str, "TransportStats"]:
+        """database → transport counters for every network-backed LQP.
+
+        Duck-typed on ``transport_stats()`` through the ``.inner``
+        decoration chain (accounting/latency wrappers), so the service
+        layer needs no import of — and no dependency on — ``repro.net``
+        unless remote LQPs are actually registered.
+        """
+        transports: Dict[str, "TransportStats"] = {}
+        for lqp in self.registry:
+            inner = lqp
+            while inner is not None:
+                snapshot = getattr(inner, "transport_stats", None)
+                if callable(snapshot):
+                    transports[lqp.name] = snapshot()
+                    break
+                inner = getattr(inner, "inner", None)
+        return transports
+
     def stats(self) -> FederationStats:
         """A snapshot of service counters, pool state and LQP traffic."""
         lqp_stats = self.registry.stats()
+        remote_transports = self._remote_transport_stats()
         calibrated = self.calibrator.local_costs()
         model_error = self.calibrator.prediction_error()
         plans_calibrated = self.calibrator.observed_plans
@@ -561,6 +600,7 @@ class PolygenFederation:
                 calibrated_models=calibrated,
                 cost_model_error=model_error,
                 plans_calibrated=plans_calibrated,
+                remote_transports=remote_transports,
             )
 
     def validate(self, result: QueryResult, **schedule_kwargs):

@@ -59,23 +59,60 @@ class QueryOptions:
     fetch_size: int = 64
 
     def __post_init__(self):
-        if self.engine not in _ENGINES:
+        """Validate every field at construction.
+
+        A typo'd or ill-typed knob must fail loudly *here*: these options
+        flow through three levels of defaulting (federation → session →
+        submit), and a value that merely truthy-coerces — ``engine=0``,
+        ``pushdown="no"`` — would otherwise silently run the query with
+        behaviour the caller never asked for.  Every rejection names the
+        offending field.
+        """
+        if not isinstance(self.engine, str) or self.engine not in _ENGINES:
             raise ValueError(
                 f"engine must be one of {_ENGINES}, got {self.engine!r}"
             )
+        # Equality, not identity: the historical facade accepted any 0/1
+        # truthy optimize (``optimize=1`` == True), and that tolerance is
+        # part of its unchanged-signature contract.
         if self.optimize not in _OPTIMIZE_MODES:
             raise ValueError(
                 f"optimize must be one of {_OPTIMIZE_MODES}, got {self.optimize!r}"
+            )
+        for flag in ("pushdown", "prune_projections", "materialize_full_scheme"):
+            value = getattr(self, flag)
+            if not isinstance(value, bool):
+                raise ValueError(
+                    f"{flag} must be a bool, got {value!r} "
+                    f"({type(value).__name__})"
+                )
+        if not isinstance(self.policy, ConflictPolicy):
+            raise ValueError(
+                f"policy must be a ConflictPolicy, got {self.policy!r} "
+                f"({type(self.policy).__name__})"
+            )
+        if isinstance(self.fetch_size, bool) or not isinstance(self.fetch_size, int):
+            raise ValueError(
+                f"fetch_size must be an int, got {self.fetch_size!r} "
+                f"({type(self.fetch_size).__name__})"
             )
         if self.fetch_size < 1:
             raise ValueError(f"fetch_size must be >= 1, got {self.fetch_size}")
 
     def replace(self, **overrides) -> "QueryOptions":
-        """A copy with ``overrides`` applied; unknown names raise TypeError.
+        """A copy with ``overrides`` applied; unknown names raise
+        :class:`ValueError` naming the bogus field.
 
         This is the per-call resolution step: federation defaults →
-        session defaults → ``submit(..., **overrides)``.
+        session defaults → ``submit(..., **overrides)`` — which is exactly
+        where a typo'd keyword (``submit(q, engin="serial")``) would
+        otherwise vanish into ``**overrides`` and become a silent no-op.
         """
         if not overrides:
             return self
+        unknown = set(overrides) - {f.name for f in dataclasses.fields(self)}
+        if unknown:
+            raise ValueError(
+                f"unknown QueryOptions field(s): {', '.join(sorted(unknown))}"
+            )
         return dataclasses.replace(self, **overrides)

@@ -31,6 +31,7 @@ class TestExamples:
             "heterogeneous_sources.py",
             "lineage_audit.py",
             "quickstart.py",
+            "remote_federation.py",
         ]
 
     def test_quickstart(self):
@@ -67,6 +68,14 @@ class TestExamples:
         output = run_example("heterogeneous_sources.py")
         assert "Identical" in output
         assert "Genentech, {AD, CD}, {AD, CD}" in output
+
+    def test_remote_federation(self):
+        output = run_example("remote_federation.py")
+        assert "polygen://" in output  # sources registered by URL
+        assert "Genentech, {AD, CD}, {AD, CD}" in output  # paper answer, tagged
+        assert "tag-identical to the in-process federation: True" in output
+        assert "remote transports: 3" in output  # per-transport counters
+        assert "first rows usable after" in output  # streamed vs batch
 
     def test_federation_service(self):
         output = run_example("federation_service.py")

@@ -1,0 +1,160 @@
+"""Unit tests of the wire protocol: framing, messages, payloads, URLs."""
+
+import io
+import json
+import struct
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.net import protocol
+from repro.relational.relation import Relation
+
+
+def read_from_bytes(data: bytes):
+    stream = io.BytesIO(data)
+
+    def read_exactly(count: int) -> bytes:
+        piece = stream.read(count)
+        assert len(piece) == count, "truncated frame"
+        return piece
+
+    return protocol.read_frame(read_exactly)
+
+
+class TestFraming:
+    def test_round_trip(self):
+        message = {"id": 3, "op": "retrieve", "relation": "ALUMNUS"}
+        assert read_from_bytes(protocol.encode_frame(message)) == message
+
+    def test_length_prefix_is_big_endian_payload_size(self):
+        frame = protocol.encode_frame({"a": 1})
+        (length,) = struct.unpack(">I", frame[:4])
+        assert length == len(frame) - 4
+        assert json.loads(frame[4:]) == {"a": 1}
+
+    def test_oversized_incoming_frame_refused_before_reading(self):
+        bogus = struct.pack(">I", protocol.MAX_FRAME_BYTES + 1)
+
+        def read_exactly(count: int) -> bytes:
+            if count == 4:
+                return bogus
+            raise AssertionError("payload must not be read")
+
+        with pytest.raises(ProtocolError, match="refusing"):
+            protocol.read_frame(read_exactly)
+
+    def test_garbage_payload_raises_protocol_error(self):
+        with pytest.raises(ProtocolError, match="undecodable"):
+            protocol.decode_payload(b"\xff\xfe not json")
+
+    def test_non_object_payload_rejected(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            protocol.decode_payload(b"[1, 2, 3]")
+
+    def test_unserializable_message_rejected(self):
+        with pytest.raises(ProtocolError, match="not JSON-serializable"):
+            protocol.encode_frame({"value": object()})
+
+
+class TestHello:
+    def test_valid_hello_passes(self):
+        hello = protocol.hello_message("AD", ["ALUMNUS", "CAREER"])
+        assert protocol.check_hello(hello, "server") is hello
+
+    def test_version_mismatch_refused(self):
+        hello = protocol.hello_message("AD", [])
+        hello["protocol"] = protocol.PROTOCOL_VERSION + 1
+        with pytest.raises(ProtocolError, match="protocol version"):
+            protocol.check_hello(hello, "server")
+
+    def test_non_hello_frame_refused(self):
+        with pytest.raises(ProtocolError, match="hello"):
+            protocol.check_hello({"kind": "chunk"}, "server")
+
+    def test_missing_database_refused(self):
+        hello = protocol.hello_message("AD", [])
+        hello["database"] = ""
+        with pytest.raises(ProtocolError, match="database"):
+            protocol.check_hello(hello, "server")
+
+
+class TestValues:
+    @pytest.mark.parametrize("value", ["x", 3, 2.5, True, None])
+    def test_wire_scalars_pass(self, value):
+        assert protocol.wire_value(value) == value
+
+    @pytest.mark.parametrize("value", [object(), (1,), [1], {"a": 1}, b"x"])
+    def test_non_scalars_refused(self, value):
+        with pytest.raises(ProtocolError, match="not wire-representable"):
+            protocol.wire_value(value)
+
+
+class TestRelationPayloads:
+    def test_chunked_round_trip(self):
+        relation = Relation(
+            ["A", "B"], [(i, f"row-{i}") for i in range(10)]
+        )
+        chunks = list(protocol.relation_chunks(relation, chunk_size=3))
+        assert [len(chunk) for chunk in chunks] == [3, 3, 3, 1]
+        rebuilt = protocol.relation_from_wire(
+            list(relation.attributes),
+            [row for chunk in chunks for row in chunk],
+        )
+        assert rebuilt == relation
+
+    def test_empty_relation_ships_no_chunks(self):
+        relation = Relation(["A"], [])
+        assert list(protocol.relation_chunks(relation)) == []
+        # ... and reconstructs via the end-frame heading.
+        rebuilt = protocol.relation_from_wire(["A"], [])
+        assert rebuilt == relation
+
+    def test_no_heading_anywhere_is_an_error(self):
+        with pytest.raises(ProtocolError, match="heading"):
+            protocol.relation_from_wire(None, [])
+
+    def test_end_message_carries_heading(self):
+        end = protocol.end_message(7, 0, 0, ["A", "B"])
+        assert end["attributes"] == ["A", "B"]
+
+    def test_nil_survives_the_wire(self):
+        relation = Relation(["A", "B"], [(1, None), (None, "x")])
+        chunks = list(protocol.relation_chunks(relation))
+        rebuilt = protocol.relation_from_wire(
+            list(relation.attributes), [row for c in chunks for row in c]
+        )
+        assert rebuilt == relation
+
+    def test_bad_chunk_size_refused(self):
+        with pytest.raises(ProtocolError, match="chunk_size"):
+            list(protocol.relation_chunks(Relation(["A"], [(1,)]), chunk_size=0))
+
+
+class TestUrls:
+    def test_round_trip(self):
+        assert protocol.parse_url("polygen://example.org:9470") == (
+            "example.org",
+            9470,
+        )
+        assert protocol.format_url("example.org", 9470) == "polygen://example.org:9470"
+
+    def test_ipv6_round_trip(self):
+        url = protocol.format_url("::1", 9470)
+        assert url == "polygen://[::1]:9470"
+        assert protocol.parse_url(url) == ("::1", 9470)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "http://example.org:9470",
+            "polygen://example.org",
+            "polygen://:9470",
+            "polygen://example.org:port",
+            "polygen://example.org:0",
+            "polygen://example.org:70000",
+        ],
+    )
+    def test_bad_urls_refused(self, bad):
+        with pytest.raises(ProtocolError):
+            protocol.parse_url(bad)

@@ -75,8 +75,34 @@ class TestQueryOptions:
             QueryOptions(engine="warp")
         with pytest.raises(ValueError, match="fetch_size"):
             QueryOptions(fetch_size=0)
-        with pytest.raises(TypeError):
+        with pytest.raises(ValueError, match="no_such_flag"):
             QueryOptions().replace(no_such_flag=True)
+
+    def test_ill_typed_fields_rejected_by_name(self):
+        # A knob that would merely truthy-coerce must fail loudly, naming
+        # the field: these options flow through three defaulting levels,
+        # so a silent coercion is a query running with behaviour nobody
+        # asked for.
+        with pytest.raises(ValueError, match="pushdown"):
+            QueryOptions(pushdown="no")
+        with pytest.raises(ValueError, match="prune_projections"):
+            QueryOptions(prune_projections=1)
+        with pytest.raises(ValueError, match="policy"):
+            QueryOptions(policy="drop")
+        with pytest.raises(ValueError, match="fetch_size"):
+            QueryOptions(fetch_size="64")
+        with pytest.raises(ValueError, match="fetch_size"):
+            QueryOptions(fetch_size=True)
+        with pytest.raises(ValueError, match="optimize"):
+            QueryOptions(optimize="fast")
+        assert QueryOptions(optimize=1).optimize  # historical facade tolerance
+        with pytest.raises(ValueError, match="engine"):
+            QueryOptions(engine=0)
+
+    def test_typoed_override_raises_not_noop(self):
+        base = QueryOptions()
+        with pytest.raises(ValueError, match="engin"):
+            base.replace(engin="serial")
 
 
 class TestSubmission:

@@ -71,6 +71,39 @@ class TestWorkerPool:
             pool.submit("CD", lambda: None)
             assert pool.thread_names() == names
 
+    def test_width_grows_a_database_worker_group(self):
+        barrier = threading.Barrier(3, timeout=2.0)
+        with WorkerPool() as pool:
+            results = []
+            # Three same-database jobs that can only finish together:
+            # impossible on the historical single worker, trivial once the
+            # group is width 3 (a remote LQP's native concurrency).
+            for _ in range(3):
+                pool.submit("AD", lambda: results.append(barrier.wait()), width=3)
+            deadline = time.time() + 2.0
+            while len(results) < 3 and time.time() < deadline:
+                time.sleep(0.005)
+            assert sorted(results) == [0, 1, 2]
+            assert pool.width("AD") == 3
+            assert pool.width("PD") == 0
+
+    def test_width_only_grows_and_names_stay_stable(self):
+        with WorkerPool(thread_name_prefix="net") as pool:
+            done = threading.Event()
+            pool.submit("AD", lambda: None, width=2)
+            pool.submit("AD", done.set, width=1)  # narrower: no shrink
+            assert done.wait(2.0)
+            names = pool.thread_names()
+            assert len(names) == 2
+            assert any(name.endswith("#2") for name in names)
+            pool.submit("AD", lambda: None, width=2)
+            assert pool.thread_names() == names
+
+    def test_bad_width_rejected(self):
+        with WorkerPool() as pool:
+            with pytest.raises(ValueError, match="width"):
+                pool.submit("AD", lambda: None, width=0)
+
     def test_occupancy_counts_queued_and_running(self):
         gate = threading.Event()
         with WorkerPool() as pool:
