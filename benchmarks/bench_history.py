@@ -17,18 +17,21 @@ entry's recorded ``python`` field.
 from __future__ import annotations
 
 import json
+import statistics
 import subprocess
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 __all__ = [
     "HistoryEntry",
+    "MedianBaseline",
     "flatten_metrics",
     "git_sha",
     "is_speedup_metric",
     "latest_baseline",
     "load_history",
+    "median_baseline",
     "python_series",
 ]
 
@@ -129,3 +132,54 @@ def latest_baseline(
     if series is not None:
         others = [entry for entry in others if entry.python_series == series]
     return others[-1] if others else None
+
+
+@dataclass(frozen=True)
+class MedianBaseline:
+    """A synthetic comparison point: per-metric medians over the most
+    recent baseline-eligible entries."""
+
+    #: ``{"bench.metric": median value}`` over the window.
+    metrics: Dict[str, float]
+    #: The entries the medians were taken over, oldest first.
+    entries: Tuple[HistoryEntry, ...]
+
+    def describe(self) -> str:
+        shas = ", ".join(entry.short_sha for entry in self.entries)
+        return f"median of {len(self.entries)} run(s): {shas}"
+
+
+def median_baseline(
+    entries: List[HistoryEntry],
+    current_sha: str,
+    series: Optional[str] = None,
+    window: int = 5,
+) -> Optional[MedianBaseline]:
+    """Per-metric medians over the last ``window`` entries from *other*
+    SHAs (same-series filtering as :func:`latest_baseline`).
+
+    A single noisy baseline run can fail — or mask — a regression check;
+    the median over a small window is robust to one outlier while still
+    tracking genuine drift.  A metric only present in some of the window's
+    entries is medianed over the entries that have it.  With one eligible
+    entry this degenerates to exactly :func:`latest_baseline`'s numbers.
+    """
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    others = [entry for entry in entries if entry.sha != current_sha]
+    if series is not None:
+        others = [entry for entry in others if entry.python_series == series]
+    tail = others[-window:]
+    if not tail:
+        return None
+    samples: Dict[str, List[float]] = {}
+    for entry in tail:
+        for metric, value in flatten_metrics(entry.results).items():
+            samples.setdefault(metric, []).append(value)
+    return MedianBaseline(
+        metrics={
+            metric: float(statistics.median(values))
+            for metric, values in samples.items()
+        },
+        entries=tuple(tail),
+    )

@@ -2,13 +2,16 @@
 """CI perf-regression gate over ``BENCH_history.json``.
 
 Compares the current ``--bench-json`` snapshot (``BENCH_runtime.json``)
-against the previous SHA's entry in the accumulated history and **fails
-(exit 1)** when any speedup-class metric — concurrency speedups, measured
-overlap, cost-model improvements; see
+against the **per-metric median of the last N** other-SHA entries in the
+accumulated history (same python series; ``--baseline-window``, default 5)
+and **fails (exit 1)** when any speedup-class metric — concurrency
+speedups, measured overlap, cost-model improvements; see
 :func:`bench_history.is_speedup_metric` — dropped by more than the
-threshold (default 20%).  Counts and raw seconds are reported but never
-gate: they shift with runner hardware, while speedup *ratios* are
-self-normalizing.
+threshold (default 20%).  The median makes the gate robust to one noisy
+baseline run in either direction; with a single prior run it degenerates
+to the old previous-entry comparison.  Counts and raw seconds are reported
+but never gate: they shift with runner hardware, while speedup *ratios*
+are self-normalizing.
 
 Usage (what ``.github/workflows/ci.yml`` runs after the bench step)::
 
@@ -34,8 +37,8 @@ try:
         flatten_metrics,
         git_sha,
         is_speedup_metric,
-        latest_baseline,
         load_history,
+        median_baseline,
         python_series,
     )
 except ImportError:  # executed as a script: benchmarks/ is sys.path[0]
@@ -43,8 +46,8 @@ except ImportError:  # executed as a script: benchmarks/ is sys.path[0]
         flatten_metrics,
         git_sha,
         is_speedup_metric,
-        latest_baseline,
         load_history,
+        median_baseline,
         python_series,
     )
 
@@ -63,6 +66,13 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--sha", default=None, help="current git SHA (default: git rev-parse HEAD)"
     )
+    parser.add_argument(
+        "--baseline-window",
+        default=5,
+        type=int,
+        help="how many recent other-SHA runs the per-metric median baseline "
+        "spans (default 5)",
+    )
     args = parser.parse_args(argv)
 
     if not args.current.exists():
@@ -77,7 +87,7 @@ def main(argv=None) -> int:
         return 0
     entries = load_history(args.history)
     sha = args.sha or git_sha()
-    baseline = latest_baseline(entries, sha, series)
+    baseline = median_baseline(entries, sha, series, window=args.baseline_window)
     if baseline is None:
         print(
             f"gate: history has no py{series} entry from another SHA; passing"
@@ -85,11 +95,10 @@ def main(argv=None) -> int:
         return 0
 
     print(
-        f"gate: {sha[:10]} (py{series}) vs {baseline.short_sha} "
-        f"(py{baseline.python_series}, {baseline.timestamp}), "
+        f"gate: {sha[:10]} (py{series}) vs {baseline.describe()}, "
         f"threshold {args.threshold:.0%}"
     )
-    baseline_metrics = flatten_metrics(baseline.results)
+    baseline_metrics = baseline.metrics
     # A guarded metric that silently vanished from the current run is a
     # coverage hole, not a pass — say so loudly (benches come and go
     # legitimately, so this warns rather than fails).

@@ -4,14 +4,16 @@ The scheduling simulator can rank alternative plan shapes, but a ranking
 is only as good as its cost models.  This bench builds a federation with
 *skewed* latencies — one database answers slowly per query but holds few
 tuples, the others answer fast but hold many — which is exactly the case
-static costing gets backwards: by catalog cardinality the slow source
-looks cheap, so the static model sees no reason to reorder the Merge, and
-the tie-break keeps the paper's flat n-ary Merge.  Calibrated per-LQP
-models (fitted from the federation's own traces) know better: the
-cost-based optimizer decomposes the Merge into a binary chain that folds
-the fast sources *while the slow one is still shipping* and merges the
-straggler last.  The bench measures both choices on the wall clock and
-asserts the calibrated choice wins.
+static costing gets backwards: under uniform costs every source lands
+together, the flat one-pass hash Merge minimizes total work, and the
+tie-break keeps the paper's flat n-ary Merge.  Calibrated per-LQP models
+(fitted from the federation's own traces) know better: the cost-based
+optimizer decomposes the Merge into a binary chain whose partial merges
+of the fast sources both run *while the slow one is still shipping* and
+shrink (overlapping sources coalesce — the simulator's containment
+output estimate), leaving a smaller final link after the straggler
+lands.  The bench measures both choices on the wall clock and asserts
+the calibrated choice wins.
 
 A second test closes the loop on calibration quality itself: the fitted
 ``per_query`` must recover the injected :class:`~repro.lqp.cost.LatencyLQP`
@@ -87,8 +89,8 @@ def test_calibrated_choice_beats_static_choice(record_bench):
         iom, registry=pqp.registry
     )
     assert not static_choice.merges_decomposed, (
-        "under uniform costs every source lands together, so the flat "
-        "Merge should win the tie on plan size"
+        "under uniform costs every source lands together and the flat "
+        "one-pass Merge minimizes total work"
     )
 
     # Calibrate from real traces, then ask again.
@@ -124,8 +126,9 @@ def test_calibrated_choice_beats_static_choice(record_bench):
         choice_speedup=round(choice_speedup, 2),
         saved_fraction=round(1.0 - calibrated_seconds / static_seconds, 3),
     )
-    # The chain overlaps the fast sources' fold with the slow source's
-    # shipping; the flat Merge serializes all of it after the straggler.
+    # The chain's partial merges of the fast sources run during — and
+    # shrink before — the slow source's shipping; the flat Merge pays one
+    # pass over every input tuple after the straggler.
     assert calibrated_seconds < static_seconds
 
 

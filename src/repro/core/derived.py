@@ -44,6 +44,7 @@ __all__ = [
     "outer_natural_primary_join",
     "outer_natural_total_join",
     "merge",
+    "merge_fold",
 ]
 
 #: Suffix used to qualify right-hand attributes that collide with left-hand
@@ -257,6 +258,37 @@ def merge(
     merged.  "The order in which Outer Natural Total Joins are performed
     over a set of polygen relations in a Merge is immaterial" (paper, §II);
     ``tests/property`` verifies this on both paper and generated data.
+
+    That order-immateriality licenses the implementation: instead of
+    folding ONTJs — which rebuilds and re-joins the accumulated result per
+    operand — the work runs as one hash-partitioned pass over the key
+    columns (:func:`repro.storage.kernels.hash_merge`).  The definitional
+    fold survives as :func:`merge_fold`; a property suite pins the two
+    tag-identical.
+    """
+    operands = list(relations)
+    if not operands:
+        raise InvalidOperandError("merge requires at least one relation")
+    for relation in operands:
+        relation.heading.require(*key)
+    if len(operands) == 1:
+        return operands[0]
+    return PolygenRelation.from_store(
+        kernels.hash_merge([relation.store for relation in operands], key, policy)
+    )
+
+
+def merge_fold(
+    relations: Iterable[PolygenRelation],
+    key: Sequence[str],
+    policy: ConflictPolicy = ConflictPolicy.DROP,
+) -> PolygenRelation:
+    """Merge evaluated exactly as the paper defines it: a left fold of
+    Outer Natural Total Joins.
+
+    The reference implementation :func:`merge` must match — kept public
+    for the differential property suite and as the baseline the
+    ``merge_hash_vs_fold`` benchmark measures against.
     """
     operands = list(relations)
     if not operands:

@@ -11,17 +11,127 @@ Concrete LQPs encapsulate however their backing store answers those two
 requests — an in-memory engine, CSV documents, or anything else.  Results
 are *untagged* local relations; tagging happens when the data arrives at
 the PQP (:mod:`repro.lqp.tagging`).
+
+Two optional extensions support intra-relation parallelism
+(:mod:`repro.pqp.shard`):
+
+- **retrieve_range** — Retrieve restricted to a half-open key interval
+  ``[lower, upper)``, so one hot scan can be split into disjoint partial
+  scans.  The default implementation filters a full Retrieve; engines with
+  real indexes override it.
+- **relation_stats** — a :class:`RelationStats` catalog summary
+  (cardinality plus per-column min/max/nil-count) the shard planner uses
+  to pick split points without shipping data.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Any, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Tuple
 
 from repro.core.predicate import Theta
 from repro.relational.relation import Relation
 
-__all__ = ["LocalQueryProcessor"]
+__all__ = [
+    "ColumnStats",
+    "LocalQueryProcessor",
+    "RelationStats",
+    "compute_relation_stats",
+    "key_in_range",
+]
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Summary of one column: extrema over comparable non-nil values.
+
+    ``minimum``/``maximum`` are ``None`` when the column has no non-nil
+    values *or* mixes incomparable types (then no total order exists to
+    split on).  ``nils`` counts missing values either way.
+    """
+
+    minimum: Optional[Any]
+    maximum: Optional[Any]
+    nils: int
+
+    @property
+    def splittable(self) -> bool:
+        """Whether a range partitioner can cut this column: known numeric
+        extrema with genuine spread."""
+        return (
+            isinstance(self.minimum, (int, float))
+            and not isinstance(self.minimum, bool)
+            and isinstance(self.maximum, (int, float))
+            and not isinstance(self.maximum, bool)
+            and self.minimum < self.maximum
+        )
+
+
+@dataclass(frozen=True)
+class RelationStats:
+    """Catalog summary of one local relation: cardinality + column stats."""
+
+    cardinality: int
+    columns: Mapping[str, ColumnStats]
+
+
+def compute_relation_stats(relation: Relation) -> RelationStats:
+    """One pass over ``relation`` producing its :class:`RelationStats`.
+
+    Columns whose non-nil values are not mutually comparable (mixed str/int,
+    say) get ``None`` extrema — :attr:`ColumnStats.splittable` is then
+    False and the shard planner leaves them alone.
+    """
+    columns: Dict[str, ColumnStats] = {}
+    for position, attribute in enumerate(relation.attributes):
+        minimum: Optional[Any] = None
+        maximum: Optional[Any] = None
+        nils = 0
+        comparable = True
+        for row in relation:
+            value = row[position]
+            if value is None:
+                nils += 1
+                continue
+            if not comparable:
+                continue
+            try:
+                if minimum is None or value < minimum:
+                    minimum = value
+                if maximum is None or value > maximum:
+                    maximum = value
+            except TypeError:
+                comparable = False
+        if not comparable:
+            minimum = maximum = None
+        columns[attribute] = ColumnStats(minimum=minimum, maximum=maximum, nils=nils)
+    return RelationStats(cardinality=relation.cardinality, columns=columns)
+
+
+def key_in_range(
+    value: Any,
+    lower: Optional[Any],
+    upper: Optional[Any],
+    include_nil: bool,
+) -> bool:
+    """Membership test for the half-open shard interval ``[lower, upper)``.
+
+    A ``None`` bound is unbounded on that side.  Nil values — and values
+    that cannot be compared against the bounds at all — belong to the
+    ``include_nil`` shard: the partitioner must place *every* tuple in
+    exactly one shard even when the column drifted since stats were taken.
+    """
+    if value is None:
+        return include_nil
+    try:
+        if lower is not None and not value >= lower:
+            return False
+        if upper is not None and not value < upper:
+            return False
+    except TypeError:
+        return include_nil
+    return True
 
 
 class LocalQueryProcessor(abc.ABC):
@@ -61,6 +171,44 @@ class LocalQueryProcessor(abc.ABC):
         the simulator falls back to its guess.
         """
         return None
+
+    def relation_stats(self, relation_name: str) -> RelationStats | None:
+        """Catalog summary for the shard planner, if cheaply known.
+
+        Like :meth:`cardinality_estimate` this is metadata, not data: the
+        answer must not ship tuples to the PQP.  ``None`` (the default)
+        means this engine keeps no such summary — the shard planner then
+        leaves the relation's Retrieve unsplit.
+        """
+        return None
+
+    def retrieve_range(
+        self,
+        relation_name: str,
+        attribute: str,
+        lower: Any = None,
+        upper: Any = None,
+        include_nil: bool = False,
+    ) -> Relation:
+        """Ship the tuples whose ``attribute`` lies in ``[lower, upper)``.
+
+        One key-range partial scan of a sharded Retrieve.  ``include_nil``
+        marks the shard that additionally owns nil (and non-comparable)
+        key values, so a family of shards covering ``(-inf, +inf)`` with
+        exactly one ``include_nil=True`` member partitions the relation.
+
+        The default filters a full :meth:`retrieve` — correct everywhere,
+        and still a win because the *shipping* and PQP-side tagging of
+        each shard proceed in parallel.  Engines with real range access
+        paths should override it.
+        """
+        relation = self.retrieve(relation_name)
+        position = relation.heading.index(attribute)
+        return relation.replace_rows(
+            row
+            for row in relation
+            if key_in_range(row[position], lower, upper, include_nil)
+        )
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}({self.name!r})"

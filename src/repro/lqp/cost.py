@@ -24,7 +24,7 @@ from dataclasses import dataclass
 from typing import Any, Sequence, Tuple
 
 from repro.core.predicate import Theta
-from repro.lqp.base import LocalQueryProcessor
+from repro.lqp.base import LocalQueryProcessor, RelationStats
 from repro.relational.relation import Relation
 
 __all__ = [
@@ -123,12 +123,15 @@ class TransferStats:
     queries: int = 0
     retrieves: int = 0
     selects: int = 0
+    range_retrieves: int = 0
     tuples_shipped: int = 0
 
     def record(self, kind: str, result: Relation) -> None:
         self.queries += 1
         if kind == "retrieve":
             self.retrieves += 1
+        elif kind == "retrieve_range":
+            self.range_retrieves += 1
         else:
             self.selects += 1
         self.tuples_shipped += result.cardinality
@@ -138,11 +141,13 @@ class TransferStats:
             queries=self.queries + other.queries,
             retrieves=self.retrieves + other.retrieves,
             selects=self.selects + other.selects,
+            range_retrieves=self.range_retrieves + other.range_retrieves,
             tuples_shipped=self.tuples_shipped + other.tuples_shipped,
         )
 
     def reset(self) -> None:
-        self.queries = self.retrieves = self.selects = self.tuples_shipped = 0
+        self.queries = self.retrieves = self.selects = 0
+        self.range_retrieves = self.tuples_shipped = 0
 
 
 class AccountingLQP(LocalQueryProcessor):
@@ -181,8 +186,27 @@ class AccountingLQP(LocalQueryProcessor):
             self.stats.record("select", result)
         return result
 
+    def retrieve_range(
+        self,
+        relation_name: str,
+        attribute: str,
+        lower: Any = None,
+        upper: Any = None,
+        include_nil: bool = False,
+    ) -> Relation:
+        result = self._inner.retrieve_range(
+            relation_name, attribute, lower, upper, include_nil
+        )
+        with self._lock:
+            self.stats.record("retrieve_range", result)
+        return result
+
     def cardinality_estimate(self, relation_name: str) -> int | None:
         return self._inner.cardinality_estimate(relation_name)
+
+    def relation_stats(self, relation_name: str) -> RelationStats | None:
+        # Catalog metadata, like cardinality_estimate: not counted as traffic.
+        return self._inner.relation_stats(relation_name)
 
     def simulated_cost(self) -> float:
         """Accumulated cost under this LQP's cost model."""
@@ -243,5 +267,23 @@ class LatencyLQP(LocalQueryProcessor):
         self._delay(result)
         return result
 
+    def retrieve_range(
+        self,
+        relation_name: str,
+        attribute: str,
+        lower: Any = None,
+        upper: Any = None,
+        include_nil: bool = False,
+    ) -> Relation:
+        result = self._inner.retrieve_range(
+            relation_name, attribute, lower, upper, include_nil
+        )
+        self._delay(result)
+        return result
+
     def cardinality_estimate(self, relation_name: str) -> int | None:
         return self._inner.cardinality_estimate(relation_name)
+
+    def relation_stats(self, relation_name: str) -> RelationStats | None:
+        # Catalog metadata stays free, like cardinality_estimate.
+        return self._inner.relation_stats(relation_name)

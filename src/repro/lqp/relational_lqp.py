@@ -2,10 +2,14 @@
 
 from __future__ import annotations
 
-from typing import Any, Tuple
+from typing import Any, Dict, Tuple
 
 from repro.core.predicate import Theta
-from repro.lqp.base import LocalQueryProcessor
+from repro.lqp.base import (
+    LocalQueryProcessor,
+    RelationStats,
+    compute_relation_stats,
+)
 from repro.relational.database import LocalDatabase
 from repro.relational.relation import Relation
 
@@ -21,6 +25,9 @@ class RelationalLQP(LocalQueryProcessor):
 
     def __init__(self, database: LocalDatabase):
         self._database = database
+        # relation name → (id(relation) it was computed from, stats);
+        # the id guards against the backing relation being swapped out.
+        self._stats: Dict[str, Tuple[int, RelationStats]] = {}
 
     @property
     def name(self) -> str:
@@ -41,3 +48,12 @@ class RelationalLQP(LocalQueryProcessor):
 
     def cardinality_estimate(self, relation_name: str) -> int | None:
         return self._database.relation(relation_name).cardinality
+
+    def relation_stats(self, relation_name: str) -> RelationStats | None:
+        relation = self._database.relation(relation_name)
+        cached = self._stats.get(relation_name)
+        if cached is not None and cached[0] == id(relation):
+            return cached[1]
+        stats = compute_relation_stats(relation)
+        self._stats[relation_name] = (id(relation), stats)
+        return stats

@@ -34,7 +34,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 from repro.catalog.schema import PolygenSchema
 from repro.catalog.serialize import schema_from_dict
 from repro.core.predicate import Theta
-from repro.lqp.base import LocalQueryProcessor
+from repro.lqp.base import LocalQueryProcessor, RelationStats
 from repro.net import protocol
 from repro.net.transport import ConnectionMux, TransportStats
 from repro.relational.relation import Relation
@@ -87,6 +87,10 @@ class RemoteLQP(LocalQueryProcessor):
         #: drifting source would want a TTL here.
         self._cardinalities: Dict[str, Optional[int]] = {}
         self._cardinality_lock = threading.Lock()
+        #: relation → stats summary, cached like cardinalities (static
+        #: sources; first answer wins) so the shard pass costs at most one
+        #: round trip per relation per process.
+        self._stats: Dict[str, Optional[RelationStats]] = {}
 
     # -- identity / catalog -------------------------------------------------
 
@@ -113,6 +117,16 @@ class RemoteLQP(LocalQueryProcessor):
         with self._cardinality_lock:
             self._cardinalities[relation_name] = value
         return value
+
+    def relation_stats(self, relation_name: str) -> Optional[RelationStats]:
+        with self._cardinality_lock:
+            if relation_name in self._stats:
+                return self._stats[relation_name]
+        payload = self._mux.request("relation_stats", relation=relation_name)["value"]
+        stats = protocol.stats_from_payload(payload)
+        with self._cardinality_lock:
+            self._stats[relation_name] = stats
+        return stats
 
     def catalog(self) -> Dict[str, Optional[int]]:
         """relation → remote cardinality estimate, in one round trip."""
@@ -146,6 +160,24 @@ class RemoteLQP(LocalQueryProcessor):
             attribute=attribute,
             theta=theta.symbol,
             value=protocol.wire_value(value),
+        )
+        return self._assemble(reply)
+
+    def retrieve_range(
+        self,
+        relation_name: str,
+        attribute: str,
+        lower: Any = None,
+        upper: Any = None,
+        include_nil: bool = False,
+    ) -> Relation:
+        reply = self._mux.request(
+            "retrieve_range",
+            relation=relation_name,
+            attribute=attribute,
+            lower=protocol.wire_value(lower),
+            upper=protocol.wire_value(upper),
+            include_nil=include_nil,
         )
         return self._assemble(reply)
 

@@ -19,8 +19,11 @@ client→server requests)::
       {"id": 7, "op": "retrieve",    "relation": "ALUMNUS"}
       {"id": 8, "op": "select",      "relation": ..., "attribute": ...,
                                      "theta": "=", "value": ...}
-      {"id": 9, "op": "relation_names" | "cardinality" | "catalog"
-                                     | "schema" | "ping"}
+      {"id": 9, "op": "retrieve_range", "relation": ..., "attribute": ...,
+                                     "lower": ..., "upper": ...,
+                                     "include_nil": false}
+      {"id": 10, "op": "relation_names" | "cardinality" | "relation_stats"
+                                     | "catalog" | "schema" | "ping"}
       {"op": "cancel", "target": 7}            # no id: fire-and-forget
 
     server → client, keyed to the request id:
@@ -48,6 +51,7 @@ import struct
 from typing import Any, Callable, Dict, Iterator, List, Sequence, Tuple
 
 from repro.errors import ProtocolError
+from repro.lqp.base import ColumnStats, RelationStats
 from repro.relational.relation import Relation
 
 __all__ = [
@@ -69,6 +73,8 @@ __all__ = [
     "wire_value",
     "wire_rows",
     "rows_from_wire",
+    "stats_payload",
+    "stats_from_payload",
     "relation_chunks",
     "relation_from_wire",
     "parse_url",
@@ -242,6 +248,43 @@ def wire_rows(rows: Sequence[Sequence[Any]]) -> List[List[Any]]:
 
 def rows_from_wire(rows: Sequence[Sequence[Any]]) -> List[Tuple[Any, ...]]:
     return [tuple(row) for row in rows]
+
+
+def stats_payload(stats: RelationStats | None) -> Dict[str, Any] | None:
+    """A :class:`~repro.lqp.base.RelationStats` as a ``relation_stats``
+    result value (``None`` travels as JSON null: the LQP keeps none)."""
+    if stats is None:
+        return None
+    return {
+        "cardinality": stats.cardinality,
+        "columns": {
+            name: {
+                "min": wire_value(column.minimum),
+                "max": wire_value(column.maximum),
+                "nils": column.nils,
+            }
+            for name, column in stats.columns.items()
+        },
+    }
+
+
+def stats_from_payload(payload: Dict[str, Any] | None) -> RelationStats | None:
+    """Inverse of :func:`stats_payload`."""
+    if payload is None:
+        return None
+    if not isinstance(payload, dict) or "cardinality" not in payload:
+        raise ProtocolError(f"malformed relation_stats payload: {payload!r}")
+    return RelationStats(
+        cardinality=int(payload["cardinality"]),
+        columns={
+            str(name): ColumnStats(
+                minimum=column.get("min"),
+                maximum=column.get("max"),
+                nils=int(column.get("nils", 0)),
+            )
+            for name, column in dict(payload.get("columns", {})).items()
+        },
+    )
 
 
 def relation_chunks(

@@ -320,7 +320,7 @@ class LQPServer:
         self._count(requests=1)
         try:
             try:
-                if op in ("retrieve", "select"):
+                if op in ("retrieve", "select", "retrieve_range"):
                     self._serve_relation(connection, request_id, op, message, cancel)
                 else:
                     connection.send(
@@ -363,6 +363,14 @@ class LQPServer:
             raise ProtocolError(f"{op} request lacks a relation name")
         if op == "retrieve":
             relation = self._lqp.retrieve(relation_name)
+        elif op == "retrieve_range":
+            relation = self._lqp.retrieve_range(
+                relation_name,
+                message.get("attribute"),
+                lower=message.get("lower"),
+                upper=message.get("upper"),
+                include_nil=bool(message.get("include_nil", False)),
+            )
         else:
             theta = Theta.from_symbol(message.get("theta", ""))
             relation = self._lqp.select(
@@ -398,6 +406,11 @@ class LQPServer:
             if not isinstance(relation_name, str):
                 raise ProtocolError("cardinality request lacks a relation name")
             return self._lqp.cardinality_estimate(relation_name)
+        if op == "relation_stats":
+            relation_name = message.get("relation")
+            if not isinstance(relation_name, str):
+                raise ProtocolError("relation_stats request lacks a relation name")
+            return protocol.stats_payload(self._lqp.relation_stats(relation_name))
         if op == "catalog":
             return {
                 name: self._lqp.cardinality_estimate(name)

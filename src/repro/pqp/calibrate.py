@@ -31,14 +31,16 @@ observe concurrently while other threads read models for planning.
 
 from __future__ import annotations
 
+import json
+import os
 import threading
 from collections import deque
 from typing import Deque, Dict, Optional, Tuple
 
 from repro.lqp.cost import CalibratedCostModel
 from repro.pqp.executor import ExecutionTrace
-from repro.pqp.matrix import IntermediateOperationMatrix, Operation
-from repro.pqp.schedule import merge_fold_tuples, schedule_plan
+from repro.pqp.matrix import IntermediateOperationMatrix
+from repro.pqp.schedule import schedule_plan
 
 __all__ = ["CostCalibrator"]
 
@@ -102,15 +104,11 @@ class CostCalibrator:
                         for ref in row.referenced_results()
                         if ref.index in trace.results
                     ]
-                    # Merges are observed at their fold size — the same
-                    # x-variable the simulator charges them — so the
-                    # fitted PQP rate and the predictions stay consistent.
-                    consumed = (
-                        merge_fold_tuples(inputs)
-                        if row.op is Operation.MERGE
-                        else sum(inputs)
-                    )
-                    self._pqp.append((consumed, timing.duration))
+                    # Every PQP row — Merge included, now one hash pass —
+                    # is observed at the sum of its inputs, the same
+                    # x-variable the simulator charges, so the fitted rate
+                    # and the predictions stay consistent.
+                    self._pqp.append((sum(inputs), timing.duration))
             self._dirty = True
             self._observed_plans += 1
             plan_number = self._observed_plans
@@ -173,6 +171,66 @@ class CostCalibrator:
         with self._lock:
             self._refit()
             return self._pqp_rate
+
+    # -- persistence --------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-serializable snapshot of every observation window.
+
+        Models are *not* serialized — they are derived state, re-fit from
+        the windows on the first read after :meth:`from_dict`."""
+        with self._lock:
+            return {
+                "window": self._window,
+                "local": {
+                    name: [[int(t), float(d)] for t, d in samples]
+                    for name, samples in self._local.items()
+                },
+                "pqp": [[int(t), float(d)] for t, d in self._pqp],
+                "observed_plans": self._observed_plans,
+            }
+
+    def from_dict(self, snapshot: dict) -> None:
+        """Fold a :meth:`to_dict` snapshot's evidence into this calibrator.
+
+        Appends after any evidence already held (each deque's ``maxlen``
+        keeps windows bounded), so a federation can both restore a saved
+        state at startup and merge a peer's observations.  The calibrator's
+        own ``window`` size wins over the snapshot's."""
+        local = {
+            str(name): [(int(t), float(d)) for t, d in samples]
+            for name, samples in dict(snapshot.get("local", {})).items()
+        }
+        pqp = [(int(t), float(d)) for t, d in snapshot.get("pqp", ())]
+        plans = int(snapshot.get("observed_plans", 0))
+        with self._lock:
+            for name, samples in local.items():
+                window = self._local.get(name)
+                if window is None:
+                    window = self._local[name] = deque(maxlen=self._window)
+                window.extend(samples)
+            self._pqp.extend(pqp)
+            self._observed_plans += plans
+            self._dirty = True
+
+    def save(self, path: str) -> None:
+        """Write the observation windows to ``path`` as JSON (atomically:
+        a temp file in the same directory, then ``os.replace``)."""
+        payload = json.dumps(self.to_dict(), indent=2, sort_keys=True)
+        temporary = f"{path}.tmp.{os.getpid()}"
+        with open(temporary, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+        os.replace(temporary, path)
+
+    def load(self, path: str) -> bool:
+        """Restore evidence saved by :meth:`save`; ``False`` (and no state
+        change) when ``path`` does not exist."""
+        if not os.path.exists(path):
+            return False
+        with open(path, "r", encoding="utf-8") as handle:
+            snapshot = json.load(handle)
+        self.from_dict(snapshot)
+        return True
 
     # -- self-assessment ----------------------------------------------------
 

@@ -39,6 +39,7 @@ from repro.integration.domains import TransformRegistry, default_registry
 from repro.integration.identity import IdentityResolver
 from repro.lqp.registry import LQPRegistry
 from repro.lqp.tagging import materialize
+from repro.storage import kernels
 from repro.pqp.matrix import (
     IntermediateOperationMatrix,
     LocalOperand,
@@ -203,6 +204,19 @@ class Executor:
         lqp = self._registry.get(row.el)
         if row.op is Operation.RETRIEVE:
             shipped = lqp.retrieve(row.lhr.relation)
+        elif row.op is Operation.RETRIEVE_RANGE:
+            if row.key_range is None:
+                raise ExecutionError(
+                    f"RetrieveRange row {row.result} carries no key range"
+                )
+            key_range = row.key_range
+            shipped = lqp.retrieve_range(
+                row.lhr.relation,
+                key_range.attribute,
+                key_range.lower,
+                key_range.upper,
+                key_range.include_nil,
+            )
         elif row.op is Operation.SELECT:
             if not isinstance(row.rha, Literal):
                 raise ExecutionError(
@@ -255,6 +269,25 @@ class Executor:
                 [relation for relation, _ in inputs],
                 scheme.primary_key,
                 policy=self._policy,
+            )
+            lineage = _union_lineages([lineage for _, lineage in inputs])
+            return relation, lineage
+
+        if op is Operation.UNION and isinstance(row.lhr, tuple):
+            # N-ary reassembly union (pqp/shard.py): one hash pass over all
+            # shards instead of a fold of binary unions.
+            inputs = [resolve(part) for part in row.lhr]
+            first = inputs[0][0]
+            aligned = [first] + [
+                _align(relation, first) for relation, _ in inputs[1:]
+            ]
+            for relation in aligned[1:]:
+                if relation.heading != first.heading:
+                    raise ExecutionError(
+                        f"Union row {row.result} has incompatible operand headings"
+                    )
+            relation = PolygenRelation.from_store(
+                kernels.union_all([relation.store for relation in aligned])
             )
             lineage = _union_lineages([lineage for _, lineage in inputs])
             return relation, lineage

@@ -23,6 +23,11 @@ preserves the result relation *including its tags*:
   transform, and the comparison must survive raw-value evaluation under
   the federation's identity resolver (equality needs an unaliased literal;
   ordering needs a fully-identity resolver),
+- **through-merge selection replication** — a primary-key selection over a
+  Merge is replicated into every Merge branch (key groups survive or die
+  atomically, so the result — tags included — is unchanged); the per-branch
+  copies then qualify for LQP pushdown above, so the filter can travel from
+  above the Merge all the way into each autonomous database,
 - **projection pruning** — attributes no downstream row ever consumes are
   dropped at materialization, so dead columns are never transformed,
   resolved or tagged.  Demand is propagated conservatively through the
@@ -94,6 +99,7 @@ class OptimizationReport:
     rows_pruned: int
     selects_pushed_down: int = 0
     attributes_pruned: int = 0
+    selects_pushed_through_merge: int = 0
 
     @property
     def rows_saved(self) -> int:
@@ -175,6 +181,9 @@ class QueryOptimizer:
         rows = list(iom.rows)
         rows, retrieves = self._dedupe(rows, self._retrieve_key)
         rows, merges = self._dedupe(rows, self._merge_key)
+        # Through-merge replication runs first so the per-branch selections
+        # it creates are then candidates for LQP pushdown below.
+        rows, through = self._push_through_merges(rows, pushdown)
         rows, pushed = self._push_selections(rows, pushdown)
         rows, pruned = self._prune(rows)
         rows, attributes = self._prune_materializations(rows, prune_projections)
@@ -187,6 +196,7 @@ class QueryOptimizer:
             rows_pruned=pruned,
             selects_pushed_down=pushed,
             attributes_pruned=attributes,
+            selects_pushed_through_merge=through,
         )
         return optimized, report
 
@@ -385,6 +395,117 @@ class QueryOptimizer:
             # materialization reproduces that.
             consulted=(producer.el,),
         )
+
+    # -- through-merge selection pushdown --------------------------------------
+
+    def _push_through_merges(
+        self, rows: List[MatrixRow], pushdown: bool
+    ) -> Tuple[List[MatrixRow], int]:
+        """Replicate a primary-key selection over a Merge into every branch.
+
+        ``(Merge(b1..bn))[K θ lit]`` becomes ``Merge(b1[K θ lit], ...,
+        bn[K θ lit])`` when ``K`` is a key attribute of the Merge's scheme.
+        Safe because Merge groups rows by the full key: a group's rows share
+        ``K``'s value exactly, so the whole group survives or dies together
+        on either side of the Merge (nil and non-comparable keys travel as
+        individual rows and face the same θ on the same datum).  Tag-exact
+        because a literal selection adds the probed cell's *origins* as
+        intermediates — and a key cell's origins are a subset of the
+        mediator set Merge stamps on every output cell anyway, whichever
+        side of the Merge the selection runs on.
+
+        The payoff is compound: each branch ships and hashes only matching
+        tuples, and a replicated selection over a sole-consumer Retrieve is
+        then eligible for LQP pushdown (:meth:`_push_selections` runs
+        next), moving the filter all the way into the autonomous database.
+        """
+        if self._schema is None or not pushdown:
+            return rows, 0
+        by_index: Dict[int, MatrixRow] = {row.result.index: row for row in rows}
+        consumers: Dict[int, int] = {}
+        for row in rows:
+            for ref in row.referenced_results():
+                consumers[ref.index] = consumers.get(ref.index, 0) + 1
+        #: Merge result index → the selection row to replicate into it.
+        planned: Dict[int, MatrixRow] = {}
+        for row in rows:
+            merge = self._merge_target(row, by_index, consumers)
+            if merge is not None and merge.result.index not in planned:
+                planned[merge.result.index] = row
+        if not planned:
+            return rows, 0
+        dropped = {
+            select.result.index: merge_index
+            for merge_index, select in planned.items()
+        }
+        mapping: Dict[int, int] = {}
+        out: List[MatrixRow] = []
+        next_index = 1
+        for row in rows:
+            target = dropped.get(row.result.index)
+            if target is not None:
+                # The selection vanishes; its consumers read the (already
+                # filtered) Merge result.
+                mapping[row.result.index] = mapping[target]
+                continue
+            select = planned.get(row.result.index)
+            rewired = row.with_remapped_results(mapping)
+            if select is None:
+                mapping[row.result.index] = next_index
+                out.append(replace(rewired, result=ResultOperand(next_index)))
+                next_index += 1
+                continue
+            parts = []
+            for ref in rewired.lhr:
+                out.append(
+                    replace(select, result=ResultOperand(next_index), lhr=ref)
+                )
+                parts.append(ResultOperand(next_index))
+                next_index += 1
+            mapping[row.result.index] = next_index
+            out.append(
+                replace(rewired, result=ResultOperand(next_index), lhr=tuple(parts))
+            )
+            next_index += 1
+        return out, len(planned)
+
+    def _merge_target(
+        self,
+        row: MatrixRow,
+        by_index: Dict[int, MatrixRow],
+        consumers: Dict[int, int],
+    ) -> Optional[MatrixRow]:
+        """The Merge row whose branches should absorb this selection, or
+        ``None`` when any safety condition fails."""
+        if (
+            row.is_local
+            or row.op is not Operation.SELECT
+            or not isinstance(row.lhr, ResultOperand)
+            or not isinstance(row.rha, Literal)
+            or not isinstance(row.lha, str)
+            or row.theta is None
+        ):
+            return None
+        producer = by_index.get(row.lhr.index)
+        if (
+            producer is None
+            or producer.op is not Operation.MERGE
+            or producer.is_local
+            or not isinstance(producer.lhr, tuple)
+            or producer.scheme is None
+            or producer.scheme not in self._schema
+        ):
+            return None
+        if consumers.get(producer.result.index, 0) != 1:
+            # Another row reads the unfiltered Merge: replication would
+            # change what it sees.
+            return None
+        scheme = self._schema.scheme(producer.scheme)
+        if row.lha not in scheme.primary_key:
+            # Non-key attributes may be coalesced across branches; only key
+            # columns are guaranteed group-constant.
+            return None
+        return producer
 
     # -- projection pruning ---------------------------------------------------
 

@@ -16,6 +16,7 @@ from repro.core.relation import PolygenRelation
 from repro.pqp.executor import ExecutionTrace
 from repro.pqp.matrix import IntermediateOperationMatrix, PolygenOperationMatrix
 from repro.pqp.optimizer import OptimizationReport, ShapeChoice
+from repro.pqp.shard import ShardReport
 from repro.translate.translator import TranslationResult
 
 __all__ = ["QueryResult"]
@@ -36,6 +37,9 @@ class QueryResult:
     #: :class:`~repro.pqp.optimizer.ShapeChoice` (its ``.report`` holds the
     #: winning shape's rewrite counters).
     optimization: Optional[Union[OptimizationReport, ShapeChoice]] = None
+    #: What scan sharding did to the plan (``None`` unless the query ran
+    #: with ``QueryOptions.shard_width`` set).
+    sharding: Optional[ShardReport] = None
 
     @property
     def lineage(self):

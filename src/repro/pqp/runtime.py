@@ -170,10 +170,15 @@ class ConcurrentExecutor(Executor):
         def dispatch(index: int) -> None:
             row = dag.row(index)
             if row.is_local:
+                # A shard family widens its database's group to K so all K
+                # partial scans are in flight together (pqp/shard.py).
+                width = native_width(row.el)
+                if row.shard:
+                    width = max(width, row.shard[1])
                 pool.submit(
                     row.el,
                     lambda row=row: run_local(row),
-                    width=native_width(row.el),
+                    width=width,
                 )
             else:
                 ready_pqp.append(row)

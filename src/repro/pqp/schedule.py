@@ -30,10 +30,22 @@ chain of binary Merges ordered by when each source is predicted to land —
 and :func:`rank_plan_shapes` scores every candidate by simulated makespan
 so a cost-based optimizer can pick the cheapest
 (:meth:`repro.pqp.optimizer.QueryOptimizer.optimize_cost_based`).  Merge
-rows are charged their real *fold* cost (the executor evaluates an n-ary
-Merge as a left fold of Outer Natural Total Joins, touching cumulative
-prefix sizes), which is exactly why decomposing a Merge pays: the partial
-folds run while slower sources are still shipping.
+rows are charged one hash-partitioned pass over the sum of their inputs
+(:func:`repro.storage.kernels.hash_merge` — the executor no longer folds),
+and a Merge's *output* is estimated by containment (the largest input):
+overlapping sources coalesce rather than accumulate.  That is why a
+binary chain can still beat the flat n-ary Merge when sources are skewed —
+the partial merges of early arrivals both shrink and run *during* the
+straggler's shipping, leaving a smaller final link after it lands —
+while under uniform costs every source lands together and the flat
+one-pass Merge wins on total work.
+
+Local resources are simulated width-aware: each database offers
+``native_concurrency`` parallel servers (a remote LQP multiplexes that
+many requests at once), widened further when a plan carries scan shards
+(:mod:`repro.pqp.shard`) — matching how the concurrent runtime actually
+dispatches.  Width 1 degenerates to the paper's one-connection-per-source
+serialization.
 """
 
 from __future__ import annotations
@@ -155,9 +167,12 @@ def _estimate_tuples(
 
     Unmeasured local rows ask their LQP for the base relation's cardinality
     (Select rows use it as an upper bound); unmeasured PQP rows combine
-    their inputs with simple, defensible rules — Merge/Union add,
-    Join/Intersect keep the larger side as a bound, Product multiplies,
-    everything else passes its input through.
+    their inputs with simple, defensible rules — Union adds (its use here
+    is shard reassembly of *disjoint* partitions), Merge keeps the largest
+    input (the containment estimate: Merge's whole premise is sources
+    holding overlapping portions of one scheme, so same-key rows coalesce
+    rather than accumulate), Join/Intersect keep the larger side as a
+    bound, Product multiplies, everything else passes its input through.
     """
     produced: Dict[int, int] = {}
     for index in dag.topological_order():
@@ -169,13 +184,19 @@ def _estimate_tuples(
             estimate = None
             if registry is not None and row.el in registry:
                 estimate = registry.get(row.el).cardinality_estimate(row.lhr.relation)
-            produced[index] = estimate if estimate is not None else _DEFAULT_TUPLES
+            tuples = estimate if estimate is not None else _DEFAULT_TUPLES
+            if row.op is Operation.RETRIEVE_RANGE and row.shard:
+                # One of K key-range shards: assume an even split.
+                tuples = max(1, tuples // row.shard[1])
+            produced[index] = tuples
             continue
         inputs = [produced[ref.index] for ref in row.referenced_results()]
         if not inputs:
             produced[index] = _DEFAULT_TUPLES
-        elif row.op in (Operation.MERGE, Operation.UNION):
+        elif row.op is Operation.UNION:
             produced[index] = sum(inputs)
+        elif row.op is Operation.MERGE:
+            produced[index] = max(inputs)
         elif row.op is Operation.PRODUCT:
             left, right = inputs[0], inputs[-1]
             produced[index] = max(1, left * right)
@@ -187,10 +208,14 @@ def _estimate_tuples(
 
 
 def merge_fold_tuples(inputs: Sequence[int]) -> int:
-    """Tuples an n-ary Merge actually touches: the executor evaluates it as
-    a left fold of binary Outer Natural Total Joins, so every step pays the
+    """Tuples a *fold-evaluated* n-ary Merge touches: every step pays the
     cumulative prefix plus the next operand.  For two inputs this is their
-    plain sum (one join); for one input, that input."""
+    plain sum (one join); for one input, that input.
+
+    The executor now evaluates Merge as one hash-partitioned pass
+    (:func:`repro.storage.kernels.hash_merge`), charged ``sum(inputs)`` —
+    this function remains the reference cost of the binary-chain shapes
+    :func:`decompose_merges` produces, which evaluate the fold literally."""
     if len(inputs) <= 1:
         return sum(inputs)
     touched = 0
@@ -212,16 +237,35 @@ def _row_cost(
         model = local_costs.get(row.el, default_cost)
         return model.cost(queries=1, tuples=produced[row.result.index])
     inputs = [produced[ref.index] for ref in row.referenced_results()]
-    if row.op is Operation.MERGE:
-        consumed = merge_fold_tuples(inputs)
-    else:
-        consumed = sum(inputs)
-    return pqp_cost_per_tuple * max(consumed, 1)
+    # Every PQP operator — Merge included, since hash_merge partitions all
+    # operands in one pass — touches the sum of its inputs.
+    return pqp_cost_per_tuple * max(sum(inputs), 1)
 
 
 # ----------------------------------------------------------------------
 # Simulation
 # ----------------------------------------------------------------------
+
+
+def _location_widths(
+    iom: IntermediateOperationMatrix, registry: Optional[LQPRegistry]
+) -> Dict[str, int]:
+    """Parallel servers per local database: its ``native_concurrency``
+    (1 without a registry), widened to any shard family's K — the runtime
+    dispatches shards at that width regardless of the native figure."""
+    widths: Dict[str, int] = {}
+    for row in iom:
+        if not row.is_local:
+            continue
+        width = widths.get(row.el)
+        if width is None:
+            width = 1
+            if registry is not None and row.el in registry:
+                width = max(1, registry.get(row.el).native_concurrency)
+        if row.shard:
+            width = max(width, row.shard[1])
+        widths[row.el] = width
+    return widths
 
 
 def schedule_plan(
@@ -235,9 +279,12 @@ def schedule_plan(
     """Simulate a plan's execution schedule.
 
     Dependencies: a row starts after every row it references finishes.
-    Resource constraint: rows executing at the same local database are
-    serialized on that LQP (a single-connection assumption matching the
-    paper's prototype); PQP rows are serialized on the PQP.
+    Resource constraint: each local database offers
+    ``native_concurrency`` parallel servers (widened to a shard family's
+    K when the plan carries one); rows at the same database queue for the
+    earliest-free server.  Width 1 — the paper's one-connection prototype,
+    and every in-process LQP — serializes exactly as before.  PQP rows are
+    serialized on the single coordinating PQP.
 
     Tuple counts come from ``trace`` when supplied (measured), else from
     ``registry`` (catalog cardinalities), else a fixed guess.
@@ -251,7 +298,9 @@ def schedule_plan(
         for row in iom
     }
 
-    resource_free: Dict[str, float] = {}
+    widths = _location_widths(iom, registry)
+    #: location → per-server next-free times (PQP: a single server).
+    servers: Dict[str, List[float]] = {}
     start: Dict[int, float] = {}
     finish: Dict[int, float] = {}
     critical_pred: Dict[int, Optional[int]] = {}
@@ -265,10 +314,14 @@ def schedule_plan(
                 ready = finish[predecessor]
                 critical_pred[index] = predecessor
         location = row.el or "PQP"
-        begin = max(ready, resource_free.get(location, 0.0))
+        free = servers.get(location)
+        if free is None:
+            free = servers[location] = [0.0] * widths.get(location, 1)
+        slot = min(range(len(free)), key=free.__getitem__)
+        begin = max(ready, free[slot])
         start[index] = begin
         finish[index] = begin + costs[index]
-        resource_free[location] = finish[index]
+        free[slot] = finish[index]
 
     scheduled = tuple(
         ScheduledRow(

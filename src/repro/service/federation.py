@@ -67,6 +67,7 @@ from repro.pqp.matrix import IntermediateOperationMatrix, PolygenOperationMatrix
 from repro.pqp.optimizer import OptimizationReport, QueryOptimizer, ShapeChoice
 from repro.pqp.result import QueryResult
 from repro.pqp.runtime import ConcurrentExecutor
+from repro.pqp.shard import shard_retrieves
 from repro.pqp.syntax_analyzer import SyntaxAnalyzer
 from repro.service.cursor import Cursor
 from repro.service.handle import QueryHandle
@@ -191,6 +192,7 @@ class PolygenFederation:
         defaults: QueryOptions | None = None,
         max_concurrent_queries: int = 8,
         tag_pool: TagPool | None = None,
+        calibration_path: str | None = None,
     ):
         if max_concurrent_queries < 1:
             raise ValueError(
@@ -207,7 +209,14 @@ class PolygenFederation:
         self._analyzer = SyntaxAnalyzer()
         #: Learns per-LQP cost models from every completed query's trace;
         #: the cost-based optimizer (``optimize="cost"``) plans with them.
+        #: With a ``calibration_path``, evidence survives restarts: loaded
+        #: here, saved on :meth:`close` — so a freshly started federation
+        #: plans with its predecessor's measured models instead of the
+        #: static defaults.
+        self.calibration_path = calibration_path
         self.calibrator = CostCalibrator()
+        if calibration_path is not None:
+            self.calibrator.load(calibration_path)
         self._pool = WorkerPool()
         self._coordinators = ThreadPoolExecutor(
             max_workers=max_concurrent_queries, thread_name_prefix="pqp-coordinator"
@@ -257,6 +266,12 @@ class PolygenFederation:
             session.close()
         self._coordinators.shutdown(wait=True)
         self._pool.close(wait=True)
+        if self.calibration_path is not None:
+            try:
+                self.calibrator.save(self.calibration_path)
+            except OSError:
+                # Best-effort: losing the snapshot only costs re-learning.
+                pass
         self.registry.close()
 
     def __enter__(self) -> "PolygenFederation":
@@ -510,6 +525,17 @@ class PolygenFederation:
                 tree, pom = self.analyze(expression)
                 iom = self.plan(pom, options)
                 iom, report = self.optimize(iom, options)
+            sharding = None
+            if options.shard_width and kind != "plan":
+                # Pre-built plans stay verbatim (the paper's "Table 3 as
+                # the execution plan"); shard explicitly via
+                # repro.pqp.shard for those.
+                iom, sharding = shard_retrieves(
+                    iom,
+                    self.registry,
+                    width=options.shard_width,
+                    schema=self.schema,
+                )
             executor = self.executor_for(options)
             trace = executor.execute(
                 iom,
@@ -531,6 +557,7 @@ class PolygenFederation:
                 sql=sql,
                 translation=translation,
                 optimization=report,
+                sharding=sharding,
             )
         except BaseException as exc:
             if cursor is not None:

@@ -48,6 +48,10 @@ class QueryOptions:
       every relation a scheme maps even when the probe needs only some.
     - ``fetch_size`` — how many result tuples a streaming cursor hands out
       per batch.
+    - ``shard_width`` — scan sharding (:mod:`repro.pqp.shard`): ``0`` (the
+      default) leaves every Retrieve whole; ``"auto"`` splits large
+      retrieves into one key-range shard per server the LQP advertises
+      (``native_concurrency``); an integer ≥ 2 forces that many shards.
     """
 
     engine: str = "concurrent"
@@ -57,6 +61,7 @@ class QueryOptions:
     policy: ConflictPolicy = ConflictPolicy.DROP
     materialize_full_scheme: bool = False
     fetch_size: int = 64
+    shard_width: Union[int, str] = 0
 
     def __post_init__(self):
         """Validate every field at construction.
@@ -98,6 +103,15 @@ class QueryOptions:
             )
         if self.fetch_size < 1:
             raise ValueError(f"fetch_size must be >= 1, got {self.fetch_size}")
+        if isinstance(self.shard_width, bool) or not (
+            self.shard_width == 0
+            or self.shard_width == "auto"
+            or (isinstance(self.shard_width, int) and self.shard_width >= 2)
+        ):
+            raise ValueError(
+                "shard_width must be 0 (off), 'auto', or an int >= 2, "
+                f"got {self.shard_width!r}"
+            )
 
     def replace(self, **overrides) -> "QueryOptions":
         """A copy with ``overrides`` applied; unknown names raise

@@ -42,10 +42,12 @@ __all__ = [
     "product",
     "restrict",
     "union",
+    "union_all",
     "difference",
     "coalesce",
     "intersect",
     "outer_join",
+    "hash_merge",
 ]
 
 DataRow = Tuple[Any, ...]
@@ -197,6 +199,26 @@ def union(s1: ColumnarRelation, s2: ColumnarRelation) -> ColumnarRelation:
         s1.pool, s1.degree, [_rows(s1), _rows(s2)]
     )
     return ColumnarRelation.from_row_major(s1.heading, out_data, out_tags, s1.pool)
+
+
+def union_all(stores: Sequence[ColumnarRelation]) -> ColumnarRelation:
+    """N-ary ``∪`` in one hash pass — the reassembly kernel for sharded
+    scans (:mod:`repro.pqp.shard`).
+
+    All operands must share the first operand's heading exactly (shards of
+    one Retrieve always do).  Equivalent to folding :func:`union`, since
+    merging by data portion is associative; one pass touches every row
+    once instead of re-hashing the accumulated result per operand.
+    """
+    if not stores:
+        raise ValueError("union_all requires at least one operand")
+    first = stores[0]
+    pool = first.pool
+    translated = [first] + [store.translated(pool) for store in stores[1:]]
+    out_data, out_tags = _merge_rows_by_data(
+        pool, first.degree, [_rows(store) for store in translated]
+    )
+    return ColumnarRelation.from_row_major(first.heading, out_data, out_tags, pool)
 
 
 def difference(s1: ColumnarRelation, s2: ColumnarRelation) -> ColumnarRelation:
@@ -425,3 +447,192 @@ def outer_join(
     left_data, left_tags = gather(s1, left_idx)
     right_data, right_tags = gather(s2, right_idx)
     return _build_deduped(heading, left_data + right_data, left_tags + right_tags, pool)
+
+
+def hash_merge(
+    stores: Sequence[ColumnarRelation],
+    key: Sequence[str],
+    policy: ConflictPolicy,
+) -> ColumnarRelation:
+    """N-way Merge as hash partitioning on the key columns.
+
+    The fold of Outer Natural Total Joins (:func:`repro.core.derived.merge`)
+    re-joins the *accumulated* result against each operand — the
+    accumulated relation is rebuilt, re-hashed and re-coalesced N−1 times.
+    Because the fold order is immaterial (paper, §II), the same answer
+    falls out of a single partition-and-coalesce pass:
+
+    1. hash-partition every operand's rows by key data (interned tag ids
+       stay ids throughout; key-cell origin unions are memoized per id
+       tuple),
+    2. per partition, walk the operands *in order*, crossing the
+       accumulated partial rows with the operand's rows and coalescing
+       attribute-wise under ``policy`` — exactly the pairwise coalesce the
+       fold performs, minus the joins that carried it there,
+    3. stamp each surviving row once: every cell's intermediate set gains
+       the union of its constituents' key-cell origins (the fold adds
+       these mediators piecemeal per join; the union is the same), and
+       attributes no constituent supplied become nil pads carrying those
+       mediators,
+    4. concatenate partitions in first-encounter order and dedup.
+
+    Tag identity with the fold is property-tested in
+    ``tests/property/test_hash_merge.py`` across all conflict policies.
+
+    Subtleties the fold semantics force and step 2 preserves:
+
+    - rows whose key data contain nil never match anything — they pass
+      through individually, mediated by their own key-cell origins only;
+    - under ``DROP``, when *every* pairing of a partition dies at operand
+      *j*, operand *j+1*'s rows enter unmatched (fresh partials), exactly
+      as they would re-enter the emptied fold;
+    - an attribute absent from a partial behaves as a nil cell with the
+      empty tag: coalescing it against a real cell adopts that cell, and
+      the final mediator stamp turns any still-empty slot into the pad
+      the fold would have interned.
+    """
+    if not stores:
+        raise ValueError("hash_merge requires at least one operand")
+    first = stores[0]
+    pool = first.pool
+    translated = [first] + [store.translated(pool) for store in stores[1:]]
+
+    # Output heading: ordered union of operand attributes by first
+    # appearance — the heading the ONTJ fold accretes.
+    names: List[str] = []
+    seen_names: set[str] = set()
+    for store in translated:
+        for name in store.heading.attributes:
+            if name not in seen_names:
+                seen_names.add(name)
+                names.append(name)
+    heading = Heading(names)
+    degree = len(names)
+    position_of = {name: i for i, name in enumerate(names)}
+
+    if len(translated) == 1:
+        return first
+
+    merge = pool.merge
+    absorb = pool.absorb
+    add = pool.add_intermediates
+    origins = pool.origins
+    intern = pool.intern
+    empty_id = pool.EMPTY_ID
+
+    key_origins_memo: dict[Tuple[int, ...], SourceSet] = {}
+
+    def key_origins(tag_ids: Tuple[int, ...]) -> SourceSet:
+        found = key_origins_memo.get(tag_ids)
+        if found is None:
+            found = EMPTY_SOURCES
+            for tag in tag_ids:
+                found |= origins(tag)
+            key_origins_memo[tag_ids] = found
+        return found
+
+    # Partition phase: per-operand rows bucketed by key data.  A partial
+    # row is (full-width data list, full-width raw tag list, mediator set);
+    # nil-keyed rows go straight to the loners list.
+    #: key data → per-operand list of (data, tags, key origins) rows.
+    partitions: dict[Tuple[Any, ...], List[List[Tuple[list, list, SourceSet]]]] = {}
+    partition_order: List[Tuple[Any, ...]] = []
+    loners: List[Tuple[list, list, SourceSet]] = []
+    operand_count = len(translated)
+
+    for operand_index, store in enumerate(translated):
+        if not store.cardinality:
+            continue
+        key_pos = store.heading.indices(key)
+        slots = [position_of[name] for name in store.heading.attributes]
+        key_data_rows = list(zip(*(store.columns[i] for i in key_pos)))
+        key_tag_rows = list(zip(*(store.tags[i] for i in key_pos)))
+        for data_row, tag_row, key_data, key_tags in zip(
+            store.data_rows(), store.tag_rows(), key_data_rows, key_tag_rows
+        ):
+            data: list = [None] * degree
+            tags: list = [empty_id] * degree
+            for slot, datum, tag in zip(slots, data_row, tag_row):
+                data[slot] = datum
+                tags[slot] = tag
+            entry = (data, tags, key_origins(key_tags))
+            if any(component is None for component in key_data):
+                loners.append(entry)
+                continue
+            bucket = partitions.get(key_data)
+            if bucket is None:
+                bucket = partitions[key_data] = [[] for _ in range(operand_count)]
+                partition_order.append(key_data)
+            bucket[operand_index].append(entry)
+
+    def coalesce_pair(
+        acc: Tuple[list, list, SourceSet], row: Tuple[list, list, SourceSet]
+    ) -> Optional[Tuple[list, list, SourceSet]]:
+        """One accumulated partial × one operand row, attribute-wise
+        coalesce on raw tags; ``None`` when the ``DROP`` policy kills it."""
+        acc_data, acc_tags, acc_sources = acc
+        row_data, row_tags, row_sources = row
+        out_data: list = [None] * degree
+        out_tags: list = [empty_id] * degree
+        for p in range(degree):
+            x_datum, y_datum = acc_data[p], row_data[p]
+            x_tag, y_tag = acc_tags[p], row_tags[p]
+            if x_datum == y_datum:
+                datum, tag = x_datum, merge(x_tag, y_tag)
+            elif y_datum is None:
+                datum, tag = x_datum, x_tag
+            elif x_datum is None:
+                datum, tag = y_datum, y_tag
+            elif policy is ConflictPolicy.DROP:
+                return None
+            elif policy is ConflictPolicy.ERROR:
+                raise CoalesceConflictError(x_datum, y_datum, names[p])
+            elif policy is ConflictPolicy.PREFER_LEFT:
+                datum, tag = x_datum, absorb(x_tag, y_tag)
+            else:
+                datum, tag = y_datum, absorb(y_tag, x_tag)
+            out_data[p] = datum
+            out_tags[p] = tag
+        return out_data, out_tags, acc_sources | row_sources
+
+    out_data_rows: List[DataRow] = []
+    out_tag_rows: List[List[int]] = []
+
+    def emit(partial: Tuple[list, list, SourceSet]) -> None:
+        data, tags, mediators = partial
+        out_data_rows.append(tuple(data))
+        out_tag_rows.append(
+            [
+                add(tag, mediators) if tag != empty_id else intern(EMPTY_SOURCES, mediators)
+                for tag in tags
+            ]
+        )
+
+    for key_data in partition_order:
+        bucket = partitions[key_data]
+        accumulated: List[Tuple[list, list, SourceSet]] = []
+        for rows in bucket:
+            if not rows:
+                continue
+            if not accumulated:
+                # First contributor — or every pairing died under DROP, in
+                # which case the fold's accumulator is empty and these rows
+                # enter unmatched, as fresh partials.
+                accumulated = list(rows)
+                continue
+            accumulated = [
+                combined
+                for acc in accumulated
+                for row in rows
+                if (combined := coalesce_pair(acc, row)) is not None
+            ]
+        for partial in accumulated:
+            emit(partial)
+    for partial in loners:
+        emit(partial)
+
+    if not out_data_rows:
+        return ColumnarRelation.empty(heading, pool)
+    columns = list(zip(*out_data_rows))
+    tag_columns = [list(column) for column in zip(*out_tag_rows)]
+    return _build_deduped(heading, columns, tag_columns, pool)

@@ -9,6 +9,7 @@ from benchmarks.bench_history import (
     is_speedup_metric,
     latest_baseline,
     load_history,
+    median_baseline,
 )
 from benchmarks.check_regression import main as gate_main
 from benchmarks.report import render, sparkline
@@ -75,6 +76,57 @@ class TestHistoryParsing:
         # 3.13 entry exists (speedups don't normalize across interpreters).
         assert latest_baseline(entries, current_sha="c" * 40, series="3.13") is None
         assert latest_baseline(entries[:1], current_sha="a" * 40) is None
+
+
+class TestMedianBaseline:
+    def _entries(self, tmp_path, speedups, pythons=None):
+        pythons = pythons or ["3.12.1"] * len(speedups)
+        path = _write_history(
+            tmp_path / "h.json",
+            [
+                _entry(
+                    chr(ord("a") + i) * 40,
+                    pythons[i],
+                    f"2026-01-{i + 1:02d}T00:00:00+00:00",
+                    speedup,
+                )
+                for i, speedup in enumerate(speedups)
+            ],
+        )
+        return load_history(path)
+
+    def test_median_over_window(self, tmp_path):
+        entries = self._entries(tmp_path, [2.0, 3.0, 10.0])
+        baseline = median_baseline(entries, current_sha="z" * 40)
+        assert baseline.metrics["bench.speedup"] == pytest.approx(3.0)
+        assert len(baseline.entries) == 3
+        assert "median of 3 run(s)" in baseline.describe()
+
+    def test_window_takes_most_recent(self, tmp_path):
+        entries = self._entries(tmp_path, [2.0, 3.0, 10.0])
+        baseline = median_baseline(entries, current_sha="z" * 40, window=2)
+        # Last two runs (3.0, 10.0): median is their midpoint.
+        assert baseline.metrics["bench.speedup"] == pytest.approx(6.5)
+
+    def test_single_entry_matches_latest_baseline(self, tmp_path):
+        entries = self._entries(tmp_path, [4.0])
+        median = median_baseline(entries, current_sha="z" * 40)
+        latest = latest_baseline(entries, current_sha="z" * 40)
+        assert median.metrics == flatten_metrics(latest.results)
+
+    def test_filters_current_sha_and_series(self, tmp_path):
+        entries = self._entries(
+            tmp_path, [2.0, 3.0], pythons=["3.12.1", "3.11.7"]
+        )
+        only_312 = median_baseline(entries, current_sha="z" * 40, series="3.12")
+        assert only_312.metrics["bench.speedup"] == pytest.approx(2.0)
+        assert median_baseline(entries, current_sha="z" * 40, series="3.13") is None
+        assert median_baseline(entries[:1], current_sha="a" * 40) is None
+
+    def test_window_validation(self, tmp_path):
+        entries = self._entries(tmp_path, [2.0])
+        with pytest.raises(ValueError):
+            median_baseline(entries, current_sha="z" * 40, window=0)
 
 
 class TestGate:

@@ -131,6 +131,44 @@ class TestRelationPayloads:
             list(protocol.relation_chunks(Relation(["A"], [(1,)]), chunk_size=0))
 
 
+class TestStatsPayloads:
+    def test_round_trip(self):
+        from repro.lqp.base import ColumnStats, RelationStats
+
+        stats = RelationStats(
+            cardinality=42,
+            columns={
+                "K": ColumnStats(minimum=0, maximum=41, nils=3),
+                "NAME": ColumnStats(minimum=None, maximum=None, nils=0),
+            },
+        )
+        payload = protocol.stats_payload(stats)
+        rebuilt = protocol.stats_from_payload(payload)
+        assert rebuilt.cardinality == 42
+        assert rebuilt.columns["K"] == stats.columns["K"]
+        assert rebuilt.columns["K"].splittable
+        assert rebuilt.columns["NAME"] == stats.columns["NAME"]
+        assert not rebuilt.columns["NAME"].splittable
+
+    def test_none_stats_survive(self):
+        # A statless engine's None answer must stay None across the wire.
+        assert protocol.stats_payload(None) is None
+        assert protocol.stats_from_payload(None) is None
+
+    def test_payload_is_wire_representable(self):
+        from repro.lqp.base import ColumnStats, RelationStats
+
+        stats = RelationStats(
+            cardinality=1, columns={"K": ColumnStats(minimum=1.5, maximum=2.5, nils=0)}
+        )
+        protocol.encode_frame({"value": protocol.stats_payload(stats)})
+
+    @pytest.mark.parametrize("bad", [[1], "stats", {"columns": {}}])
+    def test_malformed_payload_refused(self, bad):
+        with pytest.raises(ProtocolError):
+            protocol.stats_from_payload(bad)
+
+
 class TestUrls:
     def test_round_trip(self):
         assert protocol.parse_url("polygen://example.org:9470") == (

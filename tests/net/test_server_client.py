@@ -144,6 +144,47 @@ class TestLoopbackEquivalence:
                 for name in direct.relation_names()
             }
 
+    def test_retrieve_range_matches_in_process(self):
+        from repro.relational.database import LocalDatabase
+        from repro.relational.schema import RelationSchema
+
+        db = LocalDatabase("XD")
+        db.load(
+            RelationSchema("NUMS", ["ID", "K"], key=["ID"]),
+            [(f"i{n}", n if n % 5 else None) for n in range(30)],
+        )
+        direct = RelationalLQP(db)
+        windows = [
+            (None, 10, True),
+            (10, 20, False),
+            (20, None, False),
+            (None, None, True),
+            (100, 200, False),  # empty shard
+        ]
+        with LQPServer(direct, chunk_size=4) as running:
+            with RemoteLQP(running.url, timeout=TIMEOUT) as remote:
+                for lower, upper, include_nil in windows:
+                    assert remote.retrieve_range(
+                        "NUMS", "K", lower=lower, upper=upper, include_nil=include_nil
+                    ) == direct.retrieve_range(
+                        "NUMS", "K", lower=lower, upper=upper, include_nil=include_nil
+                    )
+
+    def test_relation_stats_served_and_cached(self, server):
+        direct = ad_lqp()
+        with RemoteLQP(server.url, timeout=TIMEOUT) as remote:
+            for name in direct.relation_names():
+                assert remote.relation_stats(name) == direct.relation_stats(name)
+            requests = remote.transport_stats().requests
+            # Static sources: the second ask is answered from the cache.
+            remote.relation_stats("ALUMNUS")
+            assert remote.transport_stats().requests == requests
+
+    def test_relation_stats_unknown_relation_is_a_remote_error(self, server):
+        with RemoteLQP(server.url, timeout=TIMEOUT) as remote:
+            with pytest.raises(RemoteQueryError):
+                remote.relation_stats("NOPE")
+
     def test_remote_error_carries_server_side_type(self, server):
         with RemoteLQP(server.url, timeout=TIMEOUT) as remote:
             with pytest.raises(RemoteQueryError) as caught:

@@ -22,7 +22,6 @@ from repro.pqp.matrix import (
 )
 from repro.pqp.optimizer import ShapeChoice
 from repro.pqp.processor import PolygenQueryProcessor
-from repro.pqp.schedule import merge_fold_tuples
 from repro.service.options import QueryOptions
 
 from tests.integration.conftest import PAPER_SQL
@@ -63,7 +62,7 @@ def _merge_plan(cards_by_db):
 
 def _trace_for(iom, cards_by_db, model_for, pqp_rate):
     """A synthetic trace whose timings obey the given cost models exactly
-    (Merges pay their fold size, as the executor's left fold does)."""
+    (Merges pay the sum of their inputs, one hash-partitioned pass)."""
     results, timings = {}, {}
     clock = 0.0
     for row in iom:
@@ -72,13 +71,8 @@ def _trace_for(iom, cards_by_db, model_for, pqp_rate):
             tuples = cards_by_db[row.el]
             duration = model_for(row.el).cost(1, tuples)
         else:
-            inputs = [
+            work = sum(
                 results[ref.index].cardinality for ref in row.referenced_results()
-            ]
-            work = (
-                merge_fold_tuples(inputs)
-                if row.op is Operation.MERGE
-                else sum(inputs)
             )
             tuples = sum(cards_by_db.values())
             duration = pqp_rate * work
@@ -180,6 +174,81 @@ class TestCostCalibrator:
     def test_window_validation(self):
         with pytest.raises(ValueError):
             CostCalibrator(window=1)
+
+
+class TestPersistence:
+    CARDS = TestCostCalibrator.CARDS
+    MODELS = TestCostCalibrator.MODELS
+    PQP_RATE = TestCostCalibrator.PQP_RATE
+
+    def _seeded(self, runs=3):
+        calibrator = CostCalibrator()
+        for run in range(runs):
+            cards = {db: c + 40 * run for db, c in self.CARDS.items()}
+            iom = _merge_plan(cards)
+            calibrator.observe(
+                iom, _trace_for(iom, cards, self.MODELS.__getitem__, self.PQP_RATE)
+            )
+        return calibrator
+
+    def test_save_load_roundtrip_refits_models(self, tmp_path):
+        saved = self._seeded()
+        path = str(tmp_path / "calibration.json")
+        saved.save(path)
+        restored = CostCalibrator()
+        assert restored.load(path) is True
+        assert restored.sample_counts() == saved.sample_counts()
+        assert restored.observed_plans == saved.observed_plans
+        for name, model in saved.local_costs().items():
+            fresh = restored.model_for(name)
+            assert fresh.per_query == pytest.approx(model.per_query)
+            assert fresh.per_tuple == pytest.approx(model.per_tuple)
+        assert restored.pqp_cost_per_tuple() == pytest.approx(self.PQP_RATE)
+
+    def test_load_missing_path_is_a_noop(self, tmp_path):
+        calibrator = CostCalibrator()
+        assert calibrator.load(str(tmp_path / "absent.json")) is False
+        assert calibrator.sample_counts() == {}
+        assert calibrator.observed_plans == 0
+
+    def test_from_dict_merges_and_window_bounds(self, tmp_path):
+        # Restoring into a narrower window keeps only the newest evidence;
+        # restoring on top of live evidence appends, it does not replace.
+        snapshot = self._seeded(runs=5).to_dict()
+        narrow = CostCalibrator(window=4)
+        narrow.from_dict(snapshot)
+        assert all(n <= 4 for n in narrow.sample_counts().values())
+        merged = self._seeded(runs=1)
+        before = merged.sample_counts()
+        merged.from_dict(snapshot)
+        assert all(
+            merged.sample_counts()[name] >= count for name, count in before.items()
+        )
+
+    def test_federation_persists_across_restart(self, tmp_path):
+        from repro.service.federation import PolygenFederation
+
+        path = str(tmp_path / "calibration.json")
+
+        def run_once():
+            registry = LQPRegistry()
+            for database in paper_databases().values():
+                registry.register(RelationalLQP(database))
+            federation = PolygenFederation(
+                paper_polygen_schema(),
+                registry,
+                resolver=paper_identity_resolver(),
+                calibration_path=path,
+            )
+            with federation, federation.session() as session:
+                session.execute(PAPER_SQL)
+                return federation.calibrator.observed_plans
+
+        first = run_once()
+        assert first >= 1
+        # The next "process" starts with the saved evidence preloaded.
+        second = run_once()
+        assert second >= first + 1
 
 
 class TestCostBasedFacade:

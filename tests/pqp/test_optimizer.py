@@ -227,6 +227,68 @@ class TestSelectionPushdown:
         assert [row.cells(True) for row in twice] == [row.cells(True) for row in once]
 
 
+class TestThroughMergeReplication:
+    #: A primary-key selection directly over PORGANIZATION's 3-branch Merge.
+    KEY_SELECT = 'PORGANIZATION [ONAME = "IBM"]'
+
+    def test_key_select_replicates_and_composes_with_pushdown(self):
+        iom = plan(self.KEY_SELECT)
+        optimized, report = _schema_optimizer().optimize(iom)
+        assert report.selects_pushed_through_merge == 1
+        # The replicated branch selections then push into each autonomous
+        # database: the plan ends as 3 local Selects feeding the Merge.
+        assert report.selects_pushed_down == 3
+        selects = [row for row in optimized if row.op is Operation.SELECT]
+        assert len(selects) == 3 and all(row.is_local for row in selects)
+        assert not any(row.op is Operation.RETRIEVE for row in optimized)
+        merge = next(row for row in optimized if row.op is Operation.MERGE)
+        assert merge.lhr == tuple(row.result for row in selects)
+
+    def test_non_key_attribute_blocked(self):
+        iom = plan('PORGANIZATION [INDUSTRY = "Banking"]')
+        _, report = _schema_optimizer().optimize(iom)
+        assert report.selects_pushed_through_merge == 0
+
+    def test_shared_merge_blocked(self):
+        # After merge dedup the single Merge has two consumers; replicating
+        # for one of them would recompute the Merge for the other.
+        shared = (
+            f"({self.KEY_SELECT}) UNION "
+            '(PORGANIZATION [ONAME = "DEC"])'
+        )
+        iom = plan(shared)
+        _, report = _schema_optimizer().optimize(iom)
+        assert report.merges_deduplicated == 1
+        assert report.selects_pushed_through_merge == 0
+
+    def test_no_schema_or_no_pushdown_blocked(self):
+        iom = plan(self.KEY_SELECT)
+        _, report = QueryOptimizer().optimize(iom)
+        assert report.selects_pushed_through_merge == 0
+        _, report = _schema_optimizer(pushdown=False).optimize(iom)
+        assert report.selects_pushed_through_merge == 0
+
+    def test_result_and_tags_identical_and_ships_fewer_tuples(self):
+        naive_pqp = build_paper_federation()
+        naive_pqp._optimizer = None
+        opt_pqp = build_paper_federation()
+        naive = naive_pqp.run_algebra(self.KEY_SELECT)
+        optimized = opt_pqp.run_algebra(self.KEY_SELECT)
+        assert optimized.relation == naive.relation
+        assert optimized.lineage == naive.lineage
+        assert (
+            opt_pqp.registry.total_stats().tuples_shipped
+            < naive_pqp.registry.total_stats().tuples_shipped
+        )
+
+    def test_replication_is_idempotent(self):
+        iom = plan(self.KEY_SELECT)
+        once, _ = _schema_optimizer().optimize(iom)
+        twice, report = _schema_optimizer().optimize(once)
+        assert report.selects_pushed_through_merge == 0
+        assert [row.cells(True) for row in twice] == [row.cells(True) for row in once]
+
+
 class TestProjectionPruning:
     def _optimizer(self):
         return _schema_optimizer(prune_projections=True)

@@ -106,9 +106,51 @@ class TestScheduling:
         pqp = build_paper_federation()
         schedule = schedule_plan(paper_run.iom, registry=pqp.registry)
         merge = next(item for item in schedule.rows if item.row.op.value == "Merge")
-        # The Merge folds the three retrieves (9, 7, 10 tuples) pairwise:
-        # (9 + 7) for the first join, (16 + 10) for the second.
-        assert merge.cost == pytest.approx(0.002 * 42)
+        # The Merge hash-partitions the three retrieves (9, 7, 10 tuples)
+        # in one pass over their sum.
+        assert merge.cost == pytest.approx(0.002 * 26)
+
+    def test_width_aware_simulation_of_sharded_plans(self):
+        from tests.pqp.test_shard import make_registry, retrieve_plan
+        from repro.pqp.shard import shard_retrieves
+
+        registry = make_registry(rows=200)
+        plan = retrieve_plan()
+        sharded, report = shard_retrieves(plan, registry, width=4, min_tuples=1)
+        assert report.retrieves_sharded == 1
+        base = schedule_plan(plan, registry=registry)
+        wide = schedule_plan(sharded, registry=registry)
+        # Four quarter-scans overlap on AD's widened worker group: the
+        # sharded makespan beats one whole scan despite the extra queries.
+        assert wide.makespan < base.makespan
+        model = CostModel(per_query=1.0, per_tuple=0.01)
+        assert base.makespan >= model.cost(queries=1, tuples=200)
+        shard_items = sorted(
+            (item for item in wide.rows if item.row.shard),
+            key=lambda item: item.start,
+        )
+        assert len(shard_items) == 4
+        # All four shards launch together — no per-connection serialization.
+        assert all(item.start == shard_items[0].start for item in shard_items)
+
+    def test_native_concurrency_widens_a_database(self):
+        from tests.pqp.test_shard import make_registry, retrieve_plan
+        from repro.pqp.matrix import IntermediateOperationMatrix, MatrixRow, ResultOperand
+        from dataclasses import replace as dc_replace
+
+        registry = make_registry(rows=100)
+        single = retrieve_plan()
+        four = IntermediateOperationMatrix(
+            [
+                dc_replace(single.rows[0], result=ResultOperand(i))
+                for i in range(1, 5)
+            ]
+        )
+        serial = schedule_plan(four, registry=registry)
+        registry.get("AD").inner.native_concurrency = 4
+        parallel = schedule_plan(four, registry=registry)
+        # Width 1 serializes the paper way; a multiplexed source overlaps.
+        assert serial.makespan == pytest.approx(4 * parallel.makespan)
 
     def test_validation_against_measured_trace(self, paper_run):
         schedule = schedule_plan(paper_run.iom, paper_run.trace)
@@ -177,8 +219,13 @@ class TestPlanShapes:
         assert "original" in names and "original+merge-chain" in names
         makespans = [shape.makespan for shape in shapes]
         assert makespans == sorted(makespans)
-        # With one dominant straggler, folding the fast sources early wins.
+        # With CD the straggler, the chain merges the fast sources while
+        # CD is still shipping; under the containment output estimate its
+        # final link touches max(fast)+CD tuples — less than the flat
+        # Merge's one pass over all 26 — so the chain strictly wins.
         assert shapes[0].name == "original+merge-chain"
+        by_name = {shape.name: shape.makespan for shape in shapes}
+        assert by_name["original+merge-chain"] < by_name["original"]
 
     def test_rank_without_decomposition(self, paper_run):
         shapes = rank_plan_shapes([("original", paper_run.iom)], decompose=False)

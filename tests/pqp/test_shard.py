@@ -1,0 +1,257 @@
+"""Unit tests for the scan-sharding pass (``repro.pqp.shard``)."""
+
+import pytest
+
+from repro.catalog.mapping import AttributeMapping
+from repro.catalog.schema import PolygenSchema
+from repro.catalog.scheme import PolygenScheme
+from repro.lqp.registry import LQPRegistry
+from repro.lqp.relational_lqp import RelationalLQP
+from repro.pqp.matrix import (
+    PQP_LOCATION,
+    IntermediateOperationMatrix,
+    LocalOperand,
+    MatrixRow,
+    Operation,
+    ResultOperand,
+)
+from repro.pqp.shard import ShardReport, shard_retrieves
+from repro.relational.database import LocalDatabase
+from repro.relational.schema import RelationSchema
+
+
+def make_registry(rows=200, attributes=("ID", "NAME"), key=("ID",), data=None):
+    db = LocalDatabase("AD")
+    if data is None:
+        data = [(i, f"name-{i}") for i in range(rows)]
+    db.load(RelationSchema("EMP", list(attributes), key=list(key)), data)
+    registry = LQPRegistry()
+    registry.register(RelationalLQP(db))
+    return registry
+
+
+def retrieve_plan(tail=()):
+    rows = [
+        MatrixRow(
+            result=ResultOperand(1),
+            op=Operation.RETRIEVE,
+            lhr=LocalOperand("EMP"),
+            el="AD",
+            scheme="PEMP",
+        )
+    ]
+    rows.extend(tail)
+    return IntermediateOperationMatrix(rows)
+
+
+class TestQualification:
+    def test_invalid_width_rejected(self):
+        registry = make_registry()
+        for width in (1, 0, -3, "four"):
+            with pytest.raises(ValueError):
+                shard_retrieves(retrieve_plan(), registry, width=width)
+
+    def test_auto_respects_native_concurrency(self):
+        # An in-process engine advertises native_concurrency == 1: the
+        # paper's one-connection-per-database assumption.  No split.
+        registry = make_registry()
+        out, report = shard_retrieves(
+            retrieve_plan(), registry, width="auto", min_tuples=1
+        )
+        assert report.retrieves_sharded == 0
+        assert out is retrieve_plan() or list(out) == list(retrieve_plan())
+
+    def test_auto_widens_with_concurrent_lqp(self):
+        registry = make_registry()
+        registry.get("AD").inner.native_concurrency = 3
+        _, report = shard_retrieves(
+            retrieve_plan(), registry, width="auto", min_tuples=1
+        )
+        assert report.retrieves_sharded == 1
+        assert report.families[0][3] == 3
+
+    def test_small_relation_not_worth_it(self):
+        registry = make_registry(rows=10)
+        out, report = shard_retrieves(retrieve_plan(), registry, width=4)
+        assert report.retrieves_sharded == 0
+        assert out is not None and len(out) == 1
+
+    def test_statless_source_passes_through(self):
+        registry = make_registry()
+        lqp = registry.get("AD").inner
+        lqp.relation_stats = lambda relation_name: None
+        _, report = shard_retrieves(retrieve_plan(), registry, width=4)
+        assert report.retrieves_sharded == 0
+
+    def test_no_splittable_column(self):
+        registry = make_registry(
+            attributes=("CODE", "NAME"),
+            key=("CODE",),
+            data=[(f"c{i}", f"n{i}") for i in range(100)],
+        )
+        _, report = shard_retrieves(retrieve_plan(), registry, width=4, min_tuples=1)
+        assert report.retrieves_sharded == 0
+
+    def test_domain_too_narrow_to_cut(self):
+        registry = make_registry(
+            key=("NAME",), data=[(i % 2, f"n{i}") for i in range(100)]
+        )
+        _, report = shard_retrieves(retrieve_plan(), registry, width=4, min_tuples=1)
+        assert report.retrieves_sharded == 0
+
+    def test_unregistered_database_untouched(self):
+        registry = make_registry()
+        plan = IntermediateOperationMatrix(
+            [
+                MatrixRow(
+                    result=ResultOperand(1),
+                    op=Operation.RETRIEVE,
+                    lhr=LocalOperand("EMP"),
+                    el="XD",
+                )
+            ]
+        )
+        _, report = shard_retrieves(plan, registry, width=4, min_tuples=1)
+        assert report.retrieves_sharded == 0
+
+
+class TestFamilyStructure:
+    def _shard(self, width=4, tail=()):
+        registry = make_registry()
+        return shard_retrieves(
+            retrieve_plan(tail), registry, width=width, min_tuples=1
+        )
+
+    def test_emits_k_ranges_plus_union(self):
+        out, report = self._shard(width=4)
+        ranges = [row for row in out if row.op is Operation.RETRIEVE_RANGE]
+        unions = [row for row in out if row.op is Operation.UNION]
+        assert len(ranges) == 4 and len(unions) == 1
+        assert report == ShardReport(
+            retrieves_sharded=1,
+            shards_emitted=4,
+            families=(("AD", "EMP", "ID", 4),),
+        )
+
+    def test_intervals_partition_the_key_line(self):
+        out, _ = self._shard(width=4)
+        ranges = [row.key_range for row in out if row.op is Operation.RETRIEVE_RANGE]
+        # Unbounded at both ends, half-open and contiguous in between.
+        assert ranges[0].lower is None and ranges[-1].upper is None
+        for left, right in zip(ranges, ranges[1:]):
+            assert left.upper == right.lower
+        # Exactly the first shard owns nil / non-comparable keys.
+        assert [r.include_nil for r in ranges] == [True, False, False, False]
+
+    def test_shard_rows_keep_provenance(self):
+        out, _ = self._shard(width=4)
+        for i, row in enumerate(r for r in out if r.op is Operation.RETRIEVE_RANGE):
+            assert row.el == "AD"
+            assert row.lhr == LocalOperand("EMP")
+            assert row.scheme == "PEMP"
+            assert row.shard == (i, 4)
+
+    def test_union_reassembles_at_pqp(self):
+        out, _ = self._shard(width=4)
+        union = next(row for row in out if row.op is Operation.UNION)
+        assert union.el == PQP_LOCATION
+        assert union.scheme == "PEMP"
+        assert union.lhr == tuple(ResultOperand(i) for i in range(1, 5))
+
+    def test_downstream_consumers_remapped(self):
+        tail = (
+            MatrixRow(
+                result=ResultOperand(2),
+                op=Operation.PROJECT,
+                lhr=ResultOperand(1),
+                lha=("ID",),
+                el=PQP_LOCATION,
+            ),
+        )
+        out, _ = self._shard(width=4, tail=tail)
+        project = next(row for row in out if row.op is Operation.PROJECT)
+        union = next(row for row in out if row.op is Operation.UNION)
+        assert project.lhr == union.result
+        assert [row.result.index for row in out] == list(range(1, len(out) + 1))
+
+    def test_narrow_integer_domain_shrinks_k(self):
+        # Keys 0..2 cannot support 4 distinct integer cuts: the family
+        # shrinks rather than emitting duplicate intervals.
+        registry = make_registry(
+            key=("NAME",), data=[(i % 3, f"n{i}") for i in range(100)]
+        )
+        out, report = shard_retrieves(
+            retrieve_plan(), registry, width=4, min_tuples=1
+        )
+        k = report.families[0][3]
+        assert 2 <= k < 4
+        assert sum(row.op is Operation.RETRIEVE_RANGE for row in out) == k
+
+    def test_report_render(self):
+        _, report = self._shard(width=4)
+        text = report.render()
+        assert "AD.EMP on ID, 4 shards" in text
+        assert ShardReport().render() == "sharding: no retrieve qualified"
+
+
+class TestShardKeyChoice:
+    def test_prefers_primary_key_column(self):
+        # Two splittable columns; SCORE comes first in the heading, but ID
+        # maps to the polygen primary key — the Merge hash key wins.
+        registry = make_registry(
+            attributes=("SCORE", "ID", "NAME"),
+            key=("ID",),
+            data=[(i * 2, i, f"n{i}") for i in range(100)],
+        )
+        schema = PolygenSchema(
+            [
+                PolygenScheme(
+                    "PEMP",
+                    {
+                        "ID": [AttributeMapping("AD", "EMP", "ID")],
+                        "SCORE": [AttributeMapping("AD", "EMP", "SCORE")],
+                        "NAME": [AttributeMapping("AD", "EMP", "NAME")],
+                    },
+                    primary_key=["ID"],
+                )
+            ]
+        )
+        _, with_schema = shard_retrieves(
+            retrieve_plan(), registry, width=4, schema=schema, min_tuples=1
+        )
+        assert with_schema.families[0][2] == "ID"
+        _, without = shard_retrieves(
+            retrieve_plan(), registry, width=4, min_tuples=1
+        )
+        assert without.families[0][2] == "SCORE"
+
+
+class TestExecutionEquivalence:
+    def test_sharded_plan_reproduces_unsharded_rows(self):
+        # Cell-for-cell equivalence is property-tested across executors in
+        # tests/property/test_sharding.py; this is the cheap smoke check
+        # that the family's ranges really partition the relation.
+        registry = make_registry(
+            key=("NAME",),
+            data=[(i if i % 7 else None, f"n{i}") for i in range(150)],
+        )
+        out, report = shard_retrieves(
+            retrieve_plan(), registry, width=4, min_tuples=1
+        )
+        assert report.retrieves_sharded == 1
+        lqp = registry.get("AD")
+        whole = lqp.retrieve("EMP")
+        pieces = []
+        for row in out:
+            if row.op is Operation.RETRIEVE_RANGE:
+                kr = row.key_range
+                pieces.extend(
+                    lqp.retrieve_range(
+                        "EMP",
+                        kr.attribute,
+                        lower=kr.lower,
+                        upper=kr.upper,
+                        include_nil=kr.include_nil,
+                    ).rows
+                )
+        assert sorted(pieces, key=repr) == sorted(whole.rows, key=repr)
