@@ -23,6 +23,17 @@ artifact, so the previous SHA's numbers come from *that* run, measured on
 comparable runners.  Without any usable baseline (first run on a branch,
 artifact expired) the gate passes with a notice — a missing baseline is
 not a regression.
+
+Alongside the relative-drop gate, repeatable ``--max-seconds NAME=VALUE``
+options impose **absolute wall-clock budgets** on individual metrics
+(``NAME`` is the flattened ``bench.metric`` name, ``VALUE`` seconds).
+Budgets need no history: they run even on a first build, and a budgeted
+metric missing from the current snapshot fails loudly — a budget someone
+bothered to write down must not evaporate with a renamed bench::
+
+    python benchmarks/check_regression.py \
+        --current BENCH_runtime.json --history BENCH_history.json \
+        --max-seconds cache_zipfian.p50_cached_s=0.05
 """
 
 from __future__ import annotations
@@ -52,6 +63,37 @@ except ImportError:  # executed as a script: benchmarks/ is sys.path[0]
     )
 
 
+def parse_budget(text: str):
+    """One ``NAME=SECONDS`` budget; argparse surfaces the ValueError."""
+    name, separator, value = text.partition("=")
+    if not separator or not name:
+        raise ValueError(f"expected NAME=SECONDS, got {text!r}")
+    seconds = float(value)
+    if seconds <= 0:
+        raise ValueError(f"budget for {name} must be positive, got {seconds}")
+    return name, seconds
+
+
+def check_budgets(budgets, current_metrics) -> list:
+    """Absolute wall-clock budgets: ``(metric, limit, measured)`` breaches.
+    A budgeted metric absent from the snapshot breaches with measured
+    ``None`` — silently un-measuring a budget is not a pass."""
+    breaches = []
+    for metric, limit in budgets:
+        measured = current_metrics.get(metric)
+        if measured is None:
+            print(f"      BREACH  {metric:55s} missing from the current run "
+                  f"(budget {limit:.3f}s)")
+            breaches.append((metric, limit, None))
+            continue
+        verdict = "BREACH" if measured > limit else "ok"
+        print(f"  {verdict:>10s}  {metric:55s} {measured:8.3f}s "
+              f"(budget {limit:.3f}s)")
+        if verdict == "BREACH":
+            breaches.append((metric, limit, measured))
+    return breaches
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--current", default="BENCH_runtime.json", type=Path)
@@ -73,6 +115,15 @@ def main(argv=None) -> int:
         help="how many recent other-SHA runs the per-metric median baseline "
         "spans (default 5)",
     )
+    parser.add_argument(
+        "--max-seconds",
+        action="append",
+        default=[],
+        type=parse_budget,
+        metavar="NAME=SECONDS",
+        help="absolute wall-clock budget for one metric (repeatable); "
+        "checked even when no history baseline exists",
+    )
     args = parser.parse_args(argv)
 
     if not args.current.exists():
@@ -81,6 +132,13 @@ def main(argv=None) -> int:
     current = json.loads(args.current.read_text())
     current_metrics = flatten_metrics(current.get("results", {}))
     series = python_series(current.get("python", "")) or None
+
+    # Absolute budgets gate independently of any baseline: a first build
+    # on a fresh branch still has to land under its wall-clock ceilings.
+    breaches = check_budgets(args.max_seconds, current_metrics)
+    if breaches:
+        print(f"gate: FAILED — {len(breaches)} wall-clock budget breach(es)")
+        return 1
 
     if not args.history.exists():
         print(f"gate: no history at {args.history}; passing (no baseline yet)")

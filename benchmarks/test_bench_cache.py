@@ -1,0 +1,145 @@
+"""Semantic result cache benchmark: a Zipfian query mix over a
+latency-injected federation.
+
+Real federation workloads are skewed — a few dashboard-style queries
+account for most submissions — so the mix here draws ``REQUESTS`` queries
+from ``SHAPES`` under a Zipf(:data:`ZIPF_S`) popularity distribution
+(deterministic ``random.Random(SEED)``; no wall-clock in the sequence).
+Every local source pays an injected per-query latency, the regime the
+cache targets: a whole-plan hit answers from coordinator memory without
+touching any source.
+
+Measured and recorded for ``--bench-json``:
+
+- **cache_zipfian.p50_improvement** — median request latency of the mix
+  with ``cache="off"`` over ``cache="on"`` (speedup-class metric, gated
+  by ``check_regression.py``).  Acceptance floor 5x; the target regime
+  is >10x.
+- **cache_zipfian.p50_cached_s** — absolute cached p50, held under a
+  wall-clock budget in CI (``--max-seconds``): a hit must stay an
+  in-memory operation no matter what the rest of the PR did.
+- **cache_zipfian.hit_rate** — whole-plan hit rate over the mix.
+
+Correctness is asserted before any ratio is reported: every shape's
+cached answer must equal the cache-off answer, tags included.
+"""
+
+import random
+import time
+from statistics import median
+
+from repro.datasets.paper import (
+    paper_databases,
+    paper_identity_resolver,
+    paper_polygen_schema,
+)
+from repro.lqp.cost import LatencyLQP
+from repro.lqp.registry import LQPRegistry
+from repro.lqp.relational_lqp import RelationalLQP
+from repro.service.federation import PolygenFederation
+from repro.service.options import QueryOptions
+
+#: Injected per-local-query latency (seconds): the round-trip a real
+#: autonomous source would charge, and exactly what a cache hit skips.
+PER_QUERY = 0.02
+
+#: Requests in the mix, Zipf exponent, and the deterministic seed.
+REQUESTS = 120
+ZIPF_S = 1.1
+SEED = 1990
+
+#: The query shapes, most-popular first (rank feeds the Zipf weight):
+#: selections, projections, and joins spanning all three paper databases.
+SHAPES = (
+    '(PALUMNUS [DEGREE = "MBA"])',
+    '(PORGANIZATION [INDUSTRY = "High Tech"])',
+    '((PALUMNUS [DEGREE = "MBA"]) [ANAME, MAJOR])',
+    '(PCAREER [POSITION = "CEO"])',
+    '((PCAREER [ONAME = ONAME] PORGANIZATION) [ONAME, POSITION, INDUSTRY])',
+    '(PALUMNUS [MAJOR = "IS"])',
+    '(PSTUDENT [MAJOR = "Finance"])',
+    '(PINTERVIEW [ONAME = "IBM"])',
+    '(PFINANCE [ONAME = "CitiCorp"])',
+    '((PALUMNUS [AID# = AID#] PCAREER) [ANAME, POSITION])',
+    '(PALUMNUS [ANAME = "John Reed"])',
+    '((PINTERVIEW [ONAME = ONAME] PORGANIZATION) [ONAME, JOB, INDUSTRY])',
+    '(PORGANIZATION [ONAME = "Genentech"])',
+    '(PCAREER [ONAME = "MIT"])',
+    '(PSTUDENT [SNAME, MAJOR])',
+    '(PALUMNUS [DEGREE = "MS"])',
+    '((PALUMNUS [MAJOR = "MGT"]) [ANAME])',
+    '((PFINANCE [ONAME = ONAME] PORGANIZATION) [ONAME, INDUSTRY])',
+    '(PORGANIZATION [HEADQUARTERS = "NY"])',
+    '(PINTERVIEW [JOB = "CFO"])',
+)
+
+
+def _zipfian_sequence():
+    """The request stream: shape ranks weighted 1/(rank+1)^s."""
+    rng = random.Random(SEED)
+    weights = [1.0 / (rank + 1) ** ZIPF_S for rank in range(len(SHAPES))]
+    return rng.choices(SHAPES, weights=weights, k=REQUESTS)
+
+
+def _federation(cache: str) -> PolygenFederation:
+    registry = LQPRegistry()
+    for database in paper_databases().values():
+        registry.register(
+            LatencyLQP(RelationalLQP(database), per_query=PER_QUERY)
+        )
+    return PolygenFederation(
+        paper_polygen_schema(),
+        registry,
+        resolver=paper_identity_resolver(),
+        defaults=QueryOptions(cache=cache),
+    )
+
+
+def _run_mix(federation, sequence):
+    """Per-request latencies plus the final answer relation per shape."""
+    latencies, answers = [], {}
+    for query in sequence:
+        began = time.perf_counter()
+        result = federation.run(query)
+        latencies.append(time.perf_counter() - began)
+        answers[query] = result
+    return latencies, answers
+
+
+def test_zipfian_mix_p50_improves_with_cache(record_bench):
+    """The cache must turn the popular queries into in-memory answers:
+    >= 5x p50 improvement over the identical cache-off mix (>10x is the
+    target regime), with identical answers shape for shape."""
+    sequence = _zipfian_sequence()
+    with _federation("off") as cold:
+        cold_latencies, cold_answers = _run_mix(cold, sequence)
+    with _federation("on") as cached:
+        cached_latencies, cached_answers = _run_mix(cached, sequence)
+        stats = cached.stats().cache
+    # A speedup over a wrong answer is worthless.
+    for query in SHAPES:
+        if query not in cold_answers:
+            continue
+        assert cached_answers[query].relation == cold_answers[query].relation
+        assert cached_answers[query].lineage == cold_answers[query].lineage
+    p50_cold = median(cold_latencies)
+    p50_cached = median(cached_latencies)
+    improvement = p50_cold / p50_cached
+    record_bench(
+        "cache_zipfian",
+        requests=REQUESTS,
+        shapes=len(SHAPES),
+        zipf_s=ZIPF_S,
+        per_query_delay_s=PER_QUERY,
+        p50_cold_s=round(p50_cold, 4),
+        p50_cached_s=round(p50_cached, 4),
+        hit_rate=round(stats.hit_rate, 3),
+        hits=stats.hits,
+        misses=stats.misses,
+        entries=stats.entries,
+        p50_improvement=round(improvement, 2),
+    )
+    # Every shape past its first appearance is a whole-plan hit.
+    assert stats.hits >= REQUESTS - len(SHAPES)
+    assert stats.hit_rate >= 0.5
+    assert improvement >= 5.0

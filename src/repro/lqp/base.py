@@ -12,16 +12,21 @@ requests — an in-memory engine, CSV documents, or anything else.  Results
 are *untagged* local relations; tagging happens when the data arrives at
 the PQP (:mod:`repro.lqp.tagging`).
 
-Two optional extensions support intra-relation parallelism
-(:mod:`repro.pqp.shard`):
+Optional extensions support intra-relation parallelism
+(:mod:`repro.pqp.shard`) and source-side projection:
 
-- **retrieve_range** — Retrieve restricted to a half-open key interval
-  ``[lower, upper)``, so one hot scan can be split into disjoint partial
-  scans.  The default implementation filters a full Retrieve; engines with
-  real indexes override it.
+- **retrieve_range** / **select_range** — Retrieve (or a single-comparison
+  Select) restricted to a half-open key interval ``[lower, upper)``, so one
+  hot scan or selection can be split into disjoint partial operations.  The
+  default implementations filter a full Retrieve/Select; engines with real
+  indexes override them.
 - **relation_stats** — a :class:`RelationStats` catalog summary
   (cardinality plus per-column min/max/nil-count) the shard planner uses
   to pick split points without shipping data.
+- **columns=** — engines advertising
+  :attr:`LocalQueryProcessor.supports_column_projection` accept a column
+  list on every verb and ship only those local columns, so projection
+  pruning narrows results *at the source* instead of after the wire.
 """
 
 from __future__ import annotations
@@ -39,7 +44,22 @@ __all__ = [
     "RelationStats",
     "compute_relation_stats",
     "key_in_range",
+    "project_columns",
 ]
+
+
+def project_columns(relation: Relation, columns) -> Relation:
+    """Narrow ``relation`` to ``columns`` (source-side projection).
+
+    The order of ``columns`` is honoured; requesting an absent column
+    raises, as shipping a silently different heading would corrupt the
+    scheme mapping at materialization.
+    """
+    names = list(columns)
+    if list(relation.attributes) == names:
+        return relation
+    positions = [relation.heading.index(name) for name in names]
+    return Relation(names, (tuple(row[p] for p in positions) for row in relation))
 
 
 @dataclass(frozen=True)
@@ -146,6 +166,16 @@ class LocalQueryProcessor(abc.ABC):
     #: LQP so the value survives accounting/latency decoration.
     native_concurrency: int = 1
 
+    #: Whether this engine's verbs accept a ``columns=`` keyword that
+    #: narrows the shipped relation to the named local columns (projection
+    #: pushed to the source).  The executor only passes ``columns=`` when
+    #: this is True, so pre-existing subclasses that never heard of the
+    #: keyword keep working unchanged.  Engines that flip it True must
+    #: accept ``columns=None`` on :meth:`retrieve` and :meth:`select`
+    #: (:meth:`retrieve_range` and :meth:`select_range` inherit support
+    #: from the defaults here).
+    supports_column_projection: bool = False
+
     @property
     @abc.abstractmethod
     def name(self) -> str:
@@ -189,6 +219,7 @@ class LocalQueryProcessor(abc.ABC):
         lower: Any = None,
         upper: Any = None,
         include_nil: bool = False,
+        columns=None,
     ) -> Relation:
         """Ship the tuples whose ``attribute`` lies in ``[lower, upper)``.
 
@@ -197,6 +228,11 @@ class LocalQueryProcessor(abc.ABC):
         key values, so a family of shards covering ``(-inf, +inf)`` with
         exactly one ``include_nil=True`` member partitions the relation.
 
+        ``columns`` (when the engine advertises
+        :attr:`supports_column_projection`) narrows the shipped heading to
+        the named local columns — the key attribute need not be among
+        them; it is consulted before the projection drops it.
+
         The default filters a full :meth:`retrieve` — correct everywhere,
         and still a win because the *shipping* and PQP-side tagging of
         each shard proceed in parallel.  Engines with real range access
@@ -204,11 +240,49 @@ class LocalQueryProcessor(abc.ABC):
         """
         relation = self.retrieve(relation_name)
         position = relation.heading.index(attribute)
-        return relation.replace_rows(
+        shard = relation.replace_rows(
             row
             for row in relation
             if key_in_range(row[position], lower, upper, include_nil)
         )
+        if columns is not None:
+            shard = project_columns(shard, columns)
+        return shard
+
+    def select_range(
+        self,
+        relation_name: str,
+        attribute: str,
+        theta: Theta,
+        value: Any,
+        key_attribute: str,
+        lower: Any = None,
+        upper: Any = None,
+        include_nil: bool = False,
+        columns=None,
+    ) -> Relation:
+        """Execute ``relation[attribute θ value]`` restricted to the tuples
+        whose ``key_attribute`` lies in the shard interval ``[lower, upper)``.
+
+        The Select counterpart of :meth:`retrieve_range`: one member of a
+        key-range family splitting a hot *selection* (not just a scan)
+        into disjoint partial selections.  The interval semantics —
+        half-open bounds, the ``include_nil`` shard owning nil and
+        non-comparable keys — are exactly :func:`key_in_range`'s.
+
+        The default filters a full :meth:`select`; engines with composite
+        access paths should override it.
+        """
+        relation = self.select(relation_name, attribute, theta, value)
+        position = relation.heading.index(key_attribute)
+        shard = relation.replace_rows(
+            row
+            for row in relation
+            if key_in_range(row[position], lower, upper, include_nil)
+        )
+        if columns is not None:
+            shard = project_columns(shard, columns)
+        return shard
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}({self.name!r})"

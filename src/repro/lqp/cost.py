@@ -124,6 +124,7 @@ class TransferStats:
     retrieves: int = 0
     selects: int = 0
     range_retrieves: int = 0
+    range_selects: int = 0
     tuples_shipped: int = 0
 
     def record(self, kind: str, result: Relation) -> None:
@@ -132,6 +133,8 @@ class TransferStats:
             self.retrieves += 1
         elif kind == "retrieve_range":
             self.range_retrieves += 1
+        elif kind == "select_range":
+            self.range_selects += 1
         else:
             self.selects += 1
         self.tuples_shipped += result.cardinality
@@ -142,12 +145,19 @@ class TransferStats:
             retrieves=self.retrieves + other.retrieves,
             selects=self.selects + other.selects,
             range_retrieves=self.range_retrieves + other.range_retrieves,
+            range_selects=self.range_selects + other.range_selects,
             tuples_shipped=self.tuples_shipped + other.tuples_shipped,
         )
 
     def reset(self) -> None:
         self.queries = self.retrieves = self.selects = 0
-        self.range_retrieves = self.tuples_shipped = 0
+        self.range_retrieves = self.range_selects = self.tuples_shipped = 0
+
+
+def _columns_kwargs(columns) -> dict:
+    """``columns=`` forwarded only when given: the wrapped LQP may be a
+    pre-projection subclass whose verbs reject the keyword outright."""
+    return {} if columns is None else {"columns": columns}
 
 
 class AccountingLQP(LocalQueryProcessor):
@@ -171,17 +181,30 @@ class AccountingLQP(LocalQueryProcessor):
     def native_concurrency(self) -> int:
         return self._inner.native_concurrency
 
+    @property
+    def supports_column_projection(self) -> bool:
+        return getattr(self._inner, "supports_column_projection", False)
+
     def relation_names(self) -> Tuple[str, ...]:
         return self._inner.relation_names()
 
-    def retrieve(self, relation_name: str) -> Relation:
-        result = self._inner.retrieve(relation_name)
+    def retrieve(self, relation_name: str, columns=None) -> Relation:
+        result = self._inner.retrieve(relation_name, **_columns_kwargs(columns))
         with self._lock:
             self.stats.record("retrieve", result)
         return result
 
-    def select(self, relation_name: str, attribute: str, theta: Theta, value: Any) -> Relation:
-        result = self._inner.select(relation_name, attribute, theta, value)
+    def select(
+        self,
+        relation_name: str,
+        attribute: str,
+        theta: Theta,
+        value: Any,
+        columns=None,
+    ) -> Relation:
+        result = self._inner.select(
+            relation_name, attribute, theta, value, **_columns_kwargs(columns)
+        )
         with self._lock:
             self.stats.record("select", result)
         return result
@@ -193,12 +216,35 @@ class AccountingLQP(LocalQueryProcessor):
         lower: Any = None,
         upper: Any = None,
         include_nil: bool = False,
+        columns=None,
     ) -> Relation:
         result = self._inner.retrieve_range(
-            relation_name, attribute, lower, upper, include_nil
+            relation_name, attribute, lower, upper, include_nil,
+            **_columns_kwargs(columns),
         )
         with self._lock:
             self.stats.record("retrieve_range", result)
+        return result
+
+    def select_range(
+        self,
+        relation_name: str,
+        attribute: str,
+        theta: Theta,
+        value: Any,
+        key_attribute: str,
+        lower: Any = None,
+        upper: Any = None,
+        include_nil: bool = False,
+        columns=None,
+    ) -> Relation:
+        result = self._inner.select_range(
+            relation_name, attribute, theta, value,
+            key_attribute, lower, upper, include_nil,
+            **_columns_kwargs(columns),
+        )
+        with self._lock:
+            self.stats.record("select_range", result)
         return result
 
     def cardinality_estimate(self, relation_name: str) -> int | None:
@@ -244,6 +290,10 @@ class LatencyLQP(LocalQueryProcessor):
     def native_concurrency(self) -> int:
         return self._inner.native_concurrency
 
+    @property
+    def supports_column_projection(self) -> bool:
+        return getattr(self._inner, "supports_column_projection", False)
+
     def cost_model(self) -> CostModel:
         """The injected delays as a :class:`CostModel` (units: seconds), so
         a simulated schedule can be compared against measured wall clock."""
@@ -257,13 +307,22 @@ class LatencyLQP(LocalQueryProcessor):
     def relation_names(self) -> Tuple[str, ...]:
         return self._inner.relation_names()
 
-    def retrieve(self, relation_name: str) -> Relation:
-        result = self._inner.retrieve(relation_name)
+    def retrieve(self, relation_name: str, columns=None) -> Relation:
+        result = self._inner.retrieve(relation_name, **_columns_kwargs(columns))
         self._delay(result)
         return result
 
-    def select(self, relation_name: str, attribute: str, theta: Theta, value: Any) -> Relation:
-        result = self._inner.select(relation_name, attribute, theta, value)
+    def select(
+        self,
+        relation_name: str,
+        attribute: str,
+        theta: Theta,
+        value: Any,
+        columns=None,
+    ) -> Relation:
+        result = self._inner.select(
+            relation_name, attribute, theta, value, **_columns_kwargs(columns)
+        )
         self._delay(result)
         return result
 
@@ -274,9 +333,31 @@ class LatencyLQP(LocalQueryProcessor):
         lower: Any = None,
         upper: Any = None,
         include_nil: bool = False,
+        columns=None,
     ) -> Relation:
         result = self._inner.retrieve_range(
-            relation_name, attribute, lower, upper, include_nil
+            relation_name, attribute, lower, upper, include_nil,
+            **_columns_kwargs(columns),
+        )
+        self._delay(result)
+        return result
+
+    def select_range(
+        self,
+        relation_name: str,
+        attribute: str,
+        theta: Theta,
+        value: Any,
+        key_attribute: str,
+        lower: Any = None,
+        upper: Any = None,
+        include_nil: bool = False,
+        columns=None,
+    ) -> Relation:
+        result = self._inner.select_range(
+            relation_name, attribute, theta, value,
+            key_attribute, lower, upper, include_nil,
+            **_columns_kwargs(columns),
         )
         self._delay(result)
         return result

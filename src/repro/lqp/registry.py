@@ -34,6 +34,11 @@ class LQPRegistry:
         #: The registry owns their connections: :meth:`close` closes them.
         #: Caller-constructed LQPs stay the caller's to close.
         self._dialed: list = []
+        #: Refresh listeners (``listener(database)``): fired when a database
+        #: reports changed data — and on registration, since a (re)appearing
+        #: database is the ultimate data change.  The federation's semantic
+        #: result cache subscribes its invalidator here.
+        self._listeners: list = []
         self._lock = threading.Lock()
 
     def register(
@@ -76,7 +81,6 @@ class LQPRegistry:
                 self._lqps[lqp.name] = wrapped
                 if dialed is not None:
                     self._dialed.append(dialed)
-                return wrapped
         except BaseException:
             # A connection we dialed ourselves must not outlive a failed
             # registration (the name was taken): close it rather than
@@ -84,6 +88,8 @@ class LQPRegistry:
             if dialed is not None:
                 dialed.close()
             raise
+        self.notify_refresh(lqp.name)
+        return wrapped
 
     def get(self, database: str) -> AccountingLQP:
         try:
@@ -104,6 +110,33 @@ class LQPRegistry:
     def names(self) -> Tuple[str, ...]:
         with self._lock:
             return tuple(self._lqps)
+
+    # -- refresh notifications -------------------------------------------------
+
+    def subscribe(self, listener) -> None:
+        """Add a refresh listener: ``listener(database)`` is called whenever
+        :meth:`notify_refresh` reports that database's data changed (and
+        when a database is registered).  Listeners must not raise."""
+        with self._lock:
+            self._listeners.append(listener)
+
+    def unsubscribe(self, listener) -> None:
+        """Remove a previously subscribed listener (no-op when absent) — a
+        federation sharing this registry unsubscribes its cache on close."""
+        with self._lock:
+            try:
+                self._listeners.remove(listener)
+            except ValueError:
+                pass
+
+    def notify_refresh(self, database: str) -> None:
+        """Report that ``database``'s underlying data changed (a write, a
+        reload, a re-registration).  Fires every listener outside the lock,
+        so a listener may safely consult the registry."""
+        with self._lock:
+            listeners = tuple(self._listeners)
+        for listener in listeners:
+            listener(database)
 
     # -- accounting -----------------------------------------------------------
 

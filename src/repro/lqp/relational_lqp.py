@@ -9,6 +9,7 @@ from repro.lqp.base import (
     LocalQueryProcessor,
     RelationStats,
     compute_relation_stats,
+    project_columns,
 )
 from repro.relational.database import LocalDatabase
 from repro.relational.relation import Relation
@@ -22,6 +23,8 @@ class RelationalLQP(LocalQueryProcessor):
     This is the standard LQP of the reproduction — the stand-in for the
     paper's MIT and commercial relational sources.
     """
+
+    supports_column_projection = True
 
     def __init__(self, database: LocalDatabase):
         self._database = database
@@ -40,11 +43,24 @@ class RelationalLQP(LocalQueryProcessor):
     def relation_names(self) -> Tuple[str, ...]:
         return self._database.relation_names()
 
-    def retrieve(self, relation_name: str) -> Relation:
-        return self._database.relation(relation_name)
+    def retrieve(self, relation_name: str, columns=None) -> Relation:
+        relation = self._database.relation(relation_name)
+        if columns is not None:
+            relation = project_columns(relation, columns)
+        return relation
 
-    def select(self, relation_name: str, attribute: str, theta: Theta, value: Any) -> Relation:
-        return self._database.select(relation_name, attribute, theta, value)
+    def select(
+        self,
+        relation_name: str,
+        attribute: str,
+        theta: Theta,
+        value: Any,
+        columns=None,
+    ) -> Relation:
+        relation = self._database.select(relation_name, attribute, theta, value)
+        if columns is not None:
+            relation = project_columns(relation, columns)
+        return relation
 
     def cardinality_estimate(self, relation_name: str) -> int | None:
         return self._database.relation(relation_name).cardinality

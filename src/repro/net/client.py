@@ -147,12 +147,29 @@ class RemoteLQP(LocalQueryProcessor):
 
     # -- the two LQP operations --------------------------------------------
 
-    def retrieve(self, relation_name: str) -> Relation:
-        reply = self._mux.request("retrieve", relation=relation_name)
+    #: Projection travels over the wire: the server narrows at (or right
+    #: after) the source, so dropped columns never cross the network.
+    supports_column_projection = True
+
+    @staticmethod
+    def _columns_param(columns) -> Dict[str, Any]:
+        # Omitted entirely when not narrowing: old servers ignore unknown
+        # request keys, but there is no reason to send one at all.
+        return {} if columns is None else {"columns": list(columns)}
+
+    def retrieve(self, relation_name: str, columns=None) -> Relation:
+        reply = self._mux.request(
+            "retrieve", relation=relation_name, **self._columns_param(columns)
+        )
         return self._assemble(reply)
 
     def select(
-        self, relation_name: str, attribute: str, theta: Theta, value: Any
+        self,
+        relation_name: str,
+        attribute: str,
+        theta: Theta,
+        value: Any,
+        columns=None,
     ) -> Relation:
         reply = self._mux.request(
             "select",
@@ -160,6 +177,7 @@ class RemoteLQP(LocalQueryProcessor):
             attribute=attribute,
             theta=theta.symbol,
             value=protocol.wire_value(value),
+            **self._columns_param(columns),
         )
         return self._assemble(reply)
 
@@ -170,6 +188,7 @@ class RemoteLQP(LocalQueryProcessor):
         lower: Any = None,
         upper: Any = None,
         include_nil: bool = False,
+        columns=None,
     ) -> Relation:
         reply = self._mux.request(
             "retrieve_range",
@@ -178,6 +197,33 @@ class RemoteLQP(LocalQueryProcessor):
             lower=protocol.wire_value(lower),
             upper=protocol.wire_value(upper),
             include_nil=include_nil,
+            **self._columns_param(columns),
+        )
+        return self._assemble(reply)
+
+    def select_range(
+        self,
+        relation_name: str,
+        attribute: str,
+        theta: Theta,
+        value: Any,
+        key_attribute: str,
+        lower: Any = None,
+        upper: Any = None,
+        include_nil: bool = False,
+        columns=None,
+    ) -> Relation:
+        reply = self._mux.request(
+            "select_range",
+            relation=relation_name,
+            attribute=attribute,
+            theta=theta.symbol,
+            value=protocol.wire_value(value),
+            key_attribute=key_attribute,
+            lower=protocol.wire_value(lower),
+            upper=protocol.wire_value(upper),
+            include_nil=include_nil,
+            **self._columns_param(columns),
         )
         return self._assemble(reply)
 

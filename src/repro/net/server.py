@@ -39,7 +39,7 @@ from repro.catalog.schema import PolygenSchema
 from repro.catalog.serialize import schema_to_dict
 from repro.core.predicate import Theta
 from repro.errors import ProtocolError, QueryCancelledError
-from repro.lqp.base import LocalQueryProcessor
+from repro.lqp.base import LocalQueryProcessor, project_columns
 from repro.net import protocol
 
 __all__ = ["LQPServer", "ServerStats"]
@@ -320,7 +320,7 @@ class LQPServer:
         self._count(requests=1)
         try:
             try:
-                if op in ("retrieve", "select", "retrieve_range"):
+                if op in ("retrieve", "select", "retrieve_range", "select_range"):
                     self._serve_relation(connection, request_id, op, message, cancel)
                 else:
                     connection.send(
@@ -361,8 +361,14 @@ class LQPServer:
         relation_name = message.get("relation")
         if not isinstance(relation_name, str):
             raise ProtocolError(f"{op} request lacks a relation name")
+        # Projection pushed over the wire: forwarded to an LQP that can
+        # narrow at the source, applied here otherwise — either way only
+        # the requested columns travel back to the client.
+        columns = message.get("columns")
+        forward = getattr(self._lqp, "supports_column_projection", False)
+        kwargs = {"columns": list(columns)} if columns is not None and forward else {}
         if op == "retrieve":
-            relation = self._lqp.retrieve(relation_name)
+            relation = self._lqp.retrieve(relation_name, **kwargs)
         elif op == "retrieve_range":
             relation = self._lqp.retrieve_range(
                 relation_name,
@@ -370,6 +376,20 @@ class LQPServer:
                 lower=message.get("lower"),
                 upper=message.get("upper"),
                 include_nil=bool(message.get("include_nil", False)),
+                **kwargs,
+            )
+        elif op == "select_range":
+            theta = Theta.from_symbol(message.get("theta", ""))
+            relation = self._lqp.select_range(
+                relation_name,
+                message.get("attribute"),
+                theta,
+                message.get("value"),
+                message.get("key_attribute"),
+                lower=message.get("lower"),
+                upper=message.get("upper"),
+                include_nil=bool(message.get("include_nil", False)),
+                **kwargs,
             )
         else:
             theta = Theta.from_symbol(message.get("theta", ""))
@@ -378,7 +398,10 @@ class LQPServer:
                 message.get("attribute"),
                 theta,
                 message.get("value"),
+                **kwargs,
             )
+        if columns is not None and not forward:
+            relation = project_columns(relation, columns)
         if cancel.is_set():
             raise QueryCancelledError(f"request {request_id} cancelled by client")
         attributes = list(relation.attributes)

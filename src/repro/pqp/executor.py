@@ -84,6 +84,9 @@ class ExecutionTrace:
     lineage: Lineage
     #: measured per-row wall-clock timings, keyed by R(#) index.
     timings: Dict[int, RowTiming] = field(default_factory=dict)
+    #: attribute lineage of every intermediate result, keyed by R(#) index
+    #: (the result cache stores each subtree's lineage alongside its rows).
+    lineages: Dict[int, Lineage] = field(default_factory=dict)
 
     def result(self, index: int) -> PolygenRelation:
         try:
@@ -182,7 +185,9 @@ class Executor:
             )
             if row.result.index == final and on_result is not None:
                 on_result(relation)
-        return ExecutionTrace(results[final], results, lineages[final], timings)
+        return ExecutionTrace(
+            results[final], results, lineages[final], timings, lineages=lineages
+        )
 
     # ------------------------------------------------------------------
 
@@ -192,6 +197,10 @@ class Executor:
         results: Dict[int, PolygenRelation],
         lineages: Dict[int, Lineage],
     ) -> Tuple[PolygenRelation, Lineage]:
+        if row.op is Operation.CACHED:
+            if row.cached is None:
+                raise ExecutionError(f"Cached row {row.result} carries no payload")
+            return row.cached.relation, dict(row.cached.lineage)
         if row.is_local:
             return self._execute_local(row)
         return self._execute_at_pqp(row, results, lineages)
@@ -202,8 +211,11 @@ class Executor:
                 f"local row {row.result} must name a local relation, got {row.lhr!r}"
             )
         lqp = self._registry.get(row.el)
+        scheme = self._schema.scheme(row.scheme)
+        columns = self._shipped_columns(lqp, scheme, row)
+        kwargs = {} if columns is None else {"columns": columns}
         if row.op is Operation.RETRIEVE:
-            shipped = lqp.retrieve(row.lhr.relation)
+            shipped = lqp.retrieve(row.lhr.relation, **kwargs)
         elif row.op is Operation.RETRIEVE_RANGE:
             if row.key_range is None:
                 raise ExecutionError(
@@ -216,18 +228,36 @@ class Executor:
                 key_range.lower,
                 key_range.upper,
                 key_range.include_nil,
+                **kwargs,
             )
         elif row.op is Operation.SELECT:
             if not isinstance(row.rha, Literal):
                 raise ExecutionError(
                     f"local Select {row.result} requires a literal comparand"
                 )
-            shipped = lqp.select(row.lhr.relation, row.lha, row.theta, row.rha.value)
+            if row.key_range is not None:
+                # One key-range shard of a local Select (pqp/shard.py): the
+                # LQP evaluates the predicate, then keeps its key interval.
+                key_range = row.key_range
+                shipped = lqp.select_range(
+                    row.lhr.relation,
+                    row.lha,
+                    row.theta,
+                    row.rha.value,
+                    key_range.attribute,
+                    key_range.lower,
+                    key_range.upper,
+                    key_range.include_nil,
+                    **kwargs,
+                )
+            else:
+                shipped = lqp.select(
+                    row.lhr.relation, row.lha, row.theta, row.rha.value, **kwargs
+                )
         else:
             raise ExecutionError(
                 f"operation {row.op.value} cannot execute at LQP {row.el!r}"
             )
-        scheme = self._schema.scheme(row.scheme)
         relation = materialize(
             shipped,
             row.el,
@@ -241,6 +271,29 @@ class Executor:
         )
         lineage = {attribute: frozenset({scheme.name}) for attribute in relation.attributes}
         return relation, lineage
+
+    @staticmethod
+    def _shipped_columns(lqp, scheme, row: MatrixRow):
+        """Local columns to request from the source, or ``None`` to ship all.
+
+        Projection pruning (``row.project``) historically narrowed columns
+        only at materialization; when the LQP advertises
+        ``supports_column_projection`` the pruned set travels with the verb
+        call instead, so dead columns never cross the wire.  Selection and
+        key-range predicates are evaluated at the source *before* its
+        projection, so the probed columns need not ship.
+        """
+        if row.project is None or not getattr(
+            lqp, "supports_column_projection", False
+        ):
+            return None
+        keep = set(row.project)
+        columns = [
+            local
+            for local, polygen in scheme.rename_map(row.el, row.lhr.relation).items()
+            if polygen in keep
+        ]
+        return columns or None
 
     def _execute_at_pqp(
         self,

@@ -113,6 +113,13 @@ def execution_report(result: QueryResult) -> str:
         f"wall clock {trace.wall_clock:.4f}s, busy {trace.busy_time:.4f}s, "
         f"overlap {trace.busy_time / trace.wall_clock if trace.wall_clock else 1.0:.2f}x"
     )
+    if result.cache_hit:
+        lines.append("cache: whole-plan hit — served without executor dispatch")
+    elif result.caching is not None and result.caching.any:
+        lines.append(
+            f"cache: {result.caching.rows_spliced} cached subtree(s) spliced in, "
+            f"{result.caching.rows_pruned} upstream row(s) elided"
+        )
     report = result.optimization
     if report is not None:
         # Cost-based runs report a ShapeChoice wrapping the winning

@@ -33,6 +33,7 @@ from repro.core.predicate import Literal, Theta
 __all__ = [
     "Operation",
     "KeyRange",
+    "CachedResult",
     "SchemeOperand",
     "LocalOperand",
     "ResultOperand",
@@ -69,6 +70,10 @@ class Operation(Enum):
     PRODUCT = "Product"
     INTERSECT = "Intersect"
     COALESCE = "Coalesce"
+    #: A pre-materialized subtree spliced in from the semantic result cache
+    #: (service/cache.py): the row consumes nothing and yields the cached
+    #: polygen relation carried in :attr:`MatrixRow.cached`.
+    CACHED = "Cached"
 
 
 @dataclass(frozen=True, slots=True)
@@ -90,6 +95,28 @@ class KeyRange:
         high = "+inf" if self.upper is None else repr(self.upper)
         nil = " +nil" if self.include_nil else ""
         return f"{self.attribute} in [{low}, {high}){nil}"
+
+
+@dataclass(frozen=True)
+class CachedResult:
+    """The payload of a :attr:`Operation.CACHED` row.
+
+    Carries the materialized polygen relation the semantic result cache
+    stored for this subtree, together with the metadata the splice must
+    preserve: the subtree's canonical *fingerprint* (so re-fingerprinting a
+    spliced plan reproduces the original subtree's hash and downstream
+    fingerprints stay stable), its attribute *lineage* (scheme provenance
+    the executor would have computed), and the *sources* the subtree
+    consulted (the invalidation tag set).
+    """
+
+    fingerprint: str
+    relation: Any
+    lineage: Any
+    sources: Tuple[str, ...] = ()
+
+    def __str__(self) -> str:
+        return f"cached:{self.fingerprint[:12]}"
 
 
 @dataclass(frozen=True, slots=True)
@@ -175,6 +202,9 @@ class MatrixRow:
     #: informational (display, runtime dispatch width), the range does the
     #: real work.
     shard: Optional[Tuple[int, int]] = None
+    #: The pre-materialized payload of a :attr:`Operation.CACHED` row
+    #: (semantic result cache splice); ``None`` everywhere else.
+    cached: Optional[CachedResult] = None
 
     @property
     def is_local(self) -> bool:

@@ -14,6 +14,7 @@ from typing import Optional, Union
 from repro.core.expression import Expression
 from repro.core.relation import PolygenRelation
 from repro.pqp.executor import ExecutionTrace
+from repro.pqp.fingerprint import SpliceReport
 from repro.pqp.matrix import IntermediateOperationMatrix, PolygenOperationMatrix
 from repro.pqp.optimizer import OptimizationReport, ShapeChoice
 from repro.pqp.shard import ShardReport
@@ -40,6 +41,12 @@ class QueryResult:
     #: What scan sharding did to the plan (``None`` unless the query ran
     #: with ``QueryOptions.shard_width`` set).
     sharding: Optional[ShardReport] = None
+    #: Whether the whole answer was served from the semantic result cache
+    #: (no executor dispatch at all).
+    cache_hit: bool = False
+    #: What cached-subtree splicing did to the plan (``None`` unless the
+    #: query ran with ``QueryOptions.cache`` enabled and splices happened).
+    caching: Optional["SpliceReport"] = None
 
     @property
     def lineage(self):

@@ -284,4 +284,6 @@ class ConcurrentExecutor(Executor):
             if owned:
                 pool.close(wait=True)
 
-        return ExecutionTrace(results[final], results, lineages[final], timings)
+        return ExecutionTrace(
+            results[final], results, lineages[final], timings, lineages=lineages
+        )

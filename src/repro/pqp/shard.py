@@ -57,18 +57,19 @@ DEFAULT_MIN_TUPLES = 64
 class ShardReport:
     """What :func:`shard_retrieves` did to one plan."""
 
-    #: Retrieves rewritten into shard families.
+    #: Local operations (Retrieves and pushed-down Selects) rewritten
+    #: into shard families.
     retrieves_sharded: int = 0
-    #: Total RetrieveRange rows emitted across all families.
+    #: Total range rows emitted across all families.
     shards_emitted: int = 0
     #: One ``(database, relation, key attribute, K)`` per family.
     families: Tuple[Tuple[str, str, str, int], ...] = ()
 
     def render(self) -> str:
         if not self.retrieves_sharded:
-            return "sharding: no retrieve qualified"
+            return "sharding: no local operation qualified"
         lines = [
-            f"sharding: {self.retrieves_sharded} retrieve(s) -> "
+            f"sharding: {self.retrieves_sharded} local operation(s) -> "
             f"{self.shards_emitted} range scans"
         ]
         for database, relation, attribute, k in self.families:
@@ -123,17 +124,21 @@ def _cut_points(lower: float, upper: float, k: int) -> List[Union[int, float]]:
 def _family_rows(
     row: MatrixRow, attribute: str, cuts: List[Union[int, float]]
 ) -> List[MatrixRow]:
-    """The RetrieveRange rows of one shard family (result indices are
-    placeholders; the caller renumbers).  Shard 0 is unbounded below and
-    owns nil/non-comparable keys; the last shard is unbounded above."""
+    """The range rows of one shard family (result indices are placeholders;
+    the caller renumbers).  A Retrieve splits into RetrieveRange rows; a
+    pushed-down Select keeps its op — the key range rides alongside the
+    selection predicate and the executor dispatches ``select_range``.
+    Shard 0 is unbounded below and owns nil/non-comparable keys; the last
+    shard is unbounded above."""
     k = len(cuts) + 1
     bounds = [None, *cuts, None]
+    op = Operation.RETRIEVE_RANGE if row.op is Operation.RETRIEVE else row.op
     shards = []
     for i in range(k):
         shards.append(
             replace(
                 row,
-                op=Operation.RETRIEVE_RANGE,
+                op=op,
                 key_range=KeyRange(
                     attribute,
                     lower=bounds[i],
@@ -154,15 +159,20 @@ def shard_retrieves(
     schema: Optional[PolygenSchema] = None,
     min_tuples: int = DEFAULT_MIN_TUPLES,
 ) -> Tuple[IntermediateOperationMatrix, ShardReport]:
-    """Rewrite qualifying local Retrieves into key-range shard families.
+    """Rewrite qualifying local Retrieves *and Selects* into key-range
+    shard families.
 
-    A Retrieve qualifies when its database is registered, the effective
+    A row qualifies when it is a local Retrieve or a pushed-down Select
+    over a splittable relation: its database is registered, the effective
     width K is ≥ 2 (``width="auto"`` takes the LQP's
     ``native_concurrency``; an integer forces that K), the LQP reports
     :class:`~repro.lqp.base.RelationStats` with cardinality ≥
-    ``min_tuples``, and some column is splittable.  Everything else —
-    Selects (already pushed down), unregistered or statless sources, tiny
-    relations — passes through untouched.
+    ``min_tuples``, and some column is splittable.  A sharded Select keeps
+    its op — each family member carries the original predicate plus one
+    key interval, and the executor dispatches
+    :meth:`~repro.lqp.base.LocalQueryProcessor.select_range`.  Everything
+    else — unregistered or statless sources, tiny relations — passes
+    through untouched.
 
     Returns the rewritten matrix (row numbering rebuilt, like
     :func:`~repro.pqp.schedule.decompose_merges`) and a
@@ -177,7 +187,9 @@ def shard_retrieves(
 
     plans: Dict[int, Tuple[List[MatrixRow], Tuple[str, str, str, int]]] = {}
     for row in iom:
-        if row.op is not Operation.RETRIEVE or not row.is_local:
+        if row.op not in (Operation.RETRIEVE, Operation.SELECT) or not row.is_local:
+            continue
+        if row.key_range is not None:  # already a shard family member
             continue
         if not isinstance(row.lhr, LocalOperand) or row.el not in registry:
             continue

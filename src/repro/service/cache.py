@@ -1,0 +1,259 @@
+"""Tag-aware semantic result cache with precise source-tag invalidation.
+
+Federated traffic is dominated by *repeated* queries, and the polygen
+model gives this cache something ordinary federated caches lack: every
+materialized result already carries the exact set of databases that
+produced it (origin tags) or were consulted along the way (intermediate
+tags).  Entries therefore store their **tag set** — the union of the
+relation's :meth:`~repro.core.relation.PolygenRelation.contributing_sources`
+and the plan subtree's shipped/consulted databases — and invalidation is
+*precise*: touching database ``D`` evicts exactly the entries whose tag
+set contains ``D``, never a conservative superset.
+
+Keys are structural plan fingerprints (:mod:`repro.pqp.fingerprint`), so a
+hit can serve a whole query *or* any subtree of a larger plan (the
+federation splices subtree hits back into the matrix as pre-materialized
+:attr:`~repro.pqp.matrix.Operation.CACHED` rows).
+
+Eviction is **GreedyDual** — LRU blended with calibrated recompute cost.
+Each entry's priority is ``clock + cost`` where ``cost`` is the seconds the
+federation's :class:`~repro.pqp.calibrate.CostCalibrator` predicts (or the
+trace measured) recomputing the subtree would take; the clock advances to
+the evicted priority, so cheap entries age out first while an expensive
+straggler-heavy plan outlives many touches of cheaper neighbours.  A hit
+refreshes the entry's priority, giving the LRU half of the blend.
+
+Insertions are **epoch-guarded** against a classic stale-fill race: a
+query snapshots :meth:`ResultCache.tick` before executing, and a fill is
+rejected when any of its sources was invalidated after the snapshot — a
+result computed from pre-invalidation data can never enter the cache
+after the invalidation.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional
+
+from repro.pqp.executor import Lineage
+from repro.pqp.matrix import CachedResult
+
+__all__ = ["CacheStats", "ResultCache"]
+
+#: Approximate per-cell footprint of a columnar relation (value + shared
+#: interned tag id, amortized).  The bound is a budget, not an audit.
+_BYTES_PER_CELL = 64
+_BYTES_PER_ENTRY = 256
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A consistent snapshot of the cache's counters."""
+
+    hits: int
+    misses: int
+    #: subtree hits served by splicing into a larger plan.
+    splices: int
+    insertions: int
+    #: entries dropped to stay within capacity.
+    evictions: int
+    #: entries dropped by precise tag invalidation.
+    invalidated: int
+    #: invalidation events (``invalidate(database)`` calls).
+    invalidations: int
+    entries: int
+    bytes: int
+
+    @property
+    def hit_rate(self) -> float:
+        probes = self.hits + self.misses
+        return self.hits / probes if probes else 0.0
+
+    def render(self) -> str:
+        return (
+            f"cache: {self.entries} entries / {self.bytes} bytes, "
+            f"{self.hits} hits ({self.hit_rate:.0%}), {self.misses} misses, "
+            f"{self.splices} splices, {self.evictions} evicted, "
+            f"{self.invalidated} invalidated in {self.invalidations} event(s)"
+        )
+
+
+@dataclass
+class _Entry:
+    fingerprint: str
+    relation: object
+    lineage: Lineage
+    sources: FrozenSet[str]
+    cost: float
+    bytes: int
+    priority: float
+
+    def payload(self) -> CachedResult:
+        return CachedResult(
+            fingerprint=self.fingerprint,
+            relation=self.relation,
+            lineage=self.lineage,
+            sources=tuple(sorted(self.sources)),
+        )
+
+
+class ResultCache:
+    """Bounded, thread-safe fingerprint → materialized-result cache."""
+
+    def __init__(self, max_entries: int = 512, max_bytes: int = 64 * 2**20):
+        if max_entries < 1:
+            raise ValueError("max_entries must be at least 1")
+        if max_bytes < 1:
+            raise ValueError("max_bytes must be at least 1")
+        self._max_entries = max_entries
+        self._max_bytes = max_bytes
+        self._lock = threading.RLock()
+        self._entries: Dict[str, _Entry] = {}
+        self._bytes = 0
+        #: GreedyDual aging clock: advances to each evicted priority.
+        self._clock = 0.0
+        #: database → value of ``_events`` at its last invalidation.
+        self._epochs: Dict[str, int] = {}
+        #: total invalidation events ever (the epoch counter).
+        self._events = 0
+        self._hits = 0
+        self._misses = 0
+        self._splices = 0
+        self._insertions = 0
+        self._evictions = 0
+        self._invalidated = 0
+
+    # -- probes --------------------------------------------------------------
+
+    def lookup(self, fingerprint: str) -> Optional[CachedResult]:
+        """A whole-query probe: counts a hit or a miss, refreshes priority."""
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._hits += 1
+            entry.priority = self._clock + entry.cost
+            return entry.payload()
+
+    def splice_probe(self, fingerprint: str) -> Optional[CachedResult]:
+        """A subtree probe during splicing: a find counts as a splice hit,
+        a miss counts nothing (every row of every plan is probed)."""
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            if entry is None:
+                return None
+            self._splices += 1
+            entry.priority = self._clock + entry.cost
+            return entry.payload()
+
+    def __contains__(self, fingerprint: str) -> bool:
+        with self._lock:
+            return fingerprint in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    # -- fills ---------------------------------------------------------------
+
+    def tick(self) -> int:
+        """Snapshot the invalidation epoch; pass to :meth:`put` as ``as_of``."""
+        with self._lock:
+            return self._events
+
+    def put(
+        self,
+        fingerprint: str,
+        relation,
+        lineage: Lineage,
+        sources,
+        cost: float = 0.0,
+        as_of: Optional[int] = None,
+    ) -> bool:
+        """Insert (or refresh) an entry; returns whether it was admitted.
+
+        ``sources`` is the entry's invalidation tag set.  ``as_of`` is a
+        :meth:`tick` snapshot taken before the result was computed: the
+        fill is refused when any source was invalidated since, because the
+        result may predate the invalidation it should have observed.
+        """
+        tags = frozenset(sources)
+        size = _BYTES_PER_ENTRY + relation.cardinality * relation.degree * _BYTES_PER_CELL
+        with self._lock:
+            if as_of is not None and any(
+                self._epochs.get(database, 0) > as_of for database in tags
+            ):
+                return False
+            if size > self._max_bytes:
+                return False
+            previous = self._entries.pop(fingerprint, None)
+            if previous is not None:
+                self._bytes -= previous.bytes
+            entry = _Entry(
+                fingerprint=fingerprint,
+                relation=relation,
+                lineage=dict(lineage),
+                sources=tags,
+                cost=max(cost, 0.0),
+                bytes=size,
+                priority=self._clock + max(cost, 0.0),
+            )
+            self._entries[fingerprint] = entry
+            self._bytes += size
+            self._insertions += 1
+            self._shrink()
+            return fingerprint in self._entries
+
+    def _shrink(self) -> None:
+        """Evict lowest-priority entries until within both bounds."""
+        while len(self._entries) > self._max_entries or self._bytes > self._max_bytes:
+            victim = min(self._entries.values(), key=lambda entry: entry.priority)
+            del self._entries[victim.fingerprint]
+            self._bytes -= victim.bytes
+            self._clock = max(self._clock, victim.priority)
+            self._evictions += 1
+
+    # -- invalidation ----------------------------------------------------------
+
+    def invalidate(self, database: str) -> int:
+        """Evict exactly the entries whose tag set contains ``database``;
+        returns how many were dropped.  Also bumps the database's epoch so
+        in-flight fills that consulted it before this call are refused."""
+        with self._lock:
+            self._events += 1
+            self._epochs[database] = self._events
+            victims = [
+                entry
+                for entry in self._entries.values()
+                if database in entry.sources
+            ]
+            for entry in victims:
+                del self._entries[entry.fingerprint]
+                self._bytes -= entry.bytes
+            self._invalidated += len(victims)
+            return len(victims)
+
+    def clear(self) -> int:
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            self._bytes = 0
+            return dropped
+
+    # -- introspection -----------------------------------------------------------
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                splices=self._splices,
+                insertions=self._insertions,
+                evictions=self._evictions,
+                invalidated=self._invalidated,
+                invalidations=self._events,
+                entries=len(self._entries),
+                bytes=self._bytes,
+            )

@@ -62,13 +62,19 @@ from repro.lqp.cost import CalibratedCostModel
 from repro.lqp.registry import LQPRegistry
 from repro.pqp.calibrate import CostCalibrator
 from repro.pqp.executor import ExecutionTrace, Executor
+from repro.pqp.fingerprint import PlanFingerprints, fingerprint_plan, splice_cached
 from repro.pqp.interpreter import PolygenOperationInterpreter
-from repro.pqp.matrix import IntermediateOperationMatrix, PolygenOperationMatrix
+from repro.pqp.matrix import (
+    IntermediateOperationMatrix,
+    Operation,
+    PolygenOperationMatrix,
+)
 from repro.pqp.optimizer import OptimizationReport, QueryOptimizer, ShapeChoice
 from repro.pqp.result import QueryResult
 from repro.pqp.runtime import ConcurrentExecutor
 from repro.pqp.shard import shard_retrieves
 from repro.pqp.syntax_analyzer import SyntaxAnalyzer
+from repro.service.cache import CacheStats, ResultCache
 from repro.service.cursor import Cursor
 from repro.service.handle import QueryHandle
 from repro.service.options import QueryOptions
@@ -122,6 +128,9 @@ class FederationStats:
     cost_model_error: Optional[float] = None
     #: Queries whose traces have fed the calibrator so far.
     plans_calibrated: int = 0
+    #: Semantic result cache counters: hits, misses, subtree splices,
+    #: evictions, precise invalidations, resident entries and bytes.
+    cache: Optional[CacheStats] = None
 
     def utilization(self) -> Dict[str, float]:
         """location → fraction of the federation's uptime it spent busy.
@@ -177,6 +186,8 @@ class FederationStats:
                 lines.append(
                     f"  {name:>4s}: {self.remote_transports[name].render()}"
                 )
+        if self.cache is not None:
+            lines.append(self.cache.render())
         return "\n".join(lines)
 
 
@@ -193,6 +204,7 @@ class PolygenFederation:
         max_concurrent_queries: int = 8,
         tag_pool: TagPool | None = None,
         calibration_path: str | None = None,
+        result_cache: ResultCache | None = None,
     ):
         if max_concurrent_queries < 1:
             raise ValueError(
@@ -217,6 +229,14 @@ class PolygenFederation:
         self.calibrator = CostCalibrator()
         if calibration_path is not None:
             self.calibrator.load(calibration_path)
+        #: The semantic result cache (queries opt in via
+        #: ``QueryOptions.cache``).  Subscribed to the registry's refresh
+        #: notifications, so any ``notify_refresh(D)`` — a write hook, a
+        #: re-registration, :meth:`invalidate` — precisely evicts the
+        #: entries whose tag sets consult ``D``.
+        self.cache = result_cache or ResultCache()
+        self._cache_listener = self.cache.invalidate
+        self.registry.subscribe(self._cache_listener)
         self._pool = WorkerPool()
         self._coordinators = ThreadPoolExecutor(
             max_workers=max_concurrent_queries, thread_name_prefix="pqp-coordinator"
@@ -266,6 +286,9 @@ class PolygenFederation:
             session.close()
         self._coordinators.shutdown(wait=True)
         self._pool.close(wait=True)
+        # The registry may be shared with (or outlive) this federation:
+        # detach our cache's invalidator rather than poking a dead cache.
+        self.registry.unsubscribe(self._cache_listener)
         if self.calibration_path is not None:
             try:
                 self.calibrator.save(self.calibration_path)
@@ -301,6 +324,23 @@ class PolygenFederation:
     def _forget_session(self, session: Session) -> None:
         with self._lock:
             self._sessions.discard(session)
+
+    # -- cache invalidation ---------------------------------------------------
+
+    def invalidate(self, database: str) -> int:
+        """Report that ``database``'s data changed; returns how many cache
+        entries were evicted.
+
+        Precision is the polygen guarantee: an entry is evicted iff its tag
+        set — originating *and* intermediate sources of its rows, plus
+        every database its plan subtree shipped from or consulted — contains
+        ``database``.  Entries that never touched it are untouched.  The
+        notification routes through the registry so any other subscriber
+        (another federation sharing the registry) hears it too.
+        """
+        before = self.cache.stats().invalidated
+        self.registry.notify_refresh(database)
+        return self.cache.stats().invalidated - before
 
     # -- pipeline stages (shared by sessions and the compat facade) ---------
 
@@ -536,6 +576,47 @@ class PolygenFederation:
                     width=options.shard_width,
                     schema=self.schema,
                 )
+            caching = fingerprints = cache_epoch = None
+            if options.cache != "off":
+                # Fingerprint the final (optimized, sharded) plan: results
+                # cached under one shape key only that shape, and the
+                # conflict policy salts every hash.
+                fingerprints = fingerprint_plan(iom, options.policy)
+                cache_epoch = self.cache.tick()
+            if options.cache == "on":
+                hit = self.cache.lookup(fingerprints.final)
+                if hit is not None:
+                    # Whole-plan hit: no executor dispatch at all.  The
+                    # synthetic trace carries the cached relation and
+                    # lineage, with no timings (nothing ran).
+                    trace = ExecutionTrace(
+                        relation=hit.relation,
+                        results={iom.rows[-1].result.index: hit.relation},
+                        lineage=dict(hit.lineage),
+                    )
+                    if cursor is not None:
+                        cursor._feed(hit.relation)
+                    return QueryResult(
+                        relation=hit.relation,
+                        expression=tree,
+                        pom=pom,
+                        iom=iom,
+                        trace=trace,
+                        sql=sql,
+                        translation=translation,
+                        optimization=report,
+                        sharding=sharding,
+                        cache_hit=True,
+                    )
+                # Subtree hits: splice cached subplans into the matrix as
+                # pre-materialized CACHED rows, then re-fingerprint (the
+                # carried hashes keep untouched rows' keys stable).
+                iom, splice = splice_cached(
+                    iom, self.cache.splice_probe, fingerprints, options.policy
+                )
+                if splice.any:
+                    caching = splice
+                    fingerprints = fingerprint_plan(iom, options.policy)
             executor = self.executor_for(options)
             trace = executor.execute(
                 iom,
@@ -548,6 +629,8 @@ class PolygenFederation:
             # Feed the completed trace back into the calibrator so the next
             # cost-based plan is scheduled with fresher models.
             self.calibrator.observe(iom, trace)
+            if options.cache != "off":
+                self._store_results(iom, trace, fingerprints, cache_epoch)
             return QueryResult(
                 relation=trace.relation,
                 expression=tree,
@@ -558,11 +641,81 @@ class PolygenFederation:
                 translation=translation,
                 optimization=report,
                 sharding=sharding,
+                caching=caching,
             )
         except BaseException as exc:
             if cursor is not None:
                 cursor._fail(exc)
             raise
+
+    def _store_results(
+        self,
+        iom: IntermediateOperationMatrix,
+        trace: ExecutionTrace,
+        fingerprints: PlanFingerprints,
+        as_of: Optional[int],
+    ) -> None:
+        """Insert every executed subtree's result into the cache.
+
+        Each entry's tag set is the union of the relation's own
+        contributing sources (the polygen harvest: origins and
+        intermediates of its surviving rows) and the plan subtree's
+        shipped/consulted databases — the superset matters, because a
+        result whose rows from ``D`` were all filtered out still *depends*
+        on ``D`` and must be evicted when ``D`` changes.  Entries are
+        weighted by recompute cost — the measured trace duration or the
+        calibrated estimate, whichever is larger — summed over the subtree,
+        so GreedyDual eviction keeps what is expensive to rebuild.
+        ``as_of`` guards against the stale-fill race (see
+        :meth:`ResultCache.put`).
+        """
+        costs = self._recompute_costs(iom, trace)
+        for row in iom:
+            if row.op is Operation.CACHED:
+                continue
+            index = row.result.index
+            relation = trace.results.get(index)
+            lineage = trace.lineages.get(index)
+            if relation is None or lineage is None:
+                continue
+            sources = set(fingerprints.sources[index])
+            sources.update(relation.contributing_sources())
+            cost = sum(
+                costs.get(member, 0.0) for member in fingerprints.subtrees[index]
+            )
+            self.cache.put(
+                fingerprints.by_index[index],
+                relation,
+                lineage,
+                sources,
+                cost=cost,
+                as_of=as_of,
+            )
+
+    def _recompute_costs(
+        self, iom: IntermediateOperationMatrix, trace: ExecutionTrace
+    ) -> Dict[int, float]:
+        """Per-row recompute-cost estimates in seconds (cache weighting)."""
+        rate = self.calibrator.pqp_cost_per_tuple() or 0.0
+        costs: Dict[int, float] = {}
+        for row in iom:
+            index = row.result.index
+            timing = trace.timings.get(index)
+            measured = timing.duration if timing is not None else 0.0
+            estimated = 0.0
+            if row.is_local:
+                model = self.calibrator.model_for(row.el)
+                relation = trace.results.get(index)
+                if model is not None and relation is not None:
+                    estimated = model.cost(1, relation.cardinality)
+            else:
+                estimated = rate * sum(
+                    trace.results[ref.index].cardinality
+                    for ref in row.referenced_results()
+                    if ref.index in trace.results
+                )
+            costs[index] = max(measured, estimated)
+        return costs
 
     def _settle(self, future) -> None:
         """Done-callback classifying every query's outcome (including ones
@@ -628,6 +781,7 @@ class PolygenFederation:
                 cost_model_error=model_error,
                 plans_calibrated=plans_calibrated,
                 remote_transports=remote_transports,
+                cache=self.cache.stats(),
             )
 
     def validate(self, result: QueryResult, **schedule_kwargs):

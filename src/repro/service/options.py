@@ -26,6 +26,10 @@ _ENGINES = ("serial", "concurrent")
 #: cost-based mode that picks the cheapest simulated plan shape.
 _OPTIMIZE_MODES = (True, False, "cost")
 
+#: Valid ``cache`` settings for the semantic result cache
+#: (:mod:`repro.service.cache`).
+_CACHE_MODES = ("off", "on", "refresh")
+
 
 @dataclass(frozen=True)
 class QueryOptions:
@@ -52,6 +56,12 @@ class QueryOptions:
       default) leaves every Retrieve whole; ``"auto"`` splits large
       retrieves into one key-range shard per server the LQP advertises
       (``native_concurrency``); an integer ≥ 2 forces that many shards.
+    - ``cache`` — the semantic result cache (:mod:`repro.service.cache`):
+      ``"off"`` (the default) bypasses it entirely; ``"on"`` consults it
+      before execution (whole-plan hits return instantly, cached subtrees
+      are spliced into the plan as pre-materialized inputs) and stores
+      fresh results; ``"refresh"`` skips consultation but still stores —
+      a forced recomputation that repopulates the cache.
     """
 
     engine: str = "concurrent"
@@ -62,6 +72,7 @@ class QueryOptions:
     materialize_full_scheme: bool = False
     fetch_size: int = 64
     shard_width: Union[int, str] = 0
+    cache: str = "off"
 
     def __post_init__(self):
         """Validate every field at construction.
@@ -111,6 +122,10 @@ class QueryOptions:
             raise ValueError(
                 "shard_width must be 0 (off), 'auto', or an int >= 2, "
                 f"got {self.shard_width!r}"
+            )
+        if not isinstance(self.cache, str) or self.cache not in _CACHE_MODES:
+            raise ValueError(
+                f"cache must be one of {_CACHE_MODES}, got {self.cache!r}"
             )
 
     def replace(self, **overrides) -> "QueryOptions":

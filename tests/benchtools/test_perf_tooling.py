@@ -213,6 +213,72 @@ class TestGate:
         )
 
 
+class TestWallClockBudgets:
+    """``--max-seconds``: absolute budgets gate with or without history."""
+
+    def _args(self, tmp_path, *budgets):
+        current = tmp_path / "BENCH_runtime.json"
+        current.write_text(
+            json.dumps(
+                {
+                    "python": "3.12.1",
+                    "platform": "test",
+                    "results": {"bench": {"speedup": 4.0, "seconds": 1.5}},
+                }
+            )
+        )
+        args = ["--current", str(current), "--history", str(tmp_path / "none.json")]
+        for budget in budgets:
+            args.extend(["--max-seconds", budget])
+        return args
+
+    def test_within_budget_passes(self, tmp_path, capsys):
+        assert gate_main(self._args(tmp_path, "bench.seconds=2.0")) == 0
+        assert "budget 2.000s" in capsys.readouterr().out
+
+    def test_breach_fails_without_any_history(self, tmp_path, capsys):
+        assert gate_main(self._args(tmp_path, "bench.seconds=1.0")) == 1
+        assert "BREACH" in capsys.readouterr().out
+
+    def test_missing_budgeted_metric_fails(self, tmp_path, capsys):
+        # A budget someone wrote down must not evaporate with a renamed
+        # bench: absence breaches, it does not silently pass.
+        assert gate_main(self._args(tmp_path, "bench.gone_s=1.0")) == 1
+        assert "missing from the current run" in capsys.readouterr().out
+
+    def test_repeatable_and_first_breach_reported(self, tmp_path, capsys):
+        code = gate_main(
+            self._args(tmp_path, "bench.seconds=2.0", "bench.seconds=1.0")
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "ok" in out and "BREACH" in out
+
+    def test_budget_runs_alongside_relative_gate(self, tmp_path):
+        history = _write_history(
+            tmp_path / "h.json",
+            [_entry("a" * 40, "3.12.1", "2026-01-01T00:00:00+00:00", 4.0)],
+        )
+        current = tmp_path / "BENCH_runtime.json"
+        current.write_text(
+            json.dumps(
+                {
+                    "python": "3.12.1",
+                    "platform": "test",
+                    "results": {"bench": {"speedup": 4.0, "seconds": 1.5}},
+                }
+            )
+        )
+        base = ["--current", str(current), "--history", str(history), "--sha", "b" * 40]
+        assert gate_main(base + ["--max-seconds", "bench.seconds=2.0"]) == 0
+        assert gate_main(base + ["--max-seconds", "bench.seconds=1.0"]) == 1
+
+    def test_malformed_budget_rejected(self, tmp_path):
+        for bad in ("bench.seconds", "=1.0", "bench.seconds=-1", "bench.seconds=x"):
+            with pytest.raises(SystemExit):
+                gate_main(self._args(tmp_path, bad))
+
+
 class TestReport:
     def test_sparkline_normalizes(self):
         assert sparkline([1.0, 2.0, 3.0]) == "▁▅█"

@@ -146,3 +146,118 @@ class TestRegistry:
         registry.register(alumni_lqp, CostModel(per_query=5.0, per_tuple=0.0))
         registry.get("AD").retrieve("ALUMNUS")
         assert registry.total_cost() == pytest.approx(5.0)
+
+
+class TestColumnProjection:
+    """The source-side projection surface (``columns=`` on every verb)."""
+
+    def test_relational_retrieve_narrows(self, alumni_lqp):
+        assert alumni_lqp.supports_column_projection
+        out = alumni_lqp.retrieve("ALUMNUS", columns=["ANAME", "DEG"])
+        assert out.attributes == ("ANAME", "DEG")
+        assert out.rows == (("John McCauley", "MBA"), ("Ken Olsen", "MS"))
+
+    def test_relational_select_narrows(self, alumni_lqp):
+        out = alumni_lqp.select("ALUMNUS", "DEG", Theta.EQ, "MBA", columns=["AID#"])
+        assert out.attributes == ("AID#",)
+        assert out.rows == (("012",),)
+
+    def test_csv_retrieve_narrows(self):
+        lqp = CsvLQP("CD", {"FIRM": TestCsvLQP.CSV})
+        assert lqp.supports_column_projection
+        out = lqp.retrieve("FIRM", columns=["PROFIT"])
+        assert out.attributes == ("PROFIT",)
+        assert out.rows == ((5.5,), (0.4,))
+
+    def test_unknown_column_rejected(self, alumni_lqp):
+        from repro.errors import UnknownAttributeError
+
+        with pytest.raises(UnknownAttributeError):
+            alumni_lqp.retrieve("ALUMNUS", columns=["NOPE"])
+
+    def test_retrieve_range_projects_after_filtering(self, alumni_lqp):
+        # The key attribute need not survive the projection.
+        out = alumni_lqp.retrieve_range(
+            "ALUMNUS", "AID#", lower="500", columns=["ANAME"]
+        )
+        assert out.attributes == ("ANAME",)
+        assert out.rows == (("Ken Olsen",),)
+
+    def test_wrappers_advertise_inner_capability(self, alumni_lqp):
+        assert AccountingLQP(alumni_lqp).supports_column_projection
+
+        class Legacy(RelationalLQP):
+            supports_column_projection = False
+
+        legacy = Legacy(alumni_lqp.database)
+        assert not AccountingLQP(legacy).supports_column_projection
+
+    def test_accounting_forwards_columns(self, alumni_lqp):
+        wrapped = AccountingLQP(alumni_lqp)
+        out = wrapped.select("ALUMNUS", "DEG", Theta.EQ, "MBA", columns=["MAJ"])
+        assert out.attributes == ("MAJ",)
+        assert wrapped.stats.selects == 1
+
+
+class TestSelectRange:
+    """The default ``select_range`` verb: predicate ∧ key interval."""
+
+    def test_filters_both_ways(self, alumni_lqp):
+        out = alumni_lqp.select_range(
+            "ALUMNUS", "DEG", Theta.NE, "PhD", "AID#", lower="500"
+        )
+        assert out.rows == (("789", "Ken Olsen", "MS", "EE"),)
+
+    def test_family_partitions_the_selection(self, alumni_lqp):
+        whole = alumni_lqp.select("ALUMNUS", "DEG", Theta.NE, "PhD")
+        low = alumni_lqp.select_range(
+            "ALUMNUS", "DEG", Theta.NE, "PhD", "AID#",
+            upper="500", include_nil=True,
+        )
+        high = alumni_lqp.select_range(
+            "ALUMNUS", "DEG", Theta.NE, "PhD", "AID#", lower="500"
+        )
+        assert sorted(low.rows + high.rows) == sorted(whole.rows)
+
+    def test_accounting_counts_range_selects(self, alumni_lqp):
+        wrapped = AccountingLQP(alumni_lqp)
+        wrapped.select_range("ALUMNUS", "DEG", Theta.EQ, "MBA", "AID#")
+        assert wrapped.stats.queries == 1
+        assert wrapped.stats.range_selects == 1
+        assert wrapped.stats.selects == 0
+
+    def test_columns_narrow_the_shipped_shard(self, alumni_lqp):
+        out = alumni_lqp.select_range(
+            "ALUMNUS", "DEG", Theta.EQ, "MBA", "AID#", columns=["ANAME"]
+        )
+        assert out.attributes == ("ANAME",)
+        assert out.rows == (("John McCauley",),)
+
+
+class TestRefreshNotifications:
+    def test_subscribe_and_notify(self, alumni_lqp):
+        registry = LQPRegistry()
+        seen = []
+        registry.subscribe(seen.append)
+        registry.register(alumni_lqp)  # (re)appearing database counts
+        registry.notify_refresh("AD")
+        assert seen == ["AD", "AD"]
+
+    def test_unsubscribe_stops_delivery(self):
+        registry = LQPRegistry()
+        seen = []
+        other = lambda database: seen.append(("other", database))  # noqa: E731
+        registry.subscribe(seen.append)
+        registry.unsubscribe(other)  # never subscribed: no-op
+        registry.notify_refresh("AD")
+        assert seen == ["AD"]
+
+    def test_unsubscribe_removes_exact_listener(self):
+        registry = LQPRegistry()
+        seen = []
+        listener = seen.append
+        registry.subscribe(listener)
+        registry.unsubscribe(listener)
+        registry.notify_refresh("AD")
+        assert seen == []
+        registry.unsubscribe(listener)  # absent: no-op

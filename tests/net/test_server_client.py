@@ -170,6 +170,55 @@ class TestLoopbackEquivalence:
                         "NUMS", "K", lower=lower, upper=upper, include_nil=include_nil
                     )
 
+    def test_select_range_matches_in_process(self, server):
+        direct = ad_lqp()
+        with RemoteLQP(server.url, timeout=TIMEOUT) as remote:
+            for lower, upper, include_nil in [
+                (None, "500", True),
+                ("500", None, False),
+                (None, None, True),
+            ]:
+                assert remote.select_range(
+                    "ALUMNUS", "DEG", Theta.NE, "PhD", "AID#",
+                    lower=lower, upper=upper, include_nil=include_nil,
+                ) == direct.select_range(
+                    "ALUMNUS", "DEG", Theta.NE, "PhD", "AID#",
+                    lower=lower, upper=upper, include_nil=include_nil,
+                )
+
+    def test_columns_narrow_over_the_wire(self, server):
+        direct = ad_lqp()
+        with RemoteLQP(server.url, timeout=TIMEOUT) as remote:
+            assert remote.supports_column_projection
+            narrowed = remote.retrieve("ALUMNUS", columns=["ANAME", "DEG"])
+            assert narrowed == direct.retrieve("ALUMNUS", columns=["ANAME", "DEG"])
+            assert narrowed.attributes == ("ANAME", "DEG")
+            selected = remote.select(
+                "ALUMNUS", "DEG", Theta.EQ, "MBA", columns=["AID#"]
+            )
+            assert selected.attributes == ("AID#",)
+
+    def test_columns_projected_server_side_for_legacy_lqp(self):
+        # An LQP that never heard of ``columns=`` still serves narrowed
+        # results: the server projects after the verb, so only the
+        # requested columns cross the wire either way.
+        class Legacy(RelationalLQP):
+            supports_column_projection = False
+
+            def retrieve(self, relation_name):  # the pre-projection signature
+                return self._database.relation(relation_name)
+
+        from repro.lqp.base import project_columns
+
+        legacy = Legacy(paper_databases()["AD"])
+        with LQPServer(legacy, chunk_size=3) as running:
+            with RemoteLQP(running.url, timeout=TIMEOUT) as remote:
+                narrowed = remote.retrieve("ALUMNUS", columns=["DEG"])
+                assert narrowed.attributes == ("DEG",)
+                assert narrowed == project_columns(
+                    legacy.retrieve("ALUMNUS"), ["DEG"]
+                )
+
     def test_relation_stats_served_and_cached(self, server):
         direct = ad_lqp()
         with RemoteLQP(server.url, timeout=TIMEOUT) as remote:

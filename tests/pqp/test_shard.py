@@ -5,6 +5,7 @@ import pytest
 from repro.catalog.mapping import AttributeMapping
 from repro.catalog.schema import PolygenSchema
 from repro.catalog.scheme import PolygenScheme
+from repro.core.predicate import Literal, Theta
 from repro.lqp.registry import LQPRegistry
 from repro.lqp.relational_lqp import RelationalLQP
 from repro.pqp.matrix import (
@@ -191,7 +192,73 @@ class TestFamilyStructure:
         _, report = self._shard(width=4)
         text = report.render()
         assert "AD.EMP on ID, 4 shards" in text
-        assert ShardReport().render() == "sharding: no retrieve qualified"
+        assert ShardReport().render() == "sharding: no local operation qualified"
+
+
+def select_plan():
+    """A pushed-down local Select, as the optimizer's push-down emits it."""
+    return IntermediateOperationMatrix(
+        [
+            MatrixRow(
+                result=ResultOperand(1),
+                op=Operation.SELECT,
+                lhr=LocalOperand("EMP"),
+                lha="NAME",
+                theta=Theta.NE,
+                rha=Literal("name-0"),
+                el="AD",
+                scheme="PEMP",
+                consulted=("AD",),
+            )
+        ]
+    )
+
+
+class TestSelectSharding:
+    def test_pushed_down_select_qualifies(self):
+        registry = make_registry()
+        out, report = shard_retrieves(
+            select_plan(), registry, width=4, min_tuples=1
+        )
+        assert report.retrieves_sharded == 1
+        selects = [row for row in out if row.op is Operation.SELECT]
+        assert len(selects) == 4
+        # Each family member keeps the predicate and gains a key interval.
+        for i, row in enumerate(selects):
+            assert row.theta is Theta.NE and row.rha == Literal("name-0")
+            assert row.key_range is not None and row.key_range.attribute == "ID"
+            assert row.shard == (i, 4)
+            assert row.consulted == ("AD",)
+        union = next(row for row in out if row.op is Operation.UNION)
+        assert union.el == PQP_LOCATION
+        assert union.lhr == tuple(row.result for row in selects)
+
+    def test_select_family_partitions_the_selection(self):
+        registry = make_registry()
+        out, _ = shard_retrieves(select_plan(), registry, width=4, min_tuples=1)
+        lqp = registry.get("AD")
+        whole = lqp.select("EMP", "NAME", Theta.NE, "name-0")
+        pieces = []
+        for row in out:
+            if row.op is Operation.SELECT:
+                kr = row.key_range
+                pieces.extend(
+                    lqp.select_range(
+                        "EMP", "NAME", Theta.NE, "name-0",
+                        kr.attribute,
+                        lower=kr.lower,
+                        upper=kr.upper,
+                        include_nil=kr.include_nil,
+                    ).rows
+                )
+        assert sorted(pieces, key=repr) == sorted(whole.rows, key=repr)
+
+    def test_already_sharded_select_not_resharded(self):
+        registry = make_registry()
+        once, _ = shard_retrieves(select_plan(), registry, width=4, min_tuples=1)
+        twice, report = shard_retrieves(once, registry, width=4, min_tuples=1)
+        assert report.retrieves_sharded == 0
+        assert len(twice) == len(once)
 
 
 class TestShardKeyChoice:
