@@ -45,6 +45,9 @@ __all__ = [
     "QueryResult",
     "LQPServer",
     "RemoteLQP",
+    "SqliteLQP",
+    "LogStoreLQP",
+    "KVStoreLQP",
 ]
 
 #: flat name → (module, attribute) for the lazy re-exports below.
@@ -58,6 +61,9 @@ _LAZY_EXPORTS = {
     "QueryResult": ("repro.pqp.result", "QueryResult"),
     "LQPServer": ("repro.net.server", "LQPServer"),
     "RemoteLQP": ("repro.net.client", "RemoteLQP"),
+    "SqliteLQP": ("repro.backends.sqlite_lqp", "SqliteLQP"),
+    "LogStoreLQP": ("repro.backends.log_lqp", "LogStoreLQP"),
+    "KVStoreLQP": ("repro.backends.kv_lqp", "KVStoreLQP"),
 }
 
 

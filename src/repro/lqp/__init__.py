@@ -13,7 +13,7 @@ behaves as a local relational system" (paper, §I).  This package provides:
 - tagging/materialization of retrieved data (:mod:`repro.lqp.tagging`).
 """
 
-from repro.lqp.base import LocalQueryProcessor
+from repro.lqp.base import Capabilities, LocalQueryProcessor
 from repro.lqp.cost import (
     AccountingLQP,
     CalibratedCostModel,
@@ -27,6 +27,7 @@ from repro.lqp.relational_lqp import RelationalLQP
 from repro.lqp.tagging import materialize, tag_local_relation
 
 __all__ = [
+    "Capabilities",
     "LocalQueryProcessor",
     "RelationalLQP",
     "CsvLQP",

@@ -27,6 +27,16 @@ Optional extensions support intra-relation parallelism
   :attr:`LocalQueryProcessor.supports_column_projection` accept a column
   list on every verb and ship only those local columns, so projection
   pruning narrows results *at the source* instead of after the wire.
+
+Every engine also publishes a :class:`Capabilities` descriptor
+(:meth:`LocalQueryProcessor.capabilities`): a first-class statement of
+what the engine can execute *natively* — selections, key ranges, column
+projection — whether its scans may be split, and whether it signals
+writes.  The planner layers (``pqp/optimizer``, ``pqp/shard``, the
+executor) and the service cache consult it instead of duck-typing
+per-engine flags, so a federation can mix engines of genuinely different
+power (:mod:`repro.backends`) and still push each fragment only where it
+can actually run.
 """
 
 from __future__ import annotations
@@ -39,6 +49,7 @@ from repro.core.predicate import Theta
 from repro.relational.relation import Relation
 
 __all__ = [
+    "Capabilities",
     "ColumnStats",
     "LocalQueryProcessor",
     "RelationStats",
@@ -46,6 +57,63 @@ __all__ = [
     "key_in_range",
     "project_columns",
 ]
+
+
+@dataclass(frozen=True)
+class Capabilities:
+    """What one local engine can execute natively.
+
+    The contract between heterogeneous backends and the planner: each
+    flag answers one pushdown question, and a False answer means the
+    corresponding rewrite must not target this engine (the work runs at
+    the PQP instead — correct either way, the capability only moves it).
+
+    - ``native_select`` — the engine evaluates a single-comparison
+      restriction itself (Python :class:`~repro.core.predicate.Theta`
+      semantics, nil-rejecting).  False means :meth:`select` merely
+      scan-filters a full retrieve, so pushing a selection down buys
+      nothing and the optimizer leaves it at the PQP.
+    - ``native_range`` — key-interval access (``retrieve_range`` /
+      ``select_range``) uses a real access path rather than the
+      filter-a-full-scan default.
+    - ``native_projection`` — verbs accept ``columns=`` and ship only
+      those columns (the capability form of
+      :attr:`LocalQueryProcessor.supports_column_projection`).
+    - ``splittable_scans`` — one relation may be scanned as several
+      concurrent key-range shards (:mod:`repro.pqp.shard`).  Engines
+      that serialize every request anyway — or re-read a log per verb —
+      advertise False and keep their scans whole.
+    - ``signals_writes`` — every mutation reaching this engine flows
+      through an API that notifies the federation
+      (:meth:`~repro.lqp.registry.LQPRegistry.notify_refresh`).  False
+      (an externally writable SQLite file, an append-only log another
+      process may extend) tells the result cache it cannot rely on
+      invalidation alone and must bound staleness with a TTL.
+    """
+
+    native_select: bool = True
+    native_range: bool = False
+    native_projection: bool = False
+    splittable_scans: bool = True
+    signals_writes: bool = True
+
+    def to_dict(self) -> Dict[str, bool]:
+        """Wire form (plain JSON-safe mapping of the flags)."""
+        return {
+            "native_select": self.native_select,
+            "native_range": self.native_range,
+            "native_projection": self.native_projection,
+            "splittable_scans": self.splittable_scans,
+            "signals_writes": self.signals_writes,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Capabilities":
+        """Rebuild from :meth:`to_dict` output.  Unknown keys are ignored
+        and missing ones default, so old and new peers interoperate."""
+        known = {field: bool(payload[field]) for field in cls.__dataclass_fields__
+                 if field in payload}
+        return cls(**known)
 
 
 def project_columns(relation: Relation, columns) -> Relation:
@@ -175,6 +243,25 @@ class LocalQueryProcessor(abc.ABC):
     #: (:meth:`retrieve_range` and :meth:`select_range` inherit support
     #: from the defaults here).
     supports_column_projection: bool = False
+
+    def capabilities(self) -> Capabilities:
+        """This engine's :class:`Capabilities` descriptor.
+
+        The default matches what pre-capability LQP subclasses actually
+        were: selections run natively, ranges fall back to filtered full
+        scans, projection follows the legacy
+        :attr:`supports_column_projection` flag, scans may be split, and
+        all writes arrive through signalling APIs.  Engines with
+        different native power override this; wrappers delegate to their
+        inner LQP so decoration never masks the real engine's answer.
+        """
+        return Capabilities(
+            native_select=True,
+            native_range=False,
+            native_projection=self.supports_column_projection,
+            splittable_scans=True,
+            signals_writes=True,
+        )
 
     @property
     @abc.abstractmethod

@@ -24,7 +24,7 @@ from dataclasses import dataclass
 from typing import Any, Sequence, Tuple
 
 from repro.core.predicate import Theta
-from repro.lqp.base import LocalQueryProcessor, RelationStats
+from repro.lqp.base import Capabilities, LocalQueryProcessor, RelationStats
 from repro.relational.relation import Relation
 
 __all__ = [
@@ -185,6 +185,11 @@ class AccountingLQP(LocalQueryProcessor):
     def supports_column_projection(self) -> bool:
         return getattr(self._inner, "supports_column_projection", False)
 
+    def capabilities(self) -> Capabilities:
+        # Accounting adds no power and removes none: the wrapped engine's
+        # answer passes through so decoration never masks capabilities.
+        return self._inner.capabilities()
+
     def relation_names(self) -> Tuple[str, ...]:
         return self._inner.relation_names()
 
@@ -293,6 +298,10 @@ class LatencyLQP(LocalQueryProcessor):
     @property
     def supports_column_projection(self) -> bool:
         return getattr(self._inner, "supports_column_projection", False)
+
+    def capabilities(self) -> Capabilities:
+        # Injected delay changes cost, not power: delegate.
+        return self._inner.capabilities()
 
     def cost_model(self) -> CostModel:
         """The injected delays as a :class:`CostModel` (units: seconds), so

@@ -50,21 +50,29 @@ class LQPRegistry:
         """Register an LQP under its database name.  Returns the accounting
         wrapper actually stored (useful for reading stats later).
 
-        ``lqp`` may also be a ``polygen://host:port`` URL: the registry
-        then dials the :class:`~repro.net.server.LQPServer` at that
-        address and registers the resulting
-        :class:`~repro.net.client.RemoteLQP` (the database name arrives in
-        the server's hello frame).  ``remote_options`` — ``concurrency``,
-        ``timeout``, ``retries``, … — are forwarded to the ``RemoteLQP``
-        constructor, and are rejected for in-process registrations.
+        ``lqp`` may also be a URL, in which case the registry opens the
+        backend itself and owns the resulting connection (closed by
+        :meth:`close`):
+
+        - ``polygen://host:port`` dials the
+          :class:`~repro.net.server.LQPServer` at that address and
+          registers the resulting :class:`~repro.net.client.RemoteLQP`
+          (the database name arrives in the server's hello frame);
+          ``remote_options`` — ``concurrency``, ``timeout``,
+          ``retries``, … — are forwarded to its constructor.
+        - ``sqlite:///path/to/store.db`` opens an existing
+          :class:`~repro.backends.sqlite_lqp.SqliteLQP` store.
+        - ``file:///path/to/log-dir`` opens an existing
+          :class:`~repro.backends.log_lqp.LogStoreLQP` segment
+          directory.
+
+        ``remote_options`` are rejected for in-process registrations
+        (including the ``sqlite://``/``file://`` schemes — there is no
+        transport to configure).
         """
         dialed = None
         if isinstance(lqp, str):
-            # Imported here: repro.net builds on repro.lqp, not the
-            # reverse, and in-process federations never pay for asyncio.
-            from repro.net.client import RemoteLQP
-
-            lqp = dialed = RemoteLQP(lqp, **remote_options)
+            lqp = dialed = self._open_url(lqp, remote_options)
         elif remote_options:
             raise TypeError(
                 "remote transport options "
@@ -90,6 +98,37 @@ class LQPRegistry:
             raise
         self.notify_refresh(lqp.name)
         return wrapped
+
+    @staticmethod
+    def _open_url(url: str, remote_options) -> LocalQueryProcessor:
+        """Open the backend a registration URL names.  Imports are local:
+        ``repro.net`` and ``repro.backends`` build on ``repro.lqp``, not
+        the reverse, and federations that never use a scheme never pay
+        for it."""
+        if url.startswith("polygen://"):
+            from repro.net.client import RemoteLQP
+
+            return RemoteLQP(url, **remote_options)
+        if remote_options:
+            raise TypeError(
+                "remote transport options "
+                f"{sorted(remote_options)} only apply to polygen:// URL "
+                "registrations"
+            )
+        if url.startswith("sqlite://"):
+            from repro.backends.sqlite_lqp import SqliteLQP
+
+            return SqliteLQP.open(url[len("sqlite://"):])
+        if url.startswith("file://"):
+            from repro.backends.log_lqp import LogStoreLQP
+
+            return LogStoreLQP.open(url[len("file://"):])
+        from repro.errors import ProtocolError
+
+        raise ProtocolError(
+            f"unknown LQP URL scheme in {url!r}: expected polygen://, "
+            "sqlite:// or file://"
+        )
 
     def get(self, database: str) -> AccountingLQP:
         try:
@@ -161,8 +200,9 @@ class LQPRegistry:
     # -- lifecycle ------------------------------------------------------------
 
     def close(self) -> None:
-        """Close every remote connection *this registry dialed* (URL
-        registrations).  Idempotent; caller-constructed LQPs — including
+        """Close every backend *this registry opened itself* (URL
+        registrations: remote connections, SQLite handles, log segment
+        files).  Idempotent; caller-constructed LQPs — including
         hand-built :class:`~repro.net.client.RemoteLQP`\\ s — are untouched,
         they belong to whoever made them.  Called by
         :meth:`~repro.service.federation.PolygenFederation.close`, so a

@@ -29,12 +29,14 @@ cost models for remote sources without any new wiring.
 from __future__ import annotations
 
 import threading
+from dataclasses import replace
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.catalog.schema import PolygenSchema
 from repro.catalog.serialize import schema_from_dict
 from repro.core.predicate import Theta
-from repro.lqp.base import LocalQueryProcessor, RelationStats
+from repro.errors import RemoteQueryError
+from repro.lqp.base import Capabilities, LocalQueryProcessor, RelationStats
 from repro.net import protocol
 from repro.net.transport import ConnectionMux, TransportStats
 from repro.relational.relation import Relation
@@ -91,6 +93,9 @@ class RemoteLQP(LocalQueryProcessor):
         #: sources; first answer wins) so the shard pass costs at most one
         #: round trip per relation per process.
         self._stats: Dict[str, Optional[RelationStats]] = {}
+        #: The server-side engine's capability descriptor, fetched once —
+        #: capabilities are fixed for an engine's lifetime, unlike stats.
+        self._capabilities: Optional[Capabilities] = None
 
     # -- identity / catalog -------------------------------------------------
 
@@ -127,6 +132,33 @@ class RemoteLQP(LocalQueryProcessor):
         with self._cardinality_lock:
             self._stats[relation_name] = stats
         return stats
+
+    def capabilities(self) -> Capabilities:
+        """The remote engine's capabilities, served over the wire and
+        cached for the connection's lifetime.
+
+        A pre-capability server answers the op with a typed error; the
+        fallback descriptor then matches what such servers demonstrably
+        do: select and project server-side, so dropped tuples and columns
+        never cross the wire.  Those two flags are forced True either way
+        — "native" here means "on the far side of the wire" (see the
+        server's ``capabilities`` op).
+        """
+        with self._cardinality_lock:
+            if self._capabilities is not None:
+                return self._capabilities
+        try:
+            payload = self._mux.request("capabilities")["value"]
+            capabilities = protocol.capabilities_from_payload(payload)
+        except RemoteQueryError:
+            capabilities = Capabilities()
+        capabilities = replace(
+            capabilities, native_select=True, native_projection=True
+        )
+        with self._cardinality_lock:
+            if self._capabilities is None:
+                self._capabilities = capabilities
+            return self._capabilities
 
     def catalog(self) -> Dict[str, Optional[int]]:
         """relation → remote cardinality estimate, in one round trip."""

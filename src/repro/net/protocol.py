@@ -23,7 +23,8 @@ client→server requests)::
                                      "lower": ..., "upper": ...,
                                      "include_nil": false}
       {"id": 10, "op": "relation_names" | "cardinality" | "relation_stats"
-                                     | "catalog" | "schema" | "ping"}
+                                     | "capabilities" | "catalog"
+                                     | "schema" | "ping"}
       {"op": "cancel", "target": 7}            # no id: fire-and-forget
 
     server → client, keyed to the request id:
@@ -51,7 +52,7 @@ import struct
 from typing import Any, Callable, Dict, Iterator, List, Sequence, Tuple
 
 from repro.errors import ProtocolError
-from repro.lqp.base import ColumnStats, RelationStats
+from repro.lqp.base import Capabilities, ColumnStats, RelationStats
 from repro.relational.relation import Relation
 
 __all__ = [
@@ -75,6 +76,8 @@ __all__ = [
     "rows_from_wire",
     "stats_payload",
     "stats_from_payload",
+    "capabilities_payload",
+    "capabilities_from_payload",
     "relation_chunks",
     "relation_from_wire",
     "parse_url",
@@ -285,6 +288,21 @@ def stats_from_payload(payload: Dict[str, Any] | None) -> RelationStats | None:
             for name, column in dict(payload.get("columns", {})).items()
         },
     )
+
+
+def capabilities_payload(capabilities: Capabilities) -> Dict[str, Any]:
+    """A :class:`~repro.lqp.base.Capabilities` as a ``capabilities``
+    result value (plain flag mapping; unknown future flags ride along)."""
+    return capabilities.to_dict()
+
+
+def capabilities_from_payload(payload: Dict[str, Any]) -> Capabilities:
+    """Inverse of :func:`capabilities_payload`.  Tolerant by design:
+    unknown flags are dropped and missing ones default, so a newer peer
+    never breaks an older one."""
+    if not isinstance(payload, dict):
+        raise ProtocolError(f"malformed capabilities payload: {payload!r}")
+    return Capabilities.from_dict(payload)
 
 
 def relation_chunks(

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import socket
 import threading
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Dict, Optional, Tuple
 
 from repro.catalog.schema import PolygenSchema
@@ -365,7 +365,7 @@ class LQPServer:
         # narrow at the source, applied here otherwise — either way only
         # the requested columns travel back to the client.
         columns = message.get("columns")
-        forward = getattr(self._lqp, "supports_column_projection", False)
+        forward = self._lqp.capabilities().native_projection
         kwargs = {"columns": list(columns)} if columns is not None and forward else {}
         if op == "retrieve":
             relation = self._lqp.retrieve(relation_name, **kwargs)
@@ -434,6 +434,17 @@ class LQPServer:
             if not isinstance(relation_name, str):
                 raise ProtocolError("relation_stats request lacks a relation name")
             return protocol.stats_payload(self._lqp.relation_stats(relation_name))
+        if op == "capabilities":
+            # From the client's seat "native" means "executed on this side
+            # of the wire": selections and projections both run here before
+            # any tuple ships (the engine's own power or _serve_relation's
+            # fallback), so those two flags are forced True.  Range access
+            # paths, scan splitting and write signalling are properties of
+            # the engine itself and pass through untouched.
+            inner = self._lqp.capabilities()
+            return protocol.capabilities_payload(
+                replace(inner, native_select=True, native_projection=True)
+            )
         if op == "catalog":
             return {
                 name: self._lqp.cardinality_estimate(name)

@@ -277,15 +277,13 @@ class Executor:
         """Local columns to request from the source, or ``None`` to ship all.
 
         Projection pruning (``row.project``) historically narrowed columns
-        only at materialization; when the LQP advertises
-        ``supports_column_projection`` the pruned set travels with the verb
-        call instead, so dead columns never cross the wire.  Selection and
+        only at materialization; when the LQP's capabilities advertise
+        ``native_projection`` the pruned set travels with the verb call
+        instead, so dead columns never cross the wire.  Selection and
         key-range predicates are evaluated at the source *before* its
         projection, so the probed columns need not ship.
         """
-        if row.project is None or not getattr(
-            lqp, "supports_column_projection", False
-        ):
+        if row.project is None or not lqp.capabilities().native_projection:
             return None
         keep = set(row.project)
         columns = [

@@ -150,6 +150,14 @@ class QueryOptimizer:
     because it narrows *intermediate* relations (the final result is always
     untouched); callers reproducing the paper's printed intermediate tables
     keep it off, throughput-oriented callers switch it on.
+
+    ``registry`` lets the pushdown rewrite consult each target engine's
+    :class:`~repro.lqp.base.Capabilities`: a selection is only pushed to a
+    database whose LQP reports ``native_select`` — an engine that would
+    scan-filter in a Python loop anyway (a log store) gains nothing, and
+    the PQP evaluates the same predicate with better batching.  Without a
+    registry — or for databases not registered in it — the historical
+    behavior stands: every safe selection is pushed.
     """
 
     def __init__(
@@ -158,11 +166,13 @@ class QueryOptimizer:
         resolver: Optional[IdentityResolver] = None,
         pushdown: bool = True,
         prune_projections: bool = False,
+        registry: Optional[LQPRegistry] = None,
     ):
         self._schema = schema
         self._resolver = resolver or IdentityResolver.identity()
         self._pushdown = pushdown
         self._prune_projections = prune_projections
+        self._registry = registry
 
     def optimize(
         self, iom: IntermediateOperationMatrix
@@ -367,6 +377,12 @@ class QueryOptimizer:
             # tuples, not fewer.  Push only when this selection is the sole
             # consumer, so dead-row pruning deletes the Retrieve.
             return None
+        if self._registry is not None and producer.el in self._registry:
+            # An engine that cannot run the selection natively would
+            # scan-filter it in an adapter loop — no tuples saved over
+            # the wire that the PQP's own filter wouldn't save.
+            if not self._registry.get(producer.el).capabilities().native_select:
+                return None
         scheme = self._schema.scheme(producer.scheme)
         if row.lha not in scheme:
             return None

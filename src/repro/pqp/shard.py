@@ -194,6 +194,10 @@ def shard_retrieves(
         if not isinstance(row.lhr, LocalOperand) or row.el not in registry:
             continue
         lqp = registry.get(row.el)
+        if not lqp.capabilities().splittable_scans:
+            # The engine serializes its scans (or re-reads a log per
+            # request): a shard family would multiply work, not overlap it.
+            continue
         k = width if isinstance(width, int) else max(1, lqp.native_concurrency)
         if k < 2:
             continue

@@ -28,13 +28,24 @@ query snapshots :meth:`ResultCache.tick` before executing, and a fill is
 rejected when any of its sources was invalidated after the snapshot — a
 result computed from pre-invalidation data can never enter the cache
 after the invalidation.
+
+Precise invalidation assumes every write is *announced* — but a
+federation of real backends (:mod:`repro.backends`) includes engines
+whose capabilities report ``signals_writes=False``: an external SQLite
+file or an append-only log directory another process may extend without
+telling anyone.  Entries touching such sources carry a **TTL**
+(``max_age`` on :meth:`ResultCache.put`, or a per-database
+:meth:`ResultCache.set_max_age` policy): past it, a probe treats the
+entry as expired — dropped and counted a miss — so no entry can serve
+unboundedly stale rows no matter how silent its sources are.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Optional
+from typing import Callable, Dict, FrozenSet, Optional
 
 from repro.pqp.executor import Lineage
 from repro.pqp.matrix import CachedResult
@@ -64,6 +75,8 @@ class CacheStats:
     invalidations: int
     entries: int
     bytes: int
+    #: entries dropped because their TTL lapsed (each also counts a miss).
+    expired: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -88,6 +101,9 @@ class _Entry:
     cost: float
     bytes: int
     priority: float
+    #: Monotonic deadline after which the entry is stale; ``None`` means
+    #: invalidation alone governs it (all sources signal their writes).
+    expires_at: Optional[float] = None
 
     def payload(self) -> CachedResult:
         return CachedResult(
@@ -101,13 +117,29 @@ class _Entry:
 class ResultCache:
     """Bounded, thread-safe fingerprint → materialized-result cache."""
 
-    def __init__(self, max_entries: int = 512, max_bytes: int = 64 * 2**20):
+    def __init__(
+        self,
+        max_entries: int = 512,
+        max_bytes: int = 64 * 2**20,
+        default_max_age: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
         if max_entries < 1:
             raise ValueError("max_entries must be at least 1")
         if max_bytes < 1:
             raise ValueError("max_bytes must be at least 1")
+        if default_max_age is not None and default_max_age <= 0:
+            raise ValueError("default_max_age must be positive seconds")
         self._max_entries = max_entries
         self._max_bytes = max_bytes
+        #: TTL applied to every fill that does not bring its own tighter
+        #: bound; ``None`` trusts invalidation alone.
+        self._default_max_age = default_max_age
+        #: Injected monotonic clock (tests freeze time with it).
+        self._now = clock
+        #: database → explicit staleness bound (seconds) for entries that
+        #: touch it; see :meth:`set_max_age`.
+        self._max_ages: Dict[str, float] = {}
         self._lock = threading.RLock()
         self._entries: Dict[str, _Entry] = {}
         self._bytes = 0
@@ -123,14 +155,57 @@ class ResultCache:
         self._insertions = 0
         self._evictions = 0
         self._invalidated = 0
+        self._expired = 0
+
+    # -- staleness policy ----------------------------------------------------
+
+    def set_max_age(self, database: str, max_age: Optional[float]) -> None:
+        """Bound the staleness of every entry touching ``database`` to
+        ``max_age`` seconds (``None`` removes the bound).  The federation
+        sets this for sources whose capabilities report
+        ``signals_writes=False`` — invalidation cannot be trusted there,
+        so age becomes the only safety."""
+        with self._lock:
+            if max_age is None:
+                self._max_ages.pop(database, None)
+            elif max_age <= 0:
+                raise ValueError("max_age must be positive seconds")
+            else:
+                self._max_ages[database] = max_age
+
+    def max_age_for(self, database: str) -> Optional[float]:
+        """The explicit per-database staleness bound, if one is set."""
+        with self._lock:
+            return self._max_ages.get(database)
+
+    def _deadline(self, sources: FrozenSet[str], max_age: Optional[float]):
+        """The entry's expiry instant: the tightest of the explicit
+        ``max_age`` argument, every source's policy bound, and the default."""
+        bounds = [max_age, self._default_max_age]
+        bounds.extend(self._max_ages.get(database) for database in sources)
+        effective = [bound for bound in bounds if bound is not None]
+        if not effective:
+            return None
+        return self._now() + min(effective)
+
+    def _fresh(self, entry: _Entry) -> bool:
+        """Drop-if-expired; False means the entry no longer exists."""
+        if entry.expires_at is None or self._now() < entry.expires_at:
+            return True
+        del self._entries[entry.fingerprint]
+        self._bytes -= entry.bytes
+        self._expired += 1
+        return False
 
     # -- probes --------------------------------------------------------------
 
     def lookup(self, fingerprint: str) -> Optional[CachedResult]:
-        """A whole-query probe: counts a hit or a miss, refreshes priority."""
+        """A whole-query probe: counts a hit or a miss, refreshes priority.
+        An expired entry is dropped and counted a miss — staleness past
+        the TTL is indistinguishable from absence."""
         with self._lock:
             entry = self._entries.get(fingerprint)
-            if entry is None:
+            if entry is None or not self._fresh(entry):
                 self._misses += 1
                 return None
             self._hits += 1
@@ -142,7 +217,7 @@ class ResultCache:
         a miss counts nothing (every row of every plan is probed)."""
         with self._lock:
             entry = self._entries.get(fingerprint)
-            if entry is None:
+            if entry is None or not self._fresh(entry):
                 return None
             self._splices += 1
             entry.priority = self._clock + entry.cost
@@ -150,7 +225,10 @@ class ResultCache:
 
     def __contains__(self, fingerprint: str) -> bool:
         with self._lock:
-            return fingerprint in self._entries
+            entry = self._entries.get(fingerprint)
+            if entry is None:
+                return False
+            return entry.expires_at is None or self._now() < entry.expires_at
 
     def __len__(self) -> int:
         with self._lock:
@@ -171,6 +249,7 @@ class ResultCache:
         sources,
         cost: float = 0.0,
         as_of: Optional[int] = None,
+        max_age: Optional[float] = None,
     ) -> bool:
         """Insert (or refresh) an entry; returns whether it was admitted.
 
@@ -178,6 +257,9 @@ class ResultCache:
         :meth:`tick` snapshot taken before the result was computed: the
         fill is refused when any source was invalidated since, because the
         result may predate the invalidation it should have observed.
+        ``max_age`` bounds this entry's staleness in seconds; it combines
+        with the per-database :meth:`set_max_age` policy and the cache's
+        ``default_max_age`` — the tightest bound wins.
         """
         tags = frozenset(sources)
         size = _BYTES_PER_ENTRY + relation.cardinality * relation.degree * _BYTES_PER_CELL
@@ -199,6 +281,7 @@ class ResultCache:
                 cost=max(cost, 0.0),
                 bytes=size,
                 priority=self._clock + max(cost, 0.0),
+                expires_at=self._deadline(tags, max_age),
             )
             self._entries[fingerprint] = entry
             self._bytes += size
@@ -256,4 +339,5 @@ class ResultCache:
                 invalidations=self._events,
                 entries=len(self._entries),
                 bytes=self._bytes,
+                expired=self._expired,
             )

@@ -205,11 +205,22 @@ class PolygenFederation:
         tag_pool: TagPool | None = None,
         calibration_path: str | None = None,
         result_cache: ResultCache | None = None,
+        source_max_age: Optional[float] = 60.0,
     ):
+        """``source_max_age`` bounds (in seconds) how stale a cached result
+        may get when it depends on a registered source whose capabilities
+        report ``signals_writes=False`` — an external SQLite file or log
+        directory another process may extend without a
+        ``notify_refresh``.  Precise invalidation still governs
+        well-behaved sources; an explicit
+        :meth:`ResultCache.set_max_age` for a database overrides this
+        default for it.  ``None`` disables the safety net entirely."""
         if max_concurrent_queries < 1:
             raise ValueError(
                 f"max_concurrent_queries must be >= 1, got {max_concurrent_queries}"
             )
+        if source_max_age is not None and source_max_age <= 0:
+            raise ValueError("source_max_age must be positive seconds or None")
         self.schema = schema
         self.registry = registry
         self.resolver = resolver or IdentityResolver.identity()
@@ -234,7 +245,10 @@ class PolygenFederation:
         #: notifications, so any ``notify_refresh(D)`` — a write hook, a
         #: re-registration, :meth:`invalidate` — precisely evicts the
         #: entries whose tag sets consult ``D``.
-        self.cache = result_cache or ResultCache()
+        # Not `result_cache or ...`: an empty ResultCache has len() 0 and
+        # is falsy, which would silently discard a caller-supplied cache.
+        self.cache = result_cache if result_cache is not None else ResultCache()
+        self.source_max_age = source_max_age
         self._cache_listener = self.cache.invalidate
         self.registry.subscribe(self._cache_listener)
         self._pool = WorkerPool()
@@ -421,6 +435,9 @@ class PolygenFederation:
                     resolver=self.resolver,
                     pushdown=options.pushdown,
                     prune_projections=options.prune_projections,
+                    # Capability-aware pushdown: selections stay at the PQP
+                    # for registered engines without native selection.
+                    registry=self.registry,
                 )
                 self._optimizers[key] = optimizer
             return optimizer
@@ -667,7 +684,9 @@ class PolygenFederation:
         calibrated estimate, whichever is larger — summed over the subtree,
         so GreedyDual eviction keeps what is expensive to rebuild.
         ``as_of`` guards against the stale-fill race (see
-        :meth:`ResultCache.put`).
+        :meth:`ResultCache.put`); entries whose sources include an engine
+        that cannot signal its writes additionally carry a TTL
+        (:meth:`_staleness_bound`).
         """
         costs = self._recompute_costs(iom, trace)
         for row in iom:
@@ -690,7 +709,32 @@ class PolygenFederation:
                 sources,
                 cost=cost,
                 as_of=as_of,
+                max_age=self._staleness_bound(sources),
             )
+
+    def _staleness_bound(self, sources) -> Optional[float]:
+        """The TTL (seconds) a cache entry over ``sources`` must carry.
+
+        ``None`` — no bound — when every source either signals its writes
+        (``capabilities().signals_writes``, so precise invalidation covers
+        it) or has its own explicit :meth:`ResultCache.set_max_age` policy
+        (the cache applies that bound itself).  A registered source that
+        can neither is capped at the federation's ``source_max_age``; the
+        tightest applicable bound wins.
+        """
+        if self.source_max_age is None:
+            return None
+        bound = None
+        for database in sources:
+            if self.cache.max_age_for(database) is not None:
+                continue
+            if database not in self.registry:
+                continue
+            if self.registry.get(database).capabilities().signals_writes:
+                continue
+            if bound is None or self.source_max_age < bound:
+                bound = self.source_max_age
+        return bound
 
     def _recompute_costs(
         self, iom: IntermediateOperationMatrix, trace: ExecutionTrace

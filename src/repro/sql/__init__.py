@@ -11,10 +11,19 @@ Supports the SQL subset the paper's polygen queries use (§I, §III)::
 
 Keywords are case-insensitive; string literals accept double or single
 quotes.  :func:`parse_sql` produces the AST in :mod:`repro.sql.ast`; the
-translation to polygen algebra lives in :mod:`repro.translate`.
+translation to polygen algebra lives in :mod:`repro.translate`; the
+reverse direction — rendering LQP verbs to parameterized SQLite SQL for
+pushdown into a real SQL engine — lives in :mod:`repro.sql.render`.
 """
 
 from repro.sql.ast import ComparisonPredicate, InPredicate, SelectStatement
 from repro.sql.parser import parse_sql
+from repro.sql.render import render_select
 
-__all__ = ["parse_sql", "SelectStatement", "ComparisonPredicate", "InPredicate"]
+__all__ = [
+    "parse_sql",
+    "render_select",
+    "SelectStatement",
+    "ComparisonPredicate",
+    "InPredicate",
+]

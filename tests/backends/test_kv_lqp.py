@@ -1,0 +1,155 @@
+"""KVStoreLQP unit tests: key-only native access paths.
+
+Federation-level equivalence lives in
+``tests/property/test_backend_equivalence.py``; this module pins the
+store's own contract — point lookups, sorted-index range slicing with
+its fallbacks, and the upsert/key-integrity rules.
+"""
+
+import pytest
+
+from repro.backends import KVStoreLQP
+from repro.core.predicate import Theta
+from repro.errors import ConstraintViolationError, UnknownRelationError
+from repro.lqp.relational_lqp import RelationalLQP
+from repro.relational.database import LocalDatabase
+from repro.relational.schema import RelationSchema
+
+
+def _database() -> LocalDatabase:
+    db = LocalDatabase("KD")
+    db.load(
+        RelationSchema("USERS", ["UID", "NAME", "AGE"], key=["UID"]),
+        [(3, "carol", 41), (1, "alice", 33), (2, "bob", None)],
+    )
+    db.load(
+        RelationSchema("GRANTS", ["UID", "ROLE"], key=["UID", "ROLE"]),
+        [(1, "admin"), (1, "dev"), (2, "dev")],
+    )
+    return db
+
+
+@pytest.fixture()
+def store():
+    return KVStoreLQP.from_database(_database())
+
+
+@pytest.fixture()
+def reference():
+    return RelationalLQP(_database())
+
+
+class TestSchema:
+    def test_every_relation_needs_a_key(self):
+        store = KVStoreLQP("KD")
+        with pytest.raises(ConstraintViolationError, match="primary key"):
+            store.create(RelationSchema("KEYLESS", ["A", "B"]))
+
+    def test_from_database_requires_keys_everywhere(self):
+        db = LocalDatabase("BAD")
+        db.load(RelationSchema("HEAP", ["A"]), [(1,)])
+        with pytest.raises(ConstraintViolationError):
+            KVStoreLQP.from_database(db)
+
+    def test_duplicate_create_is_refused(self, store):
+        with pytest.raises(ConstraintViolationError, match="already exists"):
+            store.create(RelationSchema("USERS", ["UID"], key=["UID"]))
+
+    def test_unknown_relation(self, store):
+        with pytest.raises(UnknownRelationError):
+            store.retrieve("NOPE")
+
+    def test_capabilities_declare_key_only_power(self, store):
+        capabilities = store.capabilities()
+        assert not capabilities.native_select
+        assert capabilities.native_range
+        assert not capabilities.native_projection
+        assert capabilities.splittable_scans
+        assert capabilities.signals_writes
+
+
+class TestPut:
+    def test_put_upserts_by_key(self, store):
+        store.put("USERS", [(2, "bob", 28)])
+        assert store.cardinality_estimate("USERS") == 3
+        assert store.select("USERS", "UID", Theta.EQ, 2).rows == ((2, "bob", 28),)
+
+    def test_nil_key_is_refused(self, store):
+        with pytest.raises(ConstraintViolationError, match="nil key"):
+            store.put("USERS", [(None, "x", 1)])
+
+    def test_degree_mismatch_is_refused(self, store):
+        with pytest.raises(ConstraintViolationError, match="degree"):
+            store.put("USERS", [(9, "x")])
+
+
+class TestSelect:
+    def test_point_lookup_on_the_key(self, store, reference):
+        assert store.select("USERS", "UID", Theta.EQ, 1) == reference.select(
+            "USERS", "UID", Theta.EQ, 1
+        )
+
+    def test_point_lookup_miss_is_empty(self, store):
+        assert store.select("USERS", "UID", Theta.EQ, 99).cardinality == 0
+
+    def test_unhashable_literal_matches_nothing(self, store):
+        assert store.select("USERS", "UID", Theta.EQ, [1]).cardinality == 0
+
+    def test_non_key_selection_scan_filters(self, store, reference):
+        for theta, value in [(Theta.GT, 35), (Theta.NE, 33), (Theta.EQ, None)]:
+            assert store.select("USERS", "AGE", theta, value) == (
+                reference.select("USERS", "AGE", theta, value)
+            )
+
+    def test_composite_key_selection_scan_filters(self, store, reference):
+        assert store.select("GRANTS", "UID", Theta.EQ, 1) == reference.select(
+            "GRANTS", "UID", Theta.EQ, 1
+        )
+
+
+class TestRanges:
+    @pytest.mark.parametrize(
+        "lower,upper,include_nil",
+        [(1, 3, False), (None, 2, False), (2, None, False), (None, None, True)],
+    )
+    def test_key_range_slices_match_the_reference(
+        self, store, reference, lower, upper, include_nil
+    ):
+        expected = reference.retrieve_range(
+            "USERS", "UID", lower=lower, upper=upper, include_nil=include_nil
+        )
+        got = store.retrieve_range(
+            "USERS", "UID", lower=lower, upper=upper, include_nil=include_nil
+        )
+        assert got == expected
+
+    def test_non_key_range_falls_back_to_the_scan(self, store, reference):
+        expected = reference.retrieve_range(
+            "USERS", "AGE", lower=30, upper=40, include_nil=True
+        )
+        assert (
+            store.retrieve_range("USERS", "AGE", lower=30, upper=40, include_nil=True)
+            == expected
+        )
+
+    def test_composite_key_range_falls_back_to_the_scan(self, store, reference):
+        expected = reference.retrieve_range("GRANTS", "UID", lower=1, upper=2)
+        assert store.retrieve_range("GRANTS", "UID", lower=1, upper=2) == expected
+
+    def test_incomparable_bound_falls_back_to_the_scan(self, store, reference):
+        expected = reference.retrieve_range("USERS", "UID", lower="a")
+        assert store.retrieve_range("USERS", "UID", lower="a") == expected
+
+    def test_range_projection(self, store, reference):
+        expected = reference.retrieve_range(
+            "USERS", "UID", lower=1, upper=3, columns=["NAME"]
+        )
+        got = store.retrieve_range("USERS", "UID", lower=1, upper=3, columns=["NAME"])
+        assert got == expected
+
+
+class TestCatalog:
+    def test_stats_match_and_refresh(self, store, reference):
+        assert store.relation_stats("USERS") == reference.relation_stats("USERS")
+        store.put("USERS", [(9, "zed", 70)])
+        assert store.relation_stats("USERS").columns["AGE"].maximum == 70

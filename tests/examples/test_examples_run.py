@@ -30,6 +30,7 @@ class TestExamples:
             "federation_service.py",
             "heterogeneous_sources.py",
             "lineage_audit.py",
+            "polystore.py",
             "quickstart.py",
             "remote_federation.py",
         ]
@@ -76,6 +77,14 @@ class TestExamples:
         assert "tag-identical to the in-process federation: True" in output
         assert "remote transports: 3" in output  # per-transport counters
         assert "first rows usable after" in output  # streamed vs batch
+
+    def test_polystore(self):
+        output = run_example("polystore.py")
+        assert "AD: sqlite file" in output and "PD: jsonl log" in output
+        assert "native_select" in output  # the capability matrix
+        assert "Genentech, {AD, CD}, {AD, CD}" in output  # paper answer, tagged
+        assert "Tag-identical to the all-in-memory baseline" in output
+        assert "tuples shipped" in output  # per-backend transfer counters
 
     def test_federation_service(self):
         output = run_example("federation_service.py")

@@ -1,0 +1,252 @@
+"""TTL / staleness bounds on the semantic result cache.
+
+Precise tag invalidation assumes every write is announced.  Backends
+whose capabilities report ``signals_writes=False`` (an on-disk SQLite
+file, a log directory) break that assumption, so entries touching them
+carry a deadline: ``max_age`` on ``put``, a per-database
+``set_max_age`` policy, or the cache-wide ``default_max_age`` — the
+tightest wins, and an expired entry is dropped and counted a miss.
+
+The clock is injected, so every test here is deterministic.
+"""
+
+import pytest
+
+from repro.backends import KVStoreLQP, LogStoreLQP
+from repro.datasets.paper import (
+    paper_databases,
+    paper_identity_resolver,
+    paper_polygen_schema,
+)
+from repro.lqp.registry import LQPRegistry
+from repro.lqp.relational_lqp import RelationalLQP
+from repro.relational.database import LocalDatabase
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationSchema
+from repro.service.cache import ResultCache
+from repro.service.federation import PolygenFederation
+from repro.service.options import QueryOptions
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+def _fill(cache, fingerprint="fp", sources=("AD",), **kwargs):
+    relation = Relation(["A"], [(1,)])
+    assert cache.put(fingerprint, relation, {}, set(sources), **kwargs)
+
+
+class TestEntryExpiry:
+    def test_unbounded_entries_never_expire(self, clock):
+        cache = ResultCache(clock=clock)
+        _fill(cache)
+        clock.advance(1e9)
+        assert cache.lookup("fp") is not None
+        assert cache.stats().expired == 0
+
+    def test_max_age_expires_the_entry(self, clock):
+        cache = ResultCache(clock=clock)
+        _fill(cache, max_age=10.0)
+        clock.advance(9.999)
+        assert cache.lookup("fp") is not None
+        clock.advance(0.002)
+        assert cache.lookup("fp") is None
+        stats = cache.stats()
+        assert stats.expired == 1
+        assert stats.misses == 1
+        assert stats.entries == 0
+
+    def test_expiry_releases_the_bytes(self, clock):
+        cache = ResultCache(clock=clock)
+        _fill(cache, max_age=1.0)
+        assert cache.stats().bytes > 0
+        clock.advance(2.0)
+        cache.lookup("fp")
+        assert cache.stats().bytes == 0
+
+    def test_contains_respects_expiry_without_counting(self, clock):
+        cache = ResultCache(clock=clock)
+        _fill(cache, max_age=1.0)
+        assert "fp" in cache
+        clock.advance(2.0)
+        assert "fp" not in cache
+        assert cache.stats().misses == 0
+
+    def test_splice_probe_drops_expired_without_a_miss(self, clock):
+        cache = ResultCache(clock=clock)
+        _fill(cache, max_age=1.0)
+        clock.advance(2.0)
+        assert cache.splice_probe("fp") is None
+        stats = cache.stats()
+        assert stats.expired == 1
+        assert stats.misses == 0
+
+    def test_refill_resets_the_deadline(self, clock):
+        cache = ResultCache(clock=clock)
+        _fill(cache, max_age=10.0)
+        clock.advance(8.0)
+        _fill(cache, max_age=10.0)  # refreshed fill, new deadline
+        clock.advance(8.0)
+        assert cache.lookup("fp") is not None
+
+
+class TestPolicyBounds:
+    def test_per_database_policy_applies_to_tagged_entries(self, clock):
+        cache = ResultCache(clock=clock)
+        cache.set_max_age("PD", 5.0)
+        _fill(cache, "touched", sources=("AD", "PD"))
+        _fill(cache, "untouched", sources=("AD",))
+        clock.advance(6.0)
+        assert cache.lookup("touched") is None
+        assert cache.lookup("untouched") is not None
+
+    def test_tightest_bound_wins(self, clock):
+        cache = ResultCache(clock=clock)
+        cache.set_max_age("PD", 5.0)
+        _fill(cache, sources=("PD",), max_age=60.0)
+        clock.advance(6.0)
+        assert cache.lookup("fp") is None
+
+    def test_default_max_age_bounds_every_fill(self, clock):
+        cache = ResultCache(default_max_age=3.0, clock=clock)
+        _fill(cache)
+        clock.advance(4.0)
+        assert cache.lookup("fp") is None
+
+    def test_policy_can_be_removed(self, clock):
+        cache = ResultCache(clock=clock)
+        cache.set_max_age("AD", 5.0)
+        assert cache.max_age_for("AD") == 5.0
+        cache.set_max_age("AD", None)
+        assert cache.max_age_for("AD") is None
+        _fill(cache)
+        clock.advance(1e6)
+        assert cache.lookup("fp") is not None
+
+    @pytest.mark.parametrize("bad", [0, -1.5])
+    def test_non_positive_bounds_are_rejected(self, bad):
+        cache = ResultCache()
+        with pytest.raises(ValueError):
+            cache.set_max_age("AD", bad)
+        with pytest.raises(ValueError):
+            ResultCache(default_max_age=bad)
+
+
+class TestFederationStalenessPolicy:
+    """The federation derives TTLs from backend capabilities."""
+
+    def _federation(self, cache=None, **kwargs):
+        registry = LQPRegistry()
+        for database in paper_databases().values():
+            registry.register(RelationalLQP(database))
+        return PolygenFederation(
+            paper_polygen_schema(),
+            registry,
+            resolver=paper_identity_resolver(),
+            result_cache=cache,
+            **kwargs,
+        )
+
+    def test_write_signalling_sources_get_no_ttl(self):
+        with self._federation() as federation:
+            assert federation._staleness_bound({"AD", "PD"}) is None
+
+    def test_silent_sources_get_the_default_ttl(self, tmp_path):
+        db = LocalDatabase("LG")
+        db.load(RelationSchema("R", ["K"], key=["K"]), [(1,)])
+        with self._federation() as federation:
+            federation.registry.register(
+                LogStoreLQP.from_database(db, str(tmp_path / "log"))
+            )
+            assert federation._staleness_bound({"AD", "LG"}) == 60.0
+            assert federation._staleness_bound({"AD"}) is None
+
+    def test_explicit_cache_policy_overrides_the_default(self, tmp_path):
+        db = LocalDatabase("LG")
+        db.load(RelationSchema("R", ["K"], key=["K"]), [(1,)])
+        with self._federation() as federation:
+            federation.registry.register(
+                LogStoreLQP.from_database(db, str(tmp_path / "log"))
+            )
+            federation.cache.set_max_age("LG", 5.0)
+            # The cache applies its own per-database bound; the federation
+            # must not stack the blunter default on top.
+            assert federation._staleness_bound({"LG"}) is None
+
+    def test_unregistered_sources_are_not_bounded(self):
+        with self._federation() as federation:
+            assert federation._staleness_bound({"GHOST"}) is None
+
+    def test_source_max_age_none_disables_the_safety_net(self, tmp_path):
+        db = LocalDatabase("LG")
+        db.load(RelationSchema("R", ["K"], key=["K"]), [(1,)])
+        with self._federation(source_max_age=None) as federation:
+            federation.registry.register(
+                LogStoreLQP.from_database(db, str(tmp_path / "log"))
+            )
+            assert federation._staleness_bound({"LG"}) is None
+
+    def test_invalid_source_max_age_is_rejected(self):
+        with pytest.raises(ValueError, match="source_max_age"):
+            self._federation(source_max_age=0)
+
+    def test_kv_sources_signal_writes_and_stay_unbounded(self):
+        db = LocalDatabase("KV")
+        db.load(RelationSchema("R", ["K"], key=["K"]), [(1,)])
+        with self._federation() as federation:
+            federation.registry.register(KVStoreLQP.from_database(db))
+            assert federation._staleness_bound({"KV"}) is None
+
+
+class TestEndToEndExpiry:
+    def test_log_backed_results_expire_instead_of_serving_stale(self, tmp_path):
+        """A federation over a log store caches with a TTL: a repeat query
+        hits until the clock passes ``source_max_age``, then recomputes —
+        and observes rows appended out of band in the meantime."""
+        clock = FakeClock()
+        databases = paper_databases()
+        registry = LQPRegistry()
+        registry.register(RelationalLQP(databases["AD"]))
+        registry.register(RelationalLQP(databases["CD"]))
+        log = LogStoreLQP.from_database(databases["PD"], str(tmp_path / "pd"))
+        registry.register(log)
+        with PolygenFederation(
+            paper_polygen_schema(),
+            registry,
+            resolver=paper_identity_resolver(),
+            defaults=QueryOptions(cache="on"),
+            result_cache=ResultCache(clock=clock),
+            source_max_age=30.0,
+        ) as federation:
+            query = '(PSTUDENT [MAJOR = "IS"])'
+            first = federation.run(query)
+            assert not first.cache_hit
+            assert federation.run(query).cache_hit
+
+            clock.advance(31.0)
+            stale = federation.run(query)
+            assert not stale.cache_hit, "expired entry served anyway"
+            assert federation.cache.stats().expired >= 1
+            assert stale.relation == first.relation
+
+            # The recomputation re-reads the source, so an out-of-band
+            # append shows up after the next expiry.
+            log.append("STUDENT", [("999", "Eve Late", 3.9, "IS")])
+            assert federation.run(query).cache_hit  # still within bound
+            clock.advance(31.0)
+            refreshed = federation.run(query)
+            assert not refreshed.cache_hit
+            assert refreshed.relation.cardinality == first.relation.cardinality + 1
