@@ -57,7 +57,7 @@ def python_series(version: str) -> str:
 #: Substrings marking a metric as "speedup-class": higher is better, and a
 #: drop is a performance regression worth failing CI over.  Everything else
 #: (tuple counts, raw seconds, sizes) is informational trend data.
-_SPEEDUP_MARKERS = ("speedup", "overlap", "improvement")
+_SPEEDUP_MARKERS = ("speedup", "overlap", "improvement", "reduction")
 
 
 @dataclass(frozen=True)

@@ -30,17 +30,30 @@ Or as a long-lived, multi-user service::
             handle = session.submit('SELECT CEO FROM PORGANIZATION')
             for row in handle.cursor():
                 ...
+
+Or straight from a server URL — one call to a streaming session::
+
+    import repro
+
+    with repro.connect("polygen://10.0.0.5:7411") as session:
+        handle = session.submit('SELECT CEO FROM PORGANIZATION')
+        for batch in handle.stream().chunks():   # columnar, tags included
+            ...
 """
 
 from repro._version import __version__
 
 __all__ = [
     "__version__",
+    "connect",
     "build_paper_federation",
     "paper_polygen_schema",
     "paper_databases",
     "PolygenQueryProcessor",
     "PolygenFederation",
+    "Session",
+    "QueryHandle",
+    "Cursor",
     "QueryOptions",
     "QueryResult",
     "LQPServer",
@@ -52,11 +65,15 @@ __all__ = [
 
 #: flat name → (module, attribute) for the lazy re-exports below.
 _LAZY_EXPORTS = {
+    "connect": ("repro.service.connect", "connect"),
     "build_paper_federation": ("repro.datasets.paper", "build_paper_federation"),
     "paper_polygen_schema": ("repro.datasets.paper", "paper_polygen_schema"),
     "paper_databases": ("repro.datasets.paper", "paper_databases"),
     "PolygenQueryProcessor": ("repro.pqp.processor", "PolygenQueryProcessor"),
     "PolygenFederation": ("repro.service.federation", "PolygenFederation"),
+    "Session": ("repro.service.session", "Session"),
+    "QueryHandle": ("repro.service.handle", "QueryHandle"),
+    "Cursor": ("repro.service.cursor", "Cursor"),
     "QueryOptions": ("repro.service.options", "QueryOptions"),
     "QueryResult": ("repro.pqp.result", "QueryResult"),
     "LQPServer": ("repro.net.server", "LQPServer"),

@@ -1,0 +1,32 @@
+"""Warn-once deprecation shims for symbols that moved between modules.
+
+PR 3 split the monolithic processor/runtime modules into dedicated homes
+(``QueryResult`` → :mod:`repro.pqp.result`, ``WorkerPool`` →
+:mod:`repro.pqp.pool`); the old import paths keep working through module
+``__getattr__`` hooks that call :func:`warn_moved`.  Each (old, new) pair
+warns exactly once per process — a hot loop importing through the legacy
+path should nag, not spam.
+"""
+
+from __future__ import annotations
+
+import threading
+import warnings
+
+__all__ = ["warn_moved"]
+
+_warned: set = set()
+_lock = threading.Lock()
+
+
+def warn_moved(old: str, new: str) -> None:
+    """Emit one :class:`DeprecationWarning` ever for ``old`` → ``new``."""
+    with _lock:
+        if (old, new) in _warned:
+            return
+        _warned.add((old, new))
+    warnings.warn(
+        f"{old} is deprecated; import it from {new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )

@@ -6,9 +6,14 @@ existed, every LQP in the reproduction ran *in-process*: the federation
 was heterogeneous in dialect, not in deployment.  ``repro.net`` closes
 that gap, in the polystore-middleware tradition (BigDAWG's engine shims):
 
-- :mod:`repro.net.protocol` — a versioned, length-prefixed JSON wire
-  protocol carrying LQP operations, catalog/schema payloads, tuples in
-  bounded chunks, errors, and cancellation;
+- :mod:`repro.net.protocol` — a versioned, length-prefixed wire protocol
+  carrying LQP operations, catalog/schema payloads, tuples in bounded
+  chunks, errors, and cancellation; JSON control frames throughout, with
+  chunk frames negotiated per connection between JSON v1 and the v2
+  binary columnar encoding;
+- :mod:`repro.net.binary` — the v2 chunk encoding itself: per-column
+  typed vectors plus interned tag-pool deltas, so a columnar relation
+  ships without rowification;
 - :mod:`repro.net.server` — :class:`~repro.net.server.LQPServer`, a
   threaded TCP server exposing any existing
   :class:`~repro.lqp.base.LocalQueryProcessor` at an address;
@@ -17,20 +22,31 @@ that gap, in the polystore-middleware tradition (BigDAWG's engine shims):
 - :mod:`repro.net.client` — :class:`~repro.net.client.RemoteLQP`, a
   drop-in ``LocalQueryProcessor`` backed by that multiplexer, registrable
   straight into an :class:`~repro.lqp.registry.LQPRegistry` by
-  ``polygen://host:port`` URL.
+  ``polygen://host:port`` URL, with pull-style chunk streaming through
+  :class:`~repro.net.client.RelationChunkStream`.
 """
 
-from repro.net.client import RemoteLQP
-from repro.net.protocol import PROTOCOL_VERSION, format_url, parse_url
+from repro.net.client import RelationChunkStream, RemoteLQP, WireChunk
+from repro.net.protocol import (
+    MIN_PROTOCOL_VERSION,
+    PROTOCOL_VERSION,
+    WIRE_FORMATS,
+    format_url,
+    parse_url,
+)
 from repro.net.server import LQPServer
 from repro.net.transport import ConnectionMux, TransportStats
 
 __all__ = [
+    "MIN_PROTOCOL_VERSION",
     "PROTOCOL_VERSION",
+    "WIRE_FORMATS",
     "ConnectionMux",
     "LQPServer",
+    "RelationChunkStream",
     "RemoteLQP",
     "TransportStats",
+    "WireChunk",
     "format_url",
     "parse_url",
 ]

@@ -28,20 +28,156 @@ cost models for remote sources without any new wiring.
 
 from __future__ import annotations
 
+import queue as _queue
 import threading
-from dataclasses import replace
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.catalog.schema import PolygenSchema
 from repro.catalog.serialize import schema_from_dict
 from repro.core.predicate import Theta
-from repro.errors import RemoteQueryError
+from repro.errors import ProtocolError, RemoteQueryError
 from repro.lqp.base import Capabilities, LocalQueryProcessor, RelationStats
-from repro.net import protocol
+from repro.net import binary, protocol
 from repro.net.transport import ConnectionMux, TransportStats
 from repro.relational.relation import Relation
 
-__all__ = ["RemoteLQP"]
+__all__ = ["RemoteLQP", "RelationChunkStream", "WireChunk"]
+
+
+@dataclass(frozen=True)
+class WireChunk:
+    """One streamed chunk of a remote relation.
+
+    ``rows`` is always populated; ``columns`` carries the per-attribute
+    value vectors when the chunk travelled as a binary columnar frame
+    (``None`` for JSON v1 frames, whose payload is row-major).
+    """
+
+    attributes: Tuple[str, ...]
+    seq: int
+    rows: List[Tuple[Any, ...]] = field(default_factory=list)
+    columns: Optional[List[List[Any]]] = None
+
+    @property
+    def count(self) -> int:
+        return len(self.rows)
+
+
+class _EitherEvent:
+    """``is_set()`` over several optional events — the transport's abort
+    handle only ever polls ``is_set``, so a caller's cancel event and the
+    stream's own early-exit guard compose without extra threads."""
+
+    __slots__ = ("_events",)
+
+    def __init__(self, *events):
+        self._events = tuple(event for event in events if event is not None)
+
+    def is_set(self) -> bool:
+        return any(event.is_set() for event in self._events)
+
+
+class RelationChunkStream:
+    """A pull-style, one-shot iterator over a streamed relation request.
+
+    The blocking transport request runs on a private worker thread; its
+    chunk messages cross to the consumer through a queue, so iteration
+    happens on the *caller's* thread with chunks arriving as the server
+    ships them.  Abandoning the iterator early (``break``, an exception,
+    garbage collection) aborts the wire stream — the transport sends the
+    server a ``cancel`` so it stops shipping tuples nobody will read.
+
+    Transport retries replay a stream from its first chunk; delivered
+    ``seq`` numbers are tracked and replayed chunks are skipped, so the
+    consumer sees every chunk exactly once.
+    """
+
+    def __init__(
+        self,
+        mux: ConnectionMux,
+        op: str,
+        params: Dict[str, Any],
+        abort: threading.Event | None = None,
+    ):
+        self._queue: _queue.Queue = _queue.Queue()
+        self._guard = threading.Event()
+        self._attributes: Optional[Tuple[str, ...]] = None
+        self._finished = False
+        self._iterated = False
+        composite = _EitherEvent(abort, self._guard)
+        sink = self._queue.put
+
+        def run() -> None:
+            try:
+                reply = mux.request(
+                    op,
+                    on_chunk_message=lambda message: sink(("chunk", message)),
+                    abort=composite,
+                    **params,
+                )
+                sink(("end", reply))
+            except BaseException as exc:
+                sink(("error", exc))
+
+        self._worker = threading.Thread(
+            target=run,
+            name=f"lqp-chunk-stream-{params.get('relation')}",
+            daemon=True,
+        )
+        self._worker.start()
+
+    @property
+    def attributes(self) -> Optional[Tuple[str, ...]]:
+        """The relation's heading — known once a chunk (or, for an empty
+        result, the end frame) has been consumed."""
+        return self._attributes
+
+    def __iter__(self) -> Iterator[WireChunk]:
+        if self._iterated:
+            raise RuntimeError("RelationChunkStream supports a single iteration")
+        self._iterated = True
+        next_seq = 0
+        try:
+            while True:
+                kind, payload = self._queue.get()
+                if kind == "chunk":
+                    seq = payload.get("seq")
+                    seq = next_seq if not isinstance(seq, int) else seq
+                    if seq < next_seq:
+                        continue  # a transport retry replaying delivered chunks
+                    next_seq = seq + 1
+                    self._attributes = tuple(payload.get("attributes") or ())
+                    if "columns" in payload:
+                        yield WireChunk(
+                            attributes=self._attributes,
+                            seq=seq,
+                            rows=binary.columns_to_rows(payload),
+                            columns=payload["columns"],
+                        )
+                    else:
+                        yield WireChunk(
+                            attributes=self._attributes,
+                            seq=seq,
+                            rows=protocol.rows_from_wire(payload.get("rows", ())),
+                        )
+                elif kind == "end":
+                    if self._attributes is None and payload.get("attributes") is not None:
+                        self._attributes = tuple(payload["attributes"])
+                    self._finished = True
+                    return
+                else:
+                    self._finished = True
+                    raise payload
+        finally:
+            if not self._finished:
+                # The consumer bailed mid-stream: flag the transport's
+                # abort handle so the request cancels server-side instead
+                # of streaming into a queue nobody drains.
+                self._guard.set()
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        self._guard.set()
 
 
 class RemoteLQP(LocalQueryProcessor):
@@ -60,23 +196,41 @@ class RemoteLQP(LocalQueryProcessor):
         concurrency: int = 4,
         timeout: float = 10.0,
         retries: int = 1,
+        wire_format: str = "auto",
     ):
         """Address either as a ``polygen://host:port`` URL or as
         ``host=``/``port=``.  ``concurrency`` is this LQP's native
         concurrency level — how many requests the transport keeps in
         flight at once; ``timeout``/``retries`` govern the transport (see
-        :class:`~repro.net.transport.ConnectionMux`)."""
+        :class:`~repro.net.transport.ConnectionMux`).  ``wire_format``
+        picks the chunk encoding for this connection's relation results:
+        ``"auto"`` (binary when the server negotiated protocol v2, JSON
+        otherwise), ``"json"`` (force v1 frames), or ``"binary"`` (refuse
+        to run against a JSON-only server)."""
+        if wire_format not in ("auto", "json", "binary"):
+            raise ValueError(
+                f'wire_format must be "auto", "json" or "binary", got {wire_format!r}'
+            )
         if url is not None:
             if host is not None or port is not None:
                 raise ValueError("pass either a URL or host/port, not both")
             host, port = protocol.parse_url(url)
         if host is None or port is None:
             raise ValueError("RemoteLQP needs a polygen:// URL or host and port")
+        self._wire_format = wire_format
         self._mux = ConnectionMux(
             host, port, concurrency=concurrency, timeout=timeout, retries=retries
         )
         try:
             hello = self._mux.hello()
+            self._binary = protocol.supports_binary(
+                hello, f"LQP server at {host}:{port}"
+            )
+            if wire_format == "binary" and not self._binary:
+                raise ProtocolError(
+                    f"LQP server at {host}:{port} cannot speak the binary "
+                    'wire format and this client was built with wire_format="binary"'
+                )
         except BaseException:
             # A failed handshake (dead port, version mismatch) must not
             # strand the mux's event-loop thread behind the raise.
@@ -189,9 +343,33 @@ class RemoteLQP(LocalQueryProcessor):
         # request keys, but there is no reason to send one at all.
         return {} if columns is None else {"columns": list(columns)}
 
+    @property
+    def binary_negotiated(self) -> bool:
+        """Whether the server negotiated binary chunk frames at hello."""
+        return self._binary
+
+    def _format_param(self, override: str | None = None) -> Dict[str, Any]:
+        """The per-request chunk-encoding key, honouring the connection's
+        ``wire_format`` (or a per-call override).  Never sent to a v1
+        server: such peers negotiated JSON and, being older, would ignore
+        the key anyway."""
+        choice = override or self._wire_format
+        if choice == "json":
+            return {}
+        if not self._binary:
+            if choice == "binary":
+                raise ProtocolError(
+                    f"LQP server at {self.url} cannot speak the binary wire format"
+                )
+            return {}
+        return {"format": "binary"}
+
     def retrieve(self, relation_name: str, columns=None) -> Relation:
         reply = self._mux.request(
-            "retrieve", relation=relation_name, **self._columns_param(columns)
+            "retrieve",
+            relation=relation_name,
+            **self._columns_param(columns),
+            **self._format_param(),
         )
         return self._assemble(reply)
 
@@ -210,6 +388,7 @@ class RemoteLQP(LocalQueryProcessor):
             theta=theta.symbol,
             value=protocol.wire_value(value),
             **self._columns_param(columns),
+            **self._format_param(),
         )
         return self._assemble(reply)
 
@@ -230,6 +409,7 @@ class RemoteLQP(LocalQueryProcessor):
             upper=protocol.wire_value(upper),
             include_nil=include_nil,
             **self._columns_param(columns),
+            **self._format_param(),
         )
         return self._assemble(reply)
 
@@ -256,6 +436,7 @@ class RemoteLQP(LocalQueryProcessor):
             upper=protocol.wire_value(upper),
             include_nil=include_nil,
             **self._columns_param(columns),
+            **self._format_param(),
         )
         return self._assemble(reply)
 
@@ -268,14 +449,73 @@ class RemoteLQP(LocalQueryProcessor):
         rows)`` fires as each bounded chunk lands, while later chunks are
         still in flight — first tuples are usable at first-chunk latency
         instead of whole-result latency (measured in the network bench).
+        Chunks travel in the negotiated wire format; the callback always
+        sees row-major tuples.
 
         ``on_chunk`` executes on the transport's event-loop thread and
         must not block (a slow callback starves every other in-flight
-        request on this connection); hand rows off and return."""
+        request on this connection); hand rows off and return.  For a
+        pull-style iterator yielding *columnar* chunks on the calling
+        thread, see :meth:`retrieve_chunks`."""
         reply = self._mux.request(
-            "retrieve", relation=relation_name, on_chunk=on_chunk
+            "retrieve",
+            relation=relation_name,
+            on_chunk=on_chunk,
+            **self._format_param(),
         )
         return self._assemble(reply)
+
+    def retrieve_chunks(
+        self,
+        relation_name: str,
+        *,
+        columns: Sequence[str] | None = None,
+        chunk_size: int | None = None,
+        wire_format: str | None = None,
+        abort: threading.Event | None = None,
+    ) -> "RelationChunkStream":
+        """A pull-style stream of a remote relation's chunks.
+
+        Returns a :class:`RelationChunkStream` — iterate it on the calling
+        thread to receive :class:`WireChunk` batches (attributes + column
+        vectors + rows) as they land, while later chunks are still in
+        flight.  This is the executor's pipelined-scan entry point:
+        ``chunk_size`` asks the server for a specific granularity,
+        ``abort`` (any ``threading.Event``) cancels the stream mid-flight
+        from the consumer's side, and ``wire_format`` overrides the
+        connection default for this stream.
+        """
+        params: Dict[str, Any] = {"relation": relation_name}
+        params.update(self._columns_param(columns))
+        params.update(self._format_param(wire_format))
+        if chunk_size is not None:
+            params["chunk_size"] = int(chunk_size)
+        return RelationChunkStream(self._mux, "retrieve", params, abort)
+
+    def select_chunks(
+        self,
+        relation_name: str,
+        attribute: str,
+        theta: Theta,
+        value: Any,
+        *,
+        columns: Sequence[str] | None = None,
+        chunk_size: int | None = None,
+        wire_format: str | None = None,
+        abort: threading.Event | None = None,
+    ) -> "RelationChunkStream":
+        """Like :meth:`retrieve_chunks` for a pushed-down selection."""
+        params: Dict[str, Any] = {
+            "relation": relation_name,
+            "attribute": attribute,
+            "theta": theta.symbol,
+            "value": protocol.wire_value(value),
+        }
+        params.update(self._columns_param(columns))
+        params.update(self._format_param(wire_format))
+        if chunk_size is not None:
+            params["chunk_size"] = int(chunk_size)
+        return RelationChunkStream(self._mux, "select", params, abort)
 
     def _assemble(self, reply: Dict[str, Any]) -> Relation:
         return protocol.relation_from_wire(reply.get("attributes"), reply.get("rows", ()))

@@ -1,19 +1,24 @@
-"""The polygen wire protocol: versioned, length-prefixed JSON frames.
+"""The polygen wire protocol: versioned, length-prefixed frames.
 
 Every message between a PQP-side client and an :class:`~repro.net.server.
 LQPServer` is one **frame**: a 4-byte big-endian payload length followed by
-a UTF-8 JSON object.  JSON keeps the protocol inspectable (``tcpdump`` of a
-federation is readable) and exactly matches the catalog's existing
-serialization (:mod:`repro.catalog.serialize`), which rides along as the
-``schema`` payload; the length prefix makes framing trivial in both the
-threaded server and the asyncio client, and lets either side reject an
-oversized or garbage frame before parsing it.
+the payload.  Control messages are UTF-8 JSON objects — JSON keeps the
+protocol inspectable (``tcpdump`` of a federation is readable) and exactly
+matches the catalog's existing serialization (:mod:`repro.catalog.
+serialize`), which rides along as the ``schema`` payload.  From protocol
+version 2, *chunk* frames may instead use the binary columnar encoding of
+:mod:`repro.net.binary` when both ends negotiated it at hello time (the
+first payload byte discriminates; see :func:`decode_payload`).  The length
+prefix makes framing trivial in both the threaded server and the asyncio
+client, and lets either side reject an oversized or garbage frame before
+parsing it.
 
 Message vocabulary (``kind`` discriminates server→client frames, ``op``
 client→server requests)::
 
     server → client on connect:
-      {"kind": "hello", "protocol": 1, "database": "AD", "relations": [...]}
+      {"kind": "hello", "protocol": 2, "min_protocol": 1,
+       "formats": ["binary", "json"], "database": "AD", "relations": [...]}
 
     client → server:
       {"id": 7, "op": "retrieve",    "relation": "ALUMNUS"}
@@ -53,18 +58,25 @@ from typing import Any, Callable, Dict, Iterator, List, Sequence, Tuple
 
 from repro.errors import ProtocolError
 from repro.lqp.base import Capabilities, ColumnStats, RelationStats
+from repro.net import binary
 from repro.relational.relation import Relation
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "MIN_PROTOCOL_VERSION",
+    "WIRE_FORMATS",
     "MAX_FRAME_BYTES",
     "DEFAULT_CHUNK_TUPLES",
     "URL_SCHEME",
     "encode_frame",
+    "frame_raw",
     "decode_payload",
     "read_frame",
     "hello_message",
     "check_hello",
+    "negotiate_version",
+    "peer_formats",
+    "supports_binary",
     "request_message",
     "cancel_message",
     "chunk_message",
@@ -84,9 +96,20 @@ __all__ = [
     "format_url",
 ]
 
-#: Bumped on every incompatible message-shape change; both ends refuse to
-#: talk across versions (the hello frame carries it).
-PROTOCOL_VERSION = 1
+#: The newest protocol this build speaks.  Version 2 added the binary
+#: columnar chunk encoding (:mod:`repro.net.binary`); the hello frame
+#: advertises both ends' ranges and the connection runs at the highest
+#: version both speak.
+PROTOCOL_VERSION = 2
+
+#: The oldest protocol this build still accepts.  Version 1 (JSON-only
+#: chunks) remains fully supported: a v1 peer negotiates down to JSON
+#: frames and never sees a binary payload.
+MIN_PROTOCOL_VERSION = 1
+
+#: Chunk encodings this build can produce and consume, in preference
+#: order.  Advertised in the hello frame from protocol 2 onward.
+WIRE_FORMATS = ("binary", "json")
 
 #: Hard ceiling on one frame's JSON payload.  Generous for chunked tuples
 #: (a 1024-tuple chunk of wide string rows is well under 1 MiB) while
@@ -122,8 +145,24 @@ def encode_frame(message: Dict[str, Any]) -> bytes:
     return _LENGTH.pack(len(payload)) + payload
 
 
+def frame_raw(payload: bytes) -> bytes:
+    """Length-prefix an already-encoded payload (binary chunk frames)."""
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(payload)} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"
+        )
+    return _LENGTH.pack(len(payload)) + payload
+
+
 def decode_payload(payload: bytes) -> Dict[str, Any]:
-    """JSON payload bytes → message dict (framing already stripped)."""
+    """Payload bytes → message dict (framing already stripped).
+
+    Routes on the first payload byte: :data:`repro.net.binary.MAGIC_BYTE`
+    selects the v2 binary chunk decoder, anything else is parsed as the
+    JSON v1 message shape.
+    """
+    if payload[:1] == bytes((binary.MAGIC_BYTE,)):
+        return binary.decode_chunk_payload(payload)
     try:
         message = json.loads(payload.decode("utf-8"))
     except (UnicodeDecodeError, ValueError) as exc:
@@ -159,9 +198,52 @@ def hello_message(database: str, relations: Sequence[str]) -> Dict[str, Any]:
     return {
         "kind": "hello",
         "protocol": PROTOCOL_VERSION,
+        "min_protocol": MIN_PROTOCOL_VERSION,
+        "formats": list(WIRE_FORMATS),
         "database": database,
         "relations": list(relations),
     }
+
+
+def negotiate_version(message: Dict[str, Any], where: str = "peer") -> int:
+    """The protocol version this connection will run at.
+
+    Both ends advertise ``[min_protocol, protocol]`` and the connection
+    runs at ``min(ours, theirs)`` — refused only when that falls below
+    either end's floor.  A v1 hello carries no ``min_protocol``; such
+    peers speak exactly their advertised version, so the fallback keeps
+    them connectable (at JSON v1) without any change on their side.
+    """
+    version = message.get("protocol")
+    if not isinstance(version, int) or isinstance(version, bool):
+        raise ProtocolError(f"{where} hello frame carries no protocol version")
+    floor = message.get("min_protocol")
+    if not isinstance(floor, int) or isinstance(floor, bool):
+        floor = version
+    negotiated = min(PROTOCOL_VERSION, version)
+    if negotiated < floor or negotiated < MIN_PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"no common protocol version: {where} speaks {floor}..{version}, "
+            f"this peer speaks {MIN_PROTOCOL_VERSION}..{PROTOCOL_VERSION}"
+        )
+    return negotiated
+
+
+def peer_formats(message: Dict[str, Any]) -> Tuple[str, ...]:
+    """Chunk encodings the hello's sender can speak.
+
+    Peers that predate format negotiation (protocol 1) advertise nothing
+    and are JSON-only.
+    """
+    formats = message.get("formats")
+    if not isinstance(formats, (list, tuple)):
+        return ("json",)
+    return tuple(str(name) for name in formats)
+
+
+def supports_binary(message: Dict[str, Any], where: str = "peer") -> bool:
+    """Whether binary columnar chunks may flow on this connection."""
+    return negotiate_version(message, where) >= 2 and "binary" in peer_formats(message)
 
 
 def check_hello(message: Dict[str, Any], where: str) -> Dict[str, Any]:
@@ -170,12 +252,7 @@ def check_hello(message: Dict[str, Any], where: str) -> Dict[str, Any]:
         raise ProtocolError(
             f"{where} did not open with a hello frame (got {message.get('kind')!r})"
         )
-    version = message.get("protocol")
-    if version != PROTOCOL_VERSION:
-        raise ProtocolError(
-            f"{where} speaks protocol version {version!r}; "
-            f"this client speaks {PROTOCOL_VERSION}"
-        )
+    negotiate_version(message, where)
     if not isinstance(message.get("database"), str) or not message["database"]:
         raise ProtocolError(f"{where} hello frame lacks a database name")
     return message

@@ -40,7 +40,7 @@ from repro.catalog.serialize import schema_to_dict
 from repro.core.predicate import Theta
 from repro.errors import ProtocolError, QueryCancelledError
 from repro.lqp.base import LocalQueryProcessor, project_columns
-from repro.net import protocol
+from repro.net import binary, protocol
 
 __all__ = ["LQPServer", "ServerStats"]
 
@@ -58,6 +58,8 @@ class ServerStats:
     connections: int = 0
     requests: int = 0
     chunks_sent: int = 0
+    #: Subset of ``chunks_sent`` that went out as binary columnar frames.
+    binary_chunks_sent: int = 0
     tuples_sent: int = 0
     cancelled: int = 0
     errors: int = 0
@@ -86,7 +88,13 @@ class _Connection:
         self.closed = threading.Event()
 
     def send(self, message: Dict[str, Any]) -> None:
-        frame = protocol.encode_frame(message)
+        self.send_frame(protocol.encode_frame(message))
+
+    def send_raw(self, payload: bytes) -> None:
+        """Frame and send an already-encoded (binary) payload."""
+        self.send_frame(protocol.frame_raw(payload))
+
+    def send_frame(self, frame: bytes) -> None:
         with self.write_lock:
             try:
                 self.sock.sendall(frame)
@@ -405,20 +413,41 @@ class LQPServer:
         if cancel.is_set():
             raise QueryCancelledError(f"request {request_id} cancelled by client")
         attributes = list(relation.attributes)
+        # A v2 client may ask for binary chunk frames and/or its own chunk
+        # granularity per request (a pipelined scan wants smaller chunks
+        # than a bulk fetch).  v1 clients send neither key and get the JSON
+        # default — the request shape is fully backward compatible.
+        use_binary = message.get("format") == "binary"
+        chunk_size = self._chunk_size
+        requested = message.get("chunk_size")
+        if isinstance(requested, int) and not isinstance(requested, bool) and requested >= 1:
+            chunk_size = requested
         chunks = tuples = 0
-        for rows in protocol.relation_chunks(relation, self._chunk_size):
+        if use_binary:
+            stream = binary.relation_chunk_payloads(request_id, relation, chunk_size)
+        else:
+            stream = (
+                (protocol.chunk_message(request_id, seq, attributes, rows), len(rows))
+                for seq, rows in enumerate(protocol.relation_chunks(relation, chunk_size))
+            )
+        for chunk, nrows in stream:
             if cancel.is_set():
                 self._count(chunks_sent=chunks, tuples_sent=tuples)
                 raise QueryCancelledError(
                     f"request {request_id} cancelled mid-stream "
                     f"after {chunks} chunk(s)"
                 )
-            connection.send(
-                protocol.chunk_message(request_id, chunks, attributes, rows)
-            )
+            if use_binary:
+                connection.send_raw(chunk)
+            else:
+                connection.send(chunk)
             chunks += 1
-            tuples += len(rows)
-        self._count(chunks_sent=chunks, tuples_sent=tuples)
+            tuples += nrows
+        self._count(
+            chunks_sent=chunks,
+            tuples_sent=tuples,
+            binary_chunks_sent=chunks if use_binary else 0,
+        )
         connection.send(protocol.end_message(request_id, chunks, tuples, attributes))
 
     def _scalar_result(self, op: str, message: Dict[str, Any]) -> Any:

@@ -44,11 +44,12 @@ from repro.errors import (
     ConnectionLostError,
     NetworkError,
     ProtocolError,
+    QueryCancelledError,
     RemoteQueryError,
     RemoteTimeoutError,
     ServiceClosedError,
 )
-from repro.net import protocol
+from repro.net import binary, protocol
 
 __all__ = ["ConnectionMux", "TransportStats"]
 
@@ -57,12 +58,18 @@ __all__ = ["ConnectionMux", "TransportStats"]
 _OUTER_SLACK = 10.0
 
 
+class _AbortedByCaller(Exception):
+    """Internal: the caller's abort handle was set mid-stream."""
+
+
 @dataclass(frozen=True)
 class TransportStats:
     """A point-in-time snapshot of one transport's counters."""
 
     requests: int = 0
     chunks: int = 0
+    #: Subset of ``chunks`` that arrived as binary columnar frames.
+    binary_chunks: int = 0
     tuples: int = 0
     bytes_sent: int = 0
     bytes_received: int = 0
@@ -175,11 +182,25 @@ class ConnectionMux:
             self._call(self._ensure_connected())
         return dict(self._hello)
 
+    def negotiated_version(self) -> int:
+        """The protocol version this connection runs at (dials on first use)."""
+        return protocol.negotiate_version(
+            self.hello(), f"LQP server at {self.host}:{self.port}"
+        )
+
+    def supports_binary(self) -> bool:
+        """Whether binary columnar chunk frames may flow on this connection."""
+        return protocol.supports_binary(
+            self.hello(), f"LQP server at {self.host}:{self.port}"
+        )
+
     def request(
         self,
         op: str,
         *,
         on_chunk: Optional[Callable[[Sequence[str], List[Tuple[Any, ...]]], None]] = None,
+        on_chunk_message: Optional[Callable[[Dict[str, Any]], None]] = None,
+        abort: Optional[threading.Event] = None,
         **params: Any,
     ) -> Dict[str, Any]:
         """Execute one request; blocks until its final frame.
@@ -189,16 +210,25 @@ class ConnectionMux:
         ``on_chunk(attributes, rows)`` fires as each chunk lands — before
         the stream is complete — which is what lets a retrieve's first
         tuples be processed while the server is still shipping the rest.
+        ``on_chunk_message(message)`` is the lower-level sibling, receiving
+        the decoded chunk *message* (columnar for binary frames: ``columns``
+        + ``count`` instead of ``rows``); when given, the reply accumulates
+        no rows — the callback is the stream's only consumer.
 
-        **on_chunk runs on this mux's event-loop thread.**  It must not
-        block: every other in-flight request on this connection shares
+        **Both callbacks run on this mux's event-loop thread.**  They must
+        not block: every other in-flight request on this connection shares
         that loop, so a slow callback starves their frame reads into
         spurious timeouts.  Record/enqueue and return; do heavy work on
         the consuming thread.
 
+        ``abort`` (any object with ``is_set()``) cancels the stream from
+        the caller's side mid-flight: the mux sends a best-effort server
+        ``cancel`` and raises :class:`~repro.errors.QueryCancelledError`.
+
         Every LQP op is a pure read, so a :class:`ConnectionLostError` is
         retried (``retries`` times) on a fresh connection; the chunk
-        callback then restarts from the first chunk.
+        callbacks then restart from the first chunk (consumers that must
+        not re-process rows dedup on the chunk ``seq``).
         """
         attempts = self.retries + 1
         for attempt in range(attempts):
@@ -211,7 +241,9 @@ class ConnectionMux:
                     f"transport to {self.host}:{self.port} is closed"
                 )
             try:
-                return self._call(self._roundtrip(op, params, on_chunk))
+                return self._call(
+                    self._roundtrip(op, params, on_chunk, on_chunk_message, abort)
+                )
             except ConnectionLostError:
                 if attempt == attempts - 1:
                     raise
@@ -429,6 +461,8 @@ class ConnectionMux:
         op: str,
         params: Dict[str, Any],
         on_chunk: Optional[Callable[[Sequence[str], List[Tuple[Any, ...]]], None]],
+        on_chunk_message: Optional[Callable[[Dict[str, Any]], None]] = None,
+        abort: Optional[threading.Event] = None,
     ) -> Dict[str, Any]:
         await self._ensure_connected()
         async with self._semaphore:
@@ -441,23 +475,64 @@ class ConnectionMux:
             try:
                 await self._send(protocol.request_message(request_id, op, **params))
                 self._count(requests=1)
-                return await self._collect(request_id, queue, on_chunk)
+                return await self._collect(
+                    request_id, queue, on_chunk, on_chunk_message, abort
+                )
             finally:
                 self._pending.pop(request_id, None)
                 self._in_flight -= 1
+
+    async def _next_frame(
+        self, queue: asyncio.Queue, abort: Optional[threading.Event]
+    ) -> Any:
+        """The next routed frame, or :class:`_AbortedByCaller` / timeout.
+
+        With an abort handle the wait runs in short slices so a caller-side
+        cancel is noticed promptly; each empty slice touches the liveness
+        heartbeat (polling is activity, not a stall)."""
+        if abort is None:
+            return await asyncio.wait_for(queue.get(), timeout=self.timeout)
+        deadline = _monotonic() + self.timeout
+        while True:
+            if abort.is_set():
+                raise _AbortedByCaller()
+            remaining = deadline - _monotonic()
+            if remaining <= 0:
+                raise asyncio.TimeoutError()
+            try:
+                return await asyncio.wait_for(
+                    queue.get(), timeout=min(0.05, remaining)
+                )
+            except asyncio.TimeoutError:
+                self._touch()
 
     async def _collect(
         self,
         request_id: int,
         queue: asyncio.Queue,
         on_chunk: Optional[Callable[[Sequence[str], List[Tuple[Any, ...]]], None]],
+        on_chunk_message: Optional[Callable[[Dict[str, Any]], None]] = None,
+        abort: Optional[threading.Event] = None,
     ) -> Dict[str, Any]:
         attributes: Optional[List[str]] = None
         rows: List[Tuple[Any, ...]] = []
+        # A chunk-message sink is the stream's sole consumer: accumulating
+        # rows here too would double the peak memory of every large scan.
+        accumulate = on_chunk_message is None
         chunks = 0
         while True:
             try:
-                message = await asyncio.wait_for(queue.get(), timeout=self.timeout)
+                message = await self._next_frame(queue, abort)
+            except _AbortedByCaller:
+                # Tell the server to stop streaming a reply nobody wants.
+                try:
+                    await self._send(protocol.cancel_message(request_id))
+                except ConnectionLostError:
+                    pass
+                raise QueryCancelledError(
+                    f"request {request_id} to {self.host}:{self.port} "
+                    "aborted by the caller"
+                ) from None
             except asyncio.TimeoutError:
                 self._touch()  # the in-loop timeout firing IS loop activity
                 self._count(timeouts=1)
@@ -476,9 +551,20 @@ class ConnectionMux:
             if kind == "chunk":
                 chunks += 1
                 attributes = message.get("attributes")
-                batch = protocol.rows_from_wire(message.get("rows", ()))
-                rows.extend(batch)
-                self._count(chunks=1, tuples=len(batch))
+                is_binary = "columns" in message
+                if is_binary:
+                    batch = binary.columns_to_rows(message)
+                else:
+                    batch = protocol.rows_from_wire(message.get("rows", ()))
+                if accumulate:
+                    rows.extend(batch)
+                self._count(
+                    chunks=1,
+                    tuples=len(batch),
+                    binary_chunks=1 if is_binary else 0,
+                )
+                if on_chunk_message is not None:
+                    on_chunk_message(message)
                 if on_chunk is not None:
                     on_chunk(attributes, batch)
             elif kind == "end":

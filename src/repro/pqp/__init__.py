@@ -46,7 +46,8 @@ from repro.pqp.matrix import (
 )
 from repro.pqp.optimizer import OptimizationReport, QueryOptimizer, ShapeChoice
 from repro.pqp.plandag import PlanDAG
-from repro.pqp.processor import PolygenQueryProcessor, QueryResult
+from repro.pqp.processor import PolygenQueryProcessor
+from repro.pqp.result import QueryResult
 from repro.pqp.runtime import ConcurrentExecutor
 from repro.pqp.schedule import (
     PlanSchedule,

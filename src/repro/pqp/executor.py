@@ -39,7 +39,9 @@ from repro.integration.domains import TransformRegistry, default_registry
 from repro.integration.identity import IdentityResolver
 from repro.lqp.registry import LQPRegistry
 from repro.lqp.tagging import materialize
+from repro.relational.relation import Relation
 from repro.storage import kernels
+from repro.pqp import stream as pqp_stream
 from repro.pqp.matrix import (
     IntermediateOperationMatrix,
     LocalOperand,
@@ -119,6 +121,12 @@ class ExecutionTrace:
 class Executor:
     """Evaluates Intermediate Operation Matrices."""
 
+    #: Worker label the streaming path stamps on row timings.  The chunk
+    #: pipeline runs inline on the submitting thread, so the serial engine
+    #: keeps its historical "serial" label; the concurrent runtime
+    #: overrides this to mark pipelined rows distinctly.
+    _stream_worker = "serial"
+
     def __init__(
         self,
         schema: PolygenSchema,
@@ -147,6 +155,9 @@ class Executor:
         *,
         cancel: threading.Event | None = None,
         on_result: Optional[Callable[[PolygenRelation], None]] = None,
+        on_chunk: Optional[Callable[[PolygenRelation], None]] = None,
+        stream_chunk_size: Optional[int] = None,
+        wire_format: str = "auto",
     ) -> ExecutionTrace:
         """Evaluate every row in order; the last row is the query result.
 
@@ -155,9 +166,29 @@ class Executor:
         with the final relation the moment the result row completes —
         the same service-layer hooks the concurrent engine honours, so a
         federation can drive either engine through one call shape.
+
+        ``on_chunk`` opts into pipelined streaming: when the plan is a
+        streamable spine (:mod:`repro.pqp.stream`) it fires with each
+        batch of fresh result rows *while the scan is still in flight*,
+        ``stream_chunk_size`` sizes the batches, and ``wire_format``
+        picks the chunk encoding of a remote head (``"auto"``/``"json"``/
+        ``"binary"``).  Non-spine plans ignore all three and execute
+        whole-relation as before — ``on_result`` still delivers.
         """
         if not len(iom):
             raise ExecutionError("cannot execute an empty operation matrix")
+        if on_chunk is not None:
+            chain = pqp_stream.streamable_spine(iom)
+            if chain is not None:
+                return self._execute_streaming(
+                    iom,
+                    chain,
+                    cancel=cancel,
+                    on_result=on_result,
+                    on_chunk=on_chunk,
+                    stream_chunk_size=stream_chunk_size,
+                    wire_format=wire_format,
+                )
         final = iom.rows[-1].result.index
         results: Dict[int, PolygenRelation] = {}
         lineages: Dict[int, Lineage] = {}
@@ -213,6 +244,24 @@ class Executor:
         lqp = self._registry.get(row.el)
         scheme = self._schema.scheme(row.scheme)
         columns = self._shipped_columns(lqp, scheme, row)
+        shipped = self._ship_local(row, lqp, columns)
+        relation = materialize(
+            shipped,
+            row.el,
+            scheme,
+            resolver=self._resolver,
+            transforms=self._transforms,
+            relation_name=row.lhr.relation,
+            attributes=row.project,
+            consulted=row.consulted,
+            tag_pool=self._tag_pool,
+        )
+        lineage = {attribute: frozenset({scheme.name}) for attribute in relation.attributes}
+        return relation, lineage
+
+    @staticmethod
+    def _ship_local(row: MatrixRow, lqp, columns) -> Relation:
+        """Run the head verb at its LQP; the shipped, untagged relation."""
         kwargs = {} if columns is None else {"columns": columns}
         if row.op is Operation.RETRIEVE:
             shipped = lqp.retrieve(row.lhr.relation, **kwargs)
@@ -258,19 +307,145 @@ class Executor:
             raise ExecutionError(
                 f"operation {row.op.value} cannot execute at LQP {row.el!r}"
             )
-        relation = materialize(
-            shipped,
-            row.el,
-            scheme,
-            resolver=self._resolver,
-            transforms=self._transforms,
-            relation_name=row.lhr.relation,
-            attributes=row.project,
-            consulted=row.consulted,
-            tag_pool=self._tag_pool,
+        return shipped
+
+    # -- pipelined streaming -------------------------------------------
+
+    def _execute_streaming(
+        self,
+        iom: IntermediateOperationMatrix,
+        chain: Tuple[MatrixRow, ...],
+        *,
+        cancel: threading.Event | None,
+        on_result: Optional[Callable[[PolygenRelation], None]],
+        on_chunk: Callable[[PolygenRelation], None],
+        stream_chunk_size: Optional[int],
+        wire_format: str,
+    ) -> ExecutionTrace:
+        """Evaluate a spine plan chunk-at-a-time (:mod:`repro.pqp.stream`).
+
+        Chunks ship from the head LQP — over the wire via its
+        ``retrieve_chunks``/``select_chunks`` when it has them, otherwise
+        by slicing the whole shipped relation locally, so the caller's
+        ``on_chunk`` cadence is uniform across deployments — and flow
+        through the PQP stages as they arrive.  The returned trace is
+        byte-identical to whole-relation execution: same intermediate
+        results, tags, lineages; only the timings differ (every row spans
+        the stream, worker ``"stream"``).
+        """
+        head = chain[0]
+        if not isinstance(head.lhr, LocalOperand):
+            raise ExecutionError(
+                f"local row {head.result} must name a local relation, got {head.lhr!r}"
+            )
+        lqp = self._registry.get(head.el)
+        scheme = self._schema.scheme(head.scheme)
+        columns = self._shipped_columns(lqp, scheme, head)
+        chunk_size = stream_chunk_size or pqp_stream.DEFAULT_STREAM_CHUNK_TUPLES
+
+        def materialize_chunk(chunk: Relation) -> PolygenRelation:
+            return materialize(
+                chunk,
+                head.el,
+                scheme,
+                resolver=self._resolver,
+                transforms=self._transforms,
+                relation_name=head.lhr.relation,
+                attributes=head.project,
+                consulted=head.consulted,
+                tag_pool=self._tag_pool,
+            )
+
+        pipeline = pqp_stream.ChunkPipeline(chain, materialize_chunk, scheme.name)
+        origin = time.perf_counter()
+
+        def check_cancel() -> None:
+            if cancel is not None and cancel.is_set():
+                raise QueryCancelledError("query cancelled")
+
+        def emit(chunk: Relation) -> None:
+            batch = pipeline.push(chunk)
+            if batch is not None:
+                on_chunk(batch)
+
+        check_cancel()
+        streamer = self._chunk_streamer(
+            lqp, head, columns, chunk_size, wire_format, cancel
         )
-        lineage = {attribute: frozenset({scheme.name}) for attribute in relation.attributes}
-        return relation, lineage
+        try:
+            if streamer is not None:
+                wire_stream = streamer()
+                delivered = False
+                for wire_chunk in wire_stream:
+                    check_cancel()
+                    emit(Relation(wire_chunk.attributes, wire_chunk.rows))
+                    delivered = True
+                if not delivered:
+                    attributes = wire_stream.attributes
+                    if not attributes:
+                        raise ExecutionError(
+                            f"row {head.result}: stream ended without a heading"
+                        )
+                    emit(Relation(attributes, []))
+            else:
+                shipped = self._ship_local(head, lqp, columns)
+                rows = shipped.rows
+                if rows:
+                    for start in range(0, len(rows), chunk_size):
+                        check_cancel()
+                        emit(Relation(shipped.heading, rows[start : start + chunk_size]))
+                else:
+                    emit(Relation(shipped.heading, []))
+        except (ExecutionError, QueryCancelledError):
+            raise
+        except Exception as exc:
+            raise ExecutionError(
+                f"streamed plan failed at row {head.result} "
+                f"({head.op.value}): {exc}"
+            ) from exc
+        check_cancel()
+        results, lineages = pipeline.finish()
+        finish = time.perf_counter() - origin
+        timings = {
+            row.result.index: RowTiming(
+                start=0.0,
+                finish=finish,
+                location=row.el or "PQP",
+                worker=self._stream_worker,
+            )
+            for row in chain
+        }
+        final = iom.rows[-1].result.index
+        relation = results[final]
+        if on_result is not None:
+            on_result(relation)
+        return ExecutionTrace(
+            relation, results, lineages[final], timings, lineages=lineages
+        )
+
+    @staticmethod
+    def _chunk_streamer(lqp, row: MatrixRow, columns, chunk_size, wire_format, cancel):
+        """A thunk opening a wire chunk stream for the head row, or ``None``
+        when this LQP cannot stream (duck-typed: wrappers and in-process
+        engines simply lack the methods)."""
+        kwargs = {
+            "chunk_size": chunk_size,
+            "wire_format": None if wire_format in (None, "auto") else wire_format,
+            "abort": cancel,
+        }
+        if columns is not None:
+            kwargs["columns"] = columns
+        if row.op is Operation.RETRIEVE:
+            opener = getattr(lqp, "retrieve_chunks", None)
+            if not callable(opener):
+                return None
+            return lambda: opener(row.lhr.relation, **kwargs)
+        opener = getattr(lqp, "select_chunks", None)
+        if not callable(opener):
+            return None
+        return lambda: opener(
+            row.lhr.relation, row.lha, row.theta, row.rha.value, **kwargs
+        )
 
     @staticmethod
     def _shipped_columns(lqp, scheme, row: MatrixRow):

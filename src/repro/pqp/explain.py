@@ -24,7 +24,7 @@ from repro.catalog.schema import PolygenSchema
 from repro.core.cell import Cell
 from repro.core.relation import PolygenRelation
 from repro.pqp.executor import ExecutionTrace
-from repro.pqp.processor import QueryResult
+from repro.pqp.result import QueryResult
 
 __all__ = [
     "explain_cell",

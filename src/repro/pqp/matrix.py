@@ -313,6 +313,24 @@ class IntermediateOperationMatrix(_Matrix):
     HEADERS = ("PR", "OP", "LHR", "LHA", "0", "RHA", "RHR", "EL")
     WITH_EL = True
 
+    def linear_chain(self) -> Optional[Tuple[MatrixRow, ...]]:
+        """The plan as a single dependency chain, or ``None``.
+
+        A chain means every row consumes exactly the previous row's result
+        (the head consumes none): no fan-out, no fan-in, result last.  This
+        is the shape :mod:`repro.pqp.stream` can evaluate one arriving
+        chunk at a time, because each stage's output is a prefix-stable
+        function of its input rows.
+        """
+        rows = self.rows
+        if not rows or rows[0].referenced_results():
+            return None
+        for previous, row in zip(rows, rows[1:]):
+            references = row.referenced_results()
+            if len(references) != 1 or references[0].index != previous.result.index:
+                return None
+        return rows
+
     def local_rows(self) -> Tuple[MatrixRow, ...]:
         return tuple(row for row in self if row.is_local)
 

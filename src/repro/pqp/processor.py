@@ -41,14 +41,28 @@ from repro.lqp.registry import LQPRegistry
 from repro.pqp.executor import Executor
 from repro.pqp.matrix import IntermediateOperationMatrix, PolygenOperationMatrix
 from repro.pqp.optimizer import OptimizationReport, QueryOptimizer, ShapeChoice
-from repro.pqp.result import QueryResult
+from repro.pqp.result import QueryResult as _QueryResult
 from repro.translate.translator import translate_sql
 
 if TYPE_CHECKING:  # pragma: no cover - the service imports this package's
     # submodules, so the runtime imports below stay inside __init__.
     from repro.service.federation import PolygenFederation
+    from repro.pqp.result import QueryResult
 
 __all__ = ["PolygenQueryProcessor", "QueryResult"]
+
+
+def __getattr__(name):
+    # ``QueryResult`` lived here before it moved to repro.pqp.result; the
+    # legacy import path survives as a warn-once shim.
+    if name == "QueryResult":
+        from repro._compat import warn_moved
+
+        warn_moved("repro.pqp.processor.QueryResult", "repro.pqp.result")
+        return _QueryResult
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )
 
 
 class PolygenQueryProcessor:

@@ -54,15 +54,32 @@ import queue
 import threading
 import time
 from collections import deque
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ExecutionError, QueryCancelledError
+from repro.pqp import stream as pqp_stream
 from repro.pqp.executor import ExecutionTrace, Executor, Lineage, RowTiming
 from repro.pqp.matrix import IntermediateOperationMatrix, MatrixRow
 from repro.pqp.plandag import PlanDAG
-from repro.pqp.pool import WorkerPool
+from repro.pqp.pool import WorkerPool as _WorkerPool
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.pqp.pool import WorkerPool
 
 __all__ = ["ConcurrentExecutor"]
+
+
+def __getattr__(name):
+    # ``WorkerPool`` lived here before it moved to repro.pqp.pool; the
+    # legacy import path survives as a warn-once shim.
+    if name == "WorkerPool":
+        from repro._compat import warn_moved
+
+        warn_moved("repro.pqp.runtime.WorkerPool", "repro.pqp.pool")
+        return _WorkerPool
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )
 
 from repro.core.relation import PolygenRelation
 
@@ -91,6 +108,8 @@ class ConcurrentExecutor(Executor):
     coordinator threads, each call keeping its state on its own stack.
     """
 
+    _stream_worker = "stream"
+
     def __init__(self, *args, pool: WorkerPool | None = None, **kwargs):
         super().__init__(*args, **kwargs)
         self._pool = pool
@@ -107,9 +126,28 @@ class ConcurrentExecutor(Executor):
         *,
         cancel: threading.Event | None = None,
         on_result: Callable[[PolygenRelation], None] | None = None,
+        on_chunk: Callable[[PolygenRelation], None] | None = None,
+        stream_chunk_size: int | None = None,
+        wire_format: str = "auto",
     ) -> ExecutionTrace:
         if not len(iom):
             raise ExecutionError("cannot execute an empty operation matrix")
+        if on_chunk is not None:
+            # A streamable spine is a linear chain — it has no parallelism
+            # for the DAG scheduler to exploit, so pipelined chunk flow
+            # (first rows before the scan completes) strictly wins.  The
+            # shared streaming path lives on the serial base class.
+            chain = pqp_stream.streamable_spine(iom)
+            if chain is not None:
+                return self._execute_streaming(
+                    iom,
+                    chain,
+                    cancel=cancel,
+                    on_result=on_result,
+                    on_chunk=on_chunk,
+                    stream_chunk_size=stream_chunk_size,
+                    wire_format=wire_format,
+                )
         dag = PlanDAG.from_iom(iom)
         final = iom.rows[-1].result.index
 
@@ -152,7 +190,7 @@ class ConcurrentExecutor(Executor):
         pool = self._pool
         owned = pool is None
         if owned:
-            pool = WorkerPool()
+            pool = _WorkerPool()
 
         #: database → worker-group width, resolved once per plan.  An
         #: in-process LQP stays at the paper's single connection (width 1);

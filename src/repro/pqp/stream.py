@@ -1,0 +1,221 @@
+"""Pipelined chunk streaming through the executor.
+
+The executors normally materialize each shipped relation whole before any
+PQP row touches it; the first result tuple therefore waits on the *last*
+wire chunk.  This module lets a restricted — but common — plan shape
+evaluate incrementally instead: chunks flow through the plan as they
+arrive, and the service cursor hands out rows while the scan is still in
+flight.
+
+**The streamable spine.**  A plan streams when it is one linear chain
+(:meth:`~repro.pqp.matrix.IntermediateOperationMatrix.linear_chain`):
+
+- the head is a local ``Retrieve`` or literal ``Select`` — unsharded, no
+  key range — whose LQP ships the relation (chunked over the wire when the
+  LQP exposes ``retrieve_chunks``/``select_chunks``, sliced locally
+  otherwise), and
+- every later row is a PQP ``Select``/``Restrict``/``Project`` consuming
+  exactly the previous result.
+
+``Merge`` (and every binary operator) stays a barrier: its output is not
+prefix-stable under coalesce — a late chunk can rewrite rows already
+emitted — so plans containing one fall back to whole-relation execution.
+
+**Why chunk-wise evaluation is exact.**  Along a spine, every cell's tag
+is a function of its own nil-ness plus stage constants: materialization
+tags data cells ``({LD}, consulted)`` and nils ``({}, consulted)``;
+a Restrict's mediator set is the compared cells' origins, and θ rejects
+nil operands (:meth:`~repro.core.predicate.Theta.evaluate`), so every
+survivor gains the *same* mediators; Project only reorders and merges.
+Hence **equal data rows carry equal tag rows at every stage**, duplicate
+rows produce duplicate downstream results, and cross-chunk deduplication
+by data portion (:func:`repro.storage.kernels.fresh_rows`) reproduces the
+whole-relation result — same rows, same order (first appearance), same
+interned tags — which is what lets the semantic result cache store a
+streamed trace's intermediates interchangeably with an unstreamed one's.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.heading import Heading
+from repro.core.predicate import AttributeRef, Literal
+from repro.core.relation import PolygenRelation
+from repro.errors import ExecutionError
+from repro.pqp.matrix import (
+    IntermediateOperationMatrix,
+    MatrixRow,
+    Operation,
+    ResultOperand,
+)
+from repro.relational.relation import Relation
+from repro.storage import kernels
+from repro.storage.columnar import ColumnarRelation
+
+__all__ = ["DEFAULT_STREAM_CHUNK_TUPLES", "streamable_spine", "ChunkPipeline"]
+
+#: Rows per streamed batch when the caller does not say otherwise.
+DEFAULT_STREAM_CHUNK_TUPLES = 1024
+
+#: PQP operations that are prefix-stable row filters/maps over one input.
+_PQP_STREAM_OPS = frozenset(
+    {Operation.SELECT, Operation.RESTRICT, Operation.PROJECT}
+)
+
+
+def streamable_spine(
+    iom: IntermediateOperationMatrix,
+) -> Optional[Tuple[MatrixRow, ...]]:
+    """The plan's rows when the whole plan is a streamable spine, else
+    ``None`` (see the module docstring for the shape)."""
+    chain = iom.linear_chain()
+    if chain is None:
+        return None
+    head = chain[0]
+    if not head.is_local or head.key_range is not None or head.shard is not None:
+        return None
+    if head.op is Operation.SELECT:
+        if not isinstance(head.rha, Literal):
+            return None
+    elif head.op is not Operation.RETRIEVE:
+        return None
+    for row in chain[1:]:
+        if row.is_local or row.op not in _PQP_STREAM_OPS:
+            return None
+        if not isinstance(row.lhr, ResultOperand) or row.rhr is not None:
+            return None
+        if row.op is Operation.SELECT and not isinstance(
+            row.rha, (Literal, AttributeRef)
+        ):
+            return None
+    return chain
+
+
+class _Stage:
+    """Accumulated state of one spine row across the stream."""
+
+    __slots__ = ("row", "heading", "seen", "data_rows", "tag_rows")
+
+    def __init__(self, row: MatrixRow):
+        self.row = row
+        self.heading: Optional[Heading] = None
+        #: data rows already emitted by this stage (cross-chunk dedup).
+        self.seen: Dict[Tuple[Any, ...], None] = {}
+        self.data_rows: List[Tuple[Any, ...]] = []
+        self.tag_rows: List[Tuple[int, ...]] = []
+
+
+class ChunkPipeline:
+    """Evaluates a spine plan one arriving chunk at a time.
+
+    ``push`` takes one shipped (untagged) chunk, materializes it through
+    ``materialize_chunk`` — the executor's usual domain-map / identity /
+    rename / tag pipeline, scoped to the head row — runs it through every
+    PQP stage with cross-chunk deduplication, and returns the final
+    stage's *fresh* rows as a polygen relation (``None`` when the chunk
+    contributed nothing new).  ``finish`` assembles the per-stage
+    accumulations into the intermediate results and lineages an
+    :class:`~repro.pqp.executor.ExecutionTrace` carries, byte-identical to
+    whole-relation execution of the same plan.
+
+    Push at least one chunk before ``finish`` — an *empty* chunk is how
+    an empty scan establishes every stage's heading.
+    """
+
+    def __init__(
+        self,
+        chain: Sequence[MatrixRow],
+        materialize_chunk: Callable[[Relation], PolygenRelation],
+        scheme_name: str,
+    ):
+        self._chain: Tuple[MatrixRow, ...] = tuple(chain)
+        self._materialize = materialize_chunk
+        self._scheme_name = scheme_name
+        self._stages = [_Stage(row) for row in self._chain]
+        self._pool = None
+        self._pushes = 0
+
+    @property
+    def chunks_processed(self) -> int:
+        return self._pushes
+
+    def push(self, chunk: Relation) -> Optional[PolygenRelation]:
+        """Advance every stage by one chunk; the final stage's new rows."""
+        self._pushes += 1
+        store = self._materialize(chunk).store
+        if self._pool is None:
+            self._pool = store.pool
+        fresh = kernels.fresh_rows(store, self._stages[0].seen)
+        fresh = self._accumulate(0, fresh)
+        for position in range(1, len(self._chain)):
+            fresh = self._apply(self._chain[position], fresh, self._stages[position])
+            fresh = self._accumulate(position, fresh)
+        if not fresh.cardinality:
+            return None
+        return PolygenRelation.from_store(fresh)
+
+    def finish(self):
+        """``(results, lineages)`` keyed by R(#) index, covering every row."""
+        if not self._pushes:
+            raise ExecutionError(
+                "ChunkPipeline.finish() before any chunk was pushed"
+            )
+        results: Dict[int, PolygenRelation] = {}
+        lineages: Dict[int, Dict[str, frozenset]] = {}
+        previous: Dict[str, frozenset] = {}
+        for position, (row, stage) in enumerate(zip(self._chain, self._stages)):
+            store = ColumnarRelation.from_row_major(
+                stage.heading, stage.data_rows, stage.tag_rows, self._pool
+            )
+            if position == 0:
+                lineage = {
+                    name: frozenset({self._scheme_name})
+                    for name in stage.heading.attributes
+                }
+            elif row.op is Operation.PROJECT:
+                lineage = {
+                    name: previous.get(name, frozenset())
+                    for name in stage.heading.attributes
+                }
+            else:
+                lineage = dict(previous)
+            results[row.result.index] = PolygenRelation.from_store(store)
+            lineages[row.result.index] = lineage
+            previous = lineage
+        return results, lineages
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _apply(row: MatrixRow, store: ColumnarRelation, stage: _Stage) -> ColumnarRelation:
+        if row.op is Operation.PROJECT:
+            attributes = tuple(row.lha)
+            positions = store.heading.indices(attributes)
+            return kernels.project_chunk(
+                store, positions, Heading(attributes), stage.seen
+            )
+        x_pos = store.heading.index(row.lha)
+        if row.op is Operation.RESTRICT:
+            y_pos = store.heading.index(row.rha)
+            return kernels.restrict_chunk(
+                store, x_pos, row.theta, y_pos, None, stage.seen
+            )
+        rhs = row.rha
+        if isinstance(rhs, AttributeRef):
+            y_pos = store.heading.index(rhs.name)
+            return kernels.restrict_chunk(
+                store, x_pos, row.theta, y_pos, None, stage.seen
+            )
+        return kernels.restrict_chunk(
+            store, x_pos, row.theta, None, rhs.value, stage.seen
+        )
+
+    def _accumulate(self, position: int, fresh: ColumnarRelation) -> ColumnarRelation:
+        stage = self._stages[position]
+        if stage.heading is None:
+            stage.heading = fresh.heading
+        if fresh.cardinality:
+            stage.data_rows.extend(fresh.data_rows())
+            stage.tag_rows.extend(fresh.tag_rows())
+        return fresh

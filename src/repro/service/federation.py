@@ -639,6 +639,9 @@ class PolygenFederation:
                 iom,
                 cancel=cancel,
                 on_result=None if cursor is None else cursor._feed,
+                on_chunk=None if cursor is None else cursor._feed_chunk,
+                stream_chunk_size=options.stream_chunk_size,
+                wire_format=options.wire_format,
             )
             with self._lock:
                 for location, busy in trace.busy_by_location().items():

@@ -103,6 +103,17 @@ class QueryHandle:
         """The streaming row view of this query (shared, not a copy)."""
         return self._cursor
 
+    def stream(self) -> Cursor:
+        """The query's :class:`Cursor`, for chunk- or row-wise consumption.
+
+        The redesigned streaming entry point: ``for batch in
+        handle.stream().chunks(): ...`` iterates columnar batches (tags
+        included) as the plan produces them — on a streamable spine, while
+        the remote scan is still in flight.  Alias of :meth:`cursor`; both
+        return the same shared object.
+        """
+        return self._cursor
+
     def __repr__(self) -> str:
         if self._future is None:
             state = "unbound"

@@ -41,6 +41,9 @@ class Session:
         self._lock = threading.Lock()
         self._handles: List[QueryHandle] = []
         self._closed = False
+        #: A federation built *for* this session by :func:`repro.connect`;
+        #: closed with the session because nobody else holds it.
+        self._owned_federation: Optional["PolygenFederation"] = None
 
     # -- submission ---------------------------------------------------------
 
@@ -118,8 +121,12 @@ class Session:
         for handle in handles:
             if not handle.done():
                 handle.cancel()
-            handle.cursor().close()
+            # The reason travels into ServiceClosedError so a fetch on a
+            # cursor orphaned by session close says *why* it is dead.
+            handle.cursor().close(reason=f"session {self.name!r} is closed")
         self.federation._forget_session(self)
+        if self._owned_federation is not None:
+            self._owned_federation.close()
 
     def __enter__(self) -> "Session":
         return self

@@ -48,6 +48,9 @@ __all__ = [
     "intersect",
     "outer_join",
     "hash_merge",
+    "fresh_rows",
+    "restrict_chunk",
+    "project_chunk",
 ]
 
 DataRow = Tuple[Any, ...]
@@ -190,6 +193,55 @@ def restrict(
         for column in store.tags
     ]
     return _build_deduped(store.heading, data_columns, tag_columns, pool)
+
+
+def fresh_rows(store: ColumnarRelation, seen: dict) -> ColumnarRelation:
+    """Cross-chunk deduplication: keep rows whose data portion is new.
+
+    ``seen`` is caller-owned state mapping data rows already emitted by
+    earlier chunks to ``None``; kept rows are recorded into it.  Dropping a
+    repeat *by data portion alone* is exact only under the streaming-spine
+    invariant — equal data rows carry equal tag rows at every spine stage —
+    which :mod:`repro.pqp.stream` establishes before routing a plan here.
+    """
+    if not store.cardinality:
+        return store
+    keep: List[int] = []
+    for i, data_row in enumerate(store.data_rows()):
+        if data_row not in seen:
+            seen[data_row] = None
+            keep.append(i)
+    if len(keep) == store.cardinality:
+        return store
+    return store.take_rows(keep)
+
+
+def restrict_chunk(
+    store: ColumnarRelation,
+    x_pos: int,
+    theta: Theta,
+    y_pos: Optional[int],
+    literal: Any,
+    seen: dict,
+) -> ColumnarRelation:
+    """Chunk-wise ``p[x θ y]``: restrict one arriving chunk, then drop rows
+    earlier chunks of the same stream already produced (see
+    :func:`fresh_rows` for the exactness argument)."""
+    return fresh_rows(restrict(store, x_pos, theta, y_pos, literal), seen)
+
+
+def project_chunk(
+    store: ColumnarRelation,
+    positions: Sequence[int],
+    heading: Heading,
+    seen: dict,
+) -> ColumnarRelation:
+    """Chunk-wise ``p[X]``: project one arriving chunk, then drop rows
+    earlier chunks already produced.  Projection merges tags of rows that
+    collapse onto one data portion; under the spine invariant those tags
+    are identical, so within-chunk merging plus cross-chunk dropping equals
+    whole-relation projection."""
+    return fresh_rows(project(store, positions, heading), seen)
 
 
 def union(s1: ColumnarRelation, s2: ColumnarRelation) -> ColumnarRelation:

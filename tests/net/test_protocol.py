@@ -62,11 +62,38 @@ class TestHello:
         hello = protocol.hello_message("AD", ["ALUMNUS", "CAREER"])
         assert protocol.check_hello(hello, "server") is hello
 
-    def test_version_mismatch_refused(self):
+    def test_newer_peer_negotiates_down(self):
+        # A future server speaking 1..N+1 still overlaps our range: the
+        # connection runs at our version, not a refusal.
         hello = protocol.hello_message("AD", [])
         hello["protocol"] = protocol.PROTOCOL_VERSION + 1
-        with pytest.raises(ProtocolError, match="protocol version"):
+        assert protocol.check_hello(hello, "server") is hello
+        assert protocol.negotiate_version(hello) == protocol.PROTOCOL_VERSION
+
+    def test_version_mismatch_refused(self):
+        # No overlap: the peer's floor is above everything we speak.
+        hello = protocol.hello_message("AD", [])
+        hello["protocol"] = protocol.PROTOCOL_VERSION + 7
+        hello["min_protocol"] = protocol.PROTOCOL_VERSION + 7
+        with pytest.raises(ProtocolError, match="no common protocol version"):
             protocol.check_hello(hello, "server")
+
+    def test_v1_peer_negotiates_json(self):
+        # A v1 hello has no min_protocol/formats: it speaks exactly 1,
+        # JSON only — and stays connectable.
+        hello = protocol.hello_message("AD", [])
+        hello["protocol"] = 1
+        del hello["min_protocol"]
+        del hello["formats"]
+        assert protocol.check_hello(hello, "server") is hello
+        assert protocol.negotiate_version(hello) == 1
+        assert protocol.peer_formats(hello) == ("json",)
+        assert not protocol.supports_binary(hello)
+
+    def test_current_hello_supports_binary(self):
+        hello = protocol.hello_message("AD", [])
+        assert protocol.negotiate_version(hello) == protocol.PROTOCOL_VERSION
+        assert protocol.supports_binary(hello)
 
     def test_non_hello_frame_refused(self):
         with pytest.raises(ProtocolError, match="hello"):

@@ -363,15 +363,55 @@ class TestFaults:
 
     def test_version_mismatch_raises_protocol_error(self):
         def bad_hello(scripted, sock):
+            # A far-future server whose *floor* is beyond us: no overlap.
             hello = protocol.hello_message("XX", [])
             hello["protocol"] = protocol.PROTOCOL_VERSION + 7
+            hello["min_protocol"] = protocol.PROTOCOL_VERSION + 7
             sock.sendall(protocol.encode_frame(hello))
             scripted.read_frame(sock)  # wait for the client to give up
 
         scripted = _ScriptedServer(bad_hello)
         try:
-            with pytest.raises(ProtocolError, match="protocol version"):
+            with pytest.raises(ProtocolError, match="no common protocol version"):
                 RemoteLQP(scripted.url, timeout=1.0, retries=0)
+        finally:
+            scripted.close()
+
+    def test_v1_server_negotiates_json_fallback(self):
+        def v1_hello(scripted, sock):
+            # A PR-5-era server: protocol 1, no min_protocol, no formats.
+            hello = {
+                "kind": "hello",
+                "protocol": 1,
+                "database": "XX",
+                "relations": ["T"],
+            }
+            sock.sendall(protocol.encode_frame(hello))
+            request = scripted.read_frame(sock)
+            # The v2 client must not ask a v1 peer for binary frames.
+            assert "format" not in request
+            sock.sendall(
+                protocol.encode_frame(
+                    protocol.chunk_message(request["id"], 0, ["A"], [[1], [2]])
+                )
+            )
+            sock.sendall(
+                protocol.encode_frame(
+                    protocol.end_message(request["id"], 1, 2, ["A"])
+                )
+            )
+            scripted.read_frame(sock)  # block until the client closes
+
+        scripted = _ScriptedServer(v1_hello)
+        try:
+            remote = RemoteLQP(scripted.url, timeout=TIMEOUT, retries=0)
+            assert not remote.binary_negotiated
+            relation = remote.retrieve("T")
+            assert sorted(relation.rows) == [(1,), (2,)]
+            assert remote.transport_stats().binary_chunks == 0
+            with pytest.raises(ProtocolError, match="binary"):
+                remote.retrieve_chunks("T", wire_format="binary")
+            remote.close()
         finally:
             scripted.close()
 
@@ -558,6 +598,7 @@ class TestReviewRegressions:
         def bad_hello(scripted, sock):
             hello = protocol.hello_message("XX", [])
             hello["protocol"] = protocol.PROTOCOL_VERSION + 1
+            hello["min_protocol"] = protocol.PROTOCOL_VERSION + 1
             sock.sendall(protocol.encode_frame(hello))
             time.sleep(0.2)
 

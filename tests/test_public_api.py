@@ -51,6 +51,138 @@ class TestLazyExports:
         with pytest.raises(AttributeError):
             repro.nonexistent_thing
 
+    def test_streaming_api_classes(self):
+        from repro.service.cursor import Cursor
+        from repro.service.handle import QueryHandle
+        from repro.service.session import Session
+
+        assert repro.Cursor is Cursor
+        assert repro.QueryHandle is QueryHandle
+        assert repro.Session is Session
+        assert callable(repro.connect)
+        assert "connect" in repro.__all__
+
+    def test_every_all_entry_resolves(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+
+class TestConnect:
+    def test_connect_to_existing_federation(self):
+        from repro.datasets.paper import (
+            paper_databases,
+            paper_identity_resolver,
+            paper_polygen_schema,
+        )
+        from repro.lqp.registry import LQPRegistry
+        from repro.lqp.relational_lqp import RelationalLQP
+
+        registry = LQPRegistry()
+        for database in paper_databases().values():
+            registry.register(RelationalLQP(database))
+        with repro.PolygenFederation(
+            paper_polygen_schema(), registry, resolver=paper_identity_resolver()
+        ) as federation:
+            with repro.connect(federation, fetch_size=5) as session:
+                assert session.defaults.fetch_size == 5
+                result = session.execute('SELECT ANAME FROM PALUMNUS')
+                assert result.relation.cardinality > 0
+            assert not federation.closed  # caller's federation stays up
+
+    def test_connect_rejects_nonsense(self):
+        with pytest.raises(TypeError, match="connect"):
+            repro.connect(42)
+        with pytest.raises(TypeError, match="connect"):
+            repro.connect([])
+
+    def test_connect_urls_owns_the_federation(self):
+        from repro.datasets.paper import (
+            paper_databases,
+            paper_identity_resolver,
+            paper_polygen_schema,
+        )
+        from repro.lqp.relational_lqp import RelationalLQP
+        from repro.net import LQPServer
+
+        servers = [
+            LQPServer(
+                RelationalLQP(database), schema=paper_polygen_schema()
+            ).start()
+            for database in paper_databases().values()
+        ]
+        try:
+            session = repro.connect(
+                [server.url for server in servers],
+                resolver=paper_identity_resolver(),
+            )
+            with session:
+                result = session.execute(
+                    'SELECT ANAME FROM PALUMNUS WHERE DEGREE = "MBA"'
+                )
+                assert result.relation.cardinality == 5
+                owned = session._owned_federation
+                assert owned is not None
+            assert owned.closed  # closing the session tears it all down
+        finally:
+            for server in servers:
+                server.stop()
+
+
+class TestDeprecationShims:
+    def test_query_result_legacy_path_warns_once(self):
+        import importlib
+        import warnings
+
+        import repro._compat as compat
+        import repro.pqp.processor as processor
+        from repro.pqp.result import QueryResult
+
+        compat._warned.discard(
+            ("repro.pqp.processor.QueryResult", "repro.pqp.result")
+        )
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert processor.QueryResult is QueryResult
+            assert processor.QueryResult is QueryResult  # second touch
+        messages = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+        assert len(messages) == 1
+        assert "repro.pqp.result" in str(messages[0].message)
+
+    def test_worker_pool_legacy_path_warns_once(self):
+        import warnings
+
+        import repro._compat as compat
+        import repro.pqp.runtime as runtime
+        from repro.pqp.pool import WorkerPool
+
+        compat._warned.discard(("repro.pqp.runtime.WorkerPool", "repro.pqp.pool"))
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert runtime.WorkerPool is WorkerPool
+            assert runtime.WorkerPool is WorkerPool
+        messages = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+        assert len(messages) == 1
+
+    def test_new_homes_do_not_warn(self):
+        import warnings
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            from repro.pqp.pool import WorkerPool  # noqa: F401
+            from repro.pqp.result import QueryResult  # noqa: F401
+        assert not [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+
+    def test_unknown_module_attributes_still_raise(self):
+        import repro.pqp.processor as processor
+        import repro.pqp.runtime as runtime
+
+        with pytest.raises(AttributeError):
+            processor.not_a_thing
+        with pytest.raises(AttributeError):
+            runtime.not_a_thing
+
 
 class TestErrorHierarchy:
     def test_every_error_is_a_polygen_error(self):
