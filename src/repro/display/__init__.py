@@ -2,10 +2,13 @@
 
 from repro.display.graph import plan_graph, source_graph, to_dot
 from repro.display.render import render_relation, render_relation_markdown
+from repro.display.trace import render_span_tree, render_timeline
 
 __all__ = [
     "render_relation",
     "render_relation_markdown",
+    "render_span_tree",
+    "render_timeline",
     "plan_graph",
     "source_graph",
     "to_dot",

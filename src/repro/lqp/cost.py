@@ -118,7 +118,15 @@ class CalibratedCostModel(CostModel):
 
 @dataclass
 class TransferStats:
-    """Mutable traffic counters for one LQP."""
+    """Mutable traffic counters for one LQP.
+
+    Internally locked: ``record``/``count``/``add_tuples``/``reset`` are
+    atomic, so many sessions' rows hitting the same LQP concurrently
+    (the federation's shared worker pool, or a multiplexed RemoteLQP)
+    never lose an update.  Plain field reads stay lock-free — each is a
+    single atomic int read; use :meth:`snapshot` for a consistent
+    multi-field view.
+    """
 
     queries: int = 0
     retrieves: int = 0
@@ -127,7 +135,25 @@ class TransferStats:
     range_selects: int = 0
     tuples_shipped: int = 0
 
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
     def record(self, kind: str, result: Relation) -> None:
+        with self._lock:
+            self._count(kind)
+            self.tuples_shipped += result.cardinality
+
+    def count(self, kind: str) -> None:
+        """Count one query of ``kind`` with no tuples yet (a chunk stream
+        counts its rows as they flow; see :meth:`add_tuples`)."""
+        with self._lock:
+            self._count(kind)
+
+    def add_tuples(self, tuples: int) -> None:
+        with self._lock:
+            self.tuples_shipped += tuples
+
+    def _count(self, kind: str) -> None:
         self.queries += 1
         if kind == "retrieve":
             self.retrieves += 1
@@ -137,21 +163,34 @@ class TransferStats:
             self.range_selects += 1
         else:
             self.selects += 1
-        self.tuples_shipped += result.cardinality
+
+    def snapshot(self) -> "TransferStats":
+        """A consistent point-in-time copy of every counter."""
+        with self._lock:
+            return TransferStats(
+                queries=self.queries,
+                retrieves=self.retrieves,
+                selects=self.selects,
+                range_retrieves=self.range_retrieves,
+                range_selects=self.range_selects,
+                tuples_shipped=self.tuples_shipped,
+            )
 
     def merged_with(self, other: "TransferStats") -> "TransferStats":
+        mine, theirs = self.snapshot(), other.snapshot()
         return TransferStats(
-            queries=self.queries + other.queries,
-            retrieves=self.retrieves + other.retrieves,
-            selects=self.selects + other.selects,
-            range_retrieves=self.range_retrieves + other.range_retrieves,
-            range_selects=self.range_selects + other.range_selects,
-            tuples_shipped=self.tuples_shipped + other.tuples_shipped,
+            queries=mine.queries + theirs.queries,
+            retrieves=mine.retrieves + theirs.retrieves,
+            selects=mine.selects + theirs.selects,
+            range_retrieves=mine.range_retrieves + theirs.range_retrieves,
+            range_selects=mine.range_selects + theirs.range_selects,
+            tuples_shipped=mine.tuples_shipped + theirs.tuples_shipped,
         )
 
     def reset(self) -> None:
-        self.queries = self.retrieves = self.selects = 0
-        self.range_retrieves = self.range_selects = self.tuples_shipped = 0
+        with self._lock:
+            self.queries = self.retrieves = self.selects = 0
+            self.range_retrieves = self.range_selects = self.tuples_shipped = 0
 
 
 def _columns_kwargs(columns) -> dict:
@@ -178,16 +217,10 @@ class _AccountedChunkStream:
         return self._inner.attributes
 
     def __iter__(self):
-        owner, stats = self._owner, self._owner.stats
-        with owner._lock:
-            stats.queries += 1
-            if self._kind == "retrieve":
-                stats.retrieves += 1
-            else:
-                stats.selects += 1
+        stats = self._owner.stats
+        stats.count(self._kind)
         for chunk in self._inner:
-            with owner._lock:
-                stats.tuples_shipped += len(chunk.rows)
+            stats.add_tuples(len(chunk.rows))
             yield chunk
 
     def __getattr__(self, name):
@@ -203,7 +236,6 @@ class AccountingLQP(LocalQueryProcessor):
         self._inner = inner
         self.stats = TransferStats()
         self.cost_model = cost_model or CostModel()
-        self._lock = threading.Lock()
 
     @property
     def name(self) -> str:
@@ -231,8 +263,7 @@ class AccountingLQP(LocalQueryProcessor):
 
     def retrieve(self, relation_name: str, columns=None) -> Relation:
         result = self._inner.retrieve(relation_name, **_columns_kwargs(columns))
-        with self._lock:
-            self.stats.record("retrieve", result)
+        self.stats.record("retrieve", result)
         return result
 
     def select(
@@ -246,8 +277,7 @@ class AccountingLQP(LocalQueryProcessor):
         result = self._inner.select(
             relation_name, attribute, theta, value, **_columns_kwargs(columns)
         )
-        with self._lock:
-            self.stats.record("select", result)
+        self.stats.record("select", result)
         return result
 
     def retrieve_range(
@@ -263,8 +293,7 @@ class AccountingLQP(LocalQueryProcessor):
             relation_name, attribute, lower, upper, include_nil,
             **_columns_kwargs(columns),
         )
-        with self._lock:
-            self.stats.record("retrieve_range", result)
+        self.stats.record("retrieve_range", result)
         return result
 
     def select_range(
@@ -284,8 +313,7 @@ class AccountingLQP(LocalQueryProcessor):
             key_attribute, lower, upper, include_nil,
             **_columns_kwargs(columns),
         )
-        with self._lock:
-            self.stats.record("select_range", result)
+        self.stats.record("select_range", result)
         return result
 
     def cardinality_estimate(self, relation_name: str) -> int | None:

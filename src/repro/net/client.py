@@ -40,6 +40,7 @@ from repro.errors import ProtocolError, RemoteQueryError
 from repro.lqp.base import Capabilities, LocalQueryProcessor, RelationStats
 from repro.net import binary, protocol
 from repro.net.transport import ConnectionMux, TransportStats
+from repro.obs.trace import Span, current_span
 from repro.relational.relation import Relation
 
 __all__ = ["RemoteLQP", "RelationChunkStream", "WireChunk"]
@@ -105,6 +106,10 @@ class RelationChunkStream:
         self._attributes: Optional[Tuple[str, ...]] = None
         self._finished = False
         self._iterated = False
+        # The blocking request runs on a private thread, where the
+        # caller's contextvar span is invisible — capture it here so the
+        # end frame's server spans stitch into the right trace.
+        self._span = current_span()
         composite = _EitherEvent(abort, self._guard)
         sink = self._queue.put
 
@@ -164,6 +169,8 @@ class RelationChunkStream:
                 elif kind == "end":
                     if self._attributes is None and payload.get("attributes") is not None:
                         self._attributes = tuple(payload["attributes"])
+                    if self._span is not None and payload.get("spans"):
+                        self._span.adopt(payload["spans"])
                     self._finished = True
                     return
                 else:
@@ -224,6 +231,9 @@ class RemoteLQP(LocalQueryProcessor):
         try:
             hello = self._mux.hello()
             self._binary = protocol.supports_binary(
+                hello, f"LQP server at {host}:{port}"
+            )
+            self._trace = protocol.supports_trace(
                 hello, f"LQP server at {host}:{port}"
             )
             if wire_format == "binary" and not self._binary:
@@ -348,6 +358,33 @@ class RemoteLQP(LocalQueryProcessor):
         """Whether the server negotiated binary chunk frames at hello."""
         return self._binary
 
+    @property
+    def trace_negotiated(self) -> bool:
+        """Whether the server advertised the trace capability at hello."""
+        return self._trace
+
+    def _trace_param(self) -> Dict[str, Any]:
+        """The request's trace-context key: sent only when the server
+        negotiated the capability *and* the calling context has an
+        ambient span (no span, nothing to stitch server spans into)."""
+        if not self._trace:
+            return {}
+        span = current_span()
+        if span is None:
+            return {}
+        return {"trace": {"id": span.trace_id, "span": span.span_id}}
+
+    @staticmethod
+    def _adopt_spans(reply: Dict[str, Any], into: Optional[Span] = None) -> None:
+        """Stitch server-shipped spans into the ambient (or given) span's
+        trace; silently a no-op when the reply carries none."""
+        spans = reply.get("spans")
+        if not spans:
+            return
+        parent = into if into is not None else current_span()
+        if parent is not None:
+            parent.adopt(spans)
+
     def _format_param(self, override: str | None = None) -> Dict[str, Any]:
         """The per-request chunk-encoding key, honouring the connection's
         ``wire_format`` (or a per-call override).  Never sent to a v1
@@ -370,6 +407,7 @@ class RemoteLQP(LocalQueryProcessor):
             relation=relation_name,
             **self._columns_param(columns),
             **self._format_param(),
+            **self._trace_param(),
         )
         return self._assemble(reply)
 
@@ -389,6 +427,7 @@ class RemoteLQP(LocalQueryProcessor):
             value=protocol.wire_value(value),
             **self._columns_param(columns),
             **self._format_param(),
+            **self._trace_param(),
         )
         return self._assemble(reply)
 
@@ -410,6 +449,7 @@ class RemoteLQP(LocalQueryProcessor):
             include_nil=include_nil,
             **self._columns_param(columns),
             **self._format_param(),
+            **self._trace_param(),
         )
         return self._assemble(reply)
 
@@ -437,6 +477,7 @@ class RemoteLQP(LocalQueryProcessor):
             include_nil=include_nil,
             **self._columns_param(columns),
             **self._format_param(),
+            **self._trace_param(),
         )
         return self._assemble(reply)
 
@@ -462,6 +503,7 @@ class RemoteLQP(LocalQueryProcessor):
             relation=relation_name,
             on_chunk=on_chunk,
             **self._format_param(),
+            **self._trace_param(),
         )
         return self._assemble(reply)
 
@@ -488,6 +530,7 @@ class RemoteLQP(LocalQueryProcessor):
         params: Dict[str, Any] = {"relation": relation_name}
         params.update(self._columns_param(columns))
         params.update(self._format_param(wire_format))
+        params.update(self._trace_param())
         if chunk_size is not None:
             params["chunk_size"] = int(chunk_size)
         return RelationChunkStream(self._mux, "retrieve", params, abort)
@@ -513,11 +556,13 @@ class RemoteLQP(LocalQueryProcessor):
         }
         params.update(self._columns_param(columns))
         params.update(self._format_param(wire_format))
+        params.update(self._trace_param())
         if chunk_size is not None:
             params["chunk_size"] = int(chunk_size)
         return RelationChunkStream(self._mux, "select", params, abort)
 
     def _assemble(self, reply: Dict[str, Any]) -> Relation:
+        self._adopt_spans(reply)
         return protocol.relation_from_wire(reply.get("attributes"), reply.get("rows", ()))
 
     # -- transport observability / lifecycle --------------------------------

@@ -18,7 +18,8 @@ client→server requests)::
 
     server → client on connect:
       {"kind": "hello", "protocol": 2, "min_protocol": 1,
-       "formats": ["binary", "json"], "database": "AD", "relations": [...]}
+       "formats": ["binary", "json"], "trace": true,
+       "database": "AD", "relations": [...]}
 
     client → server:
       {"id": 7, "op": "retrieve",    "relation": "ALUMNUS"}
@@ -32,10 +33,15 @@ client→server requests)::
                                      | "schema" | "ping"}
       {"op": "cancel", "target": 7}            # no id: fire-and-forget
 
+Any request may carry ``"trace": {"id": <trace-id>, "span": <span-id>}``
+when the server's hello advertised ``"trace": true``; the server opens
+its spans under that parent and ships them back on the closing frame.
+
     server → client, keyed to the request id:
       {"id": 7, "kind": "chunk",  "seq": 0, "attributes": [...], "rows": [...]}
-      {"id": 7, "kind": "end",    "chunks": 3, "tuples": 700}
-      {"id": 9, "kind": "result", "value": ...}
+      {"id": 7, "kind": "end",    "chunks": 3, "tuples": 700,
+                                  "spans": [...]}   # when tracing
+      {"id": 9, "kind": "result", "value": ..., "spans": [...]}
       {"id": 8, "kind": "error",  "error_type": "UnknownRelationError",
                                   "message": "..."}
 
@@ -77,6 +83,7 @@ __all__ = [
     "negotiate_version",
     "peer_formats",
     "supports_binary",
+    "supports_trace",
     "request_message",
     "cancel_message",
     "chunk_message",
@@ -200,6 +207,7 @@ def hello_message(database: str, relations: Sequence[str]) -> Dict[str, Any]:
         "protocol": PROTOCOL_VERSION,
         "min_protocol": MIN_PROTOCOL_VERSION,
         "formats": list(WIRE_FORMATS),
+        "trace": True,
         "database": database,
         "relations": list(relations),
     }
@@ -246,6 +254,21 @@ def supports_binary(message: Dict[str, Any], where: str = "peer") -> bool:
     return negotiate_version(message, where) >= 2 and "binary" in peer_formats(message)
 
 
+def supports_trace(message: Dict[str, Any], where: str = "peer") -> bool:
+    """Whether the hello's sender accepts trace contexts on requests and
+    ships server-side spans back on ``end``/``result`` frames.
+
+    A hello that predates the capability simply lacks the ``trace`` key
+    — such peers never see a ``trace`` request param (old servers would
+    ignore it anyway, but not sending it keeps frames minimal) and never
+    send ``spans``.
+    """
+    return (
+        negotiate_version(message, where) >= 2
+        and message.get("trace") is True
+    )
+
+
 def check_hello(message: Dict[str, Any], where: str) -> Dict[str, Any]:
     """Validate a server's hello frame; raises :class:`ProtocolError`."""
     if message.get("kind") != "hello":
@@ -281,22 +304,36 @@ def chunk_message(
 
 
 def end_message(
-    request_id: int, chunks: int, tuples: int, attributes: Sequence[str]
+    request_id: int,
+    chunks: int,
+    tuples: int,
+    attributes: Sequence[str],
+    spans: List[Dict[str, Any]] | None = None,
 ) -> Dict[str, Any]:
     """Stream terminator.  Carries the heading too: an empty relation
     ships zero chunk frames, and the receiver still needs its attributes
-    to reconstruct the (empty) relation faithfully."""
-    return {
+    to reconstruct the (empty) relation faithfully.  When the request
+    carried a trace context, ``spans`` ships the server-side span
+    payloads back for stitching (see :mod:`repro.obs.trace`)."""
+    message = {
         "id": request_id,
         "kind": "end",
         "chunks": chunks,
         "tuples": tuples,
         "attributes": list(attributes),
     }
+    if spans:
+        message["spans"] = spans
+    return message
 
 
-def result_message(request_id: int, value: Any) -> Dict[str, Any]:
-    return {"id": request_id, "kind": "result", "value": value}
+def result_message(
+    request_id: int, value: Any, spans: List[Dict[str, Any]] | None = None
+) -> Dict[str, Any]:
+    message = {"id": request_id, "kind": "result", "value": value}
+    if spans:
+        message["spans"] = spans
+    return message
 
 
 def error_message(request_id: int, error: BaseException) -> Dict[str, Any]:

@@ -41,8 +41,13 @@ from repro.core.predicate import Theta
 from repro.errors import ProtocolError, QueryCancelledError
 from repro.lqp.base import LocalQueryProcessor, project_columns
 from repro.net import binary, protocol
+from repro.obs.trace import Span, Tracer, span_payloads, use_span
 
 __all__ = ["LQPServer", "ServerStats"]
+
+#: Server-side spans: opened under the trace context a request propagates
+#: (``message["trace"]``), shipped back on the closing frame.
+_TRACER = Tracer("lqp-server")
 
 #: The *accept* loop wakes at this cadence to notice a stop request.
 #: Connection sockets are fully blocking: their reads and writes are woken
@@ -63,6 +68,15 @@ class ServerStats:
     tuples_sent: int = 0
     cancelled: int = 0
     errors: int = 0
+
+
+def _shipped_spans(span: Optional[Span]):
+    """End a server-side root span and serialise its trace for the
+    closing frame (``None`` when the request carried no context)."""
+    if span is None:
+        return None
+    span.end()
+    return span_payloads(span.trace_spans())
 
 
 class _PeerGoneError(ConnectionError):
@@ -326,18 +340,36 @@ class LQPServer:
         cancel: threading.Event,
     ) -> None:
         self._count(requests=1)
+        # A request carrying a trace context gets a server-side span tree,
+        # parented on the propagated span id and shipped back with the
+        # closing frame so the coordinator stitches one distributed trace.
+        trace_ctx = message.get("trace")
+        span: Optional[Span] = None
+        if isinstance(trace_ctx, dict) and trace_ctx.get("id"):
+            span = _TRACER.continue_remote(
+                f"serve.{op}",
+                trace_ctx,
+                database=self._lqp.name,
+                request=request_id,
+            )
         try:
             try:
-                if op in ("retrieve", "select", "retrieve_range", "select_range"):
-                    self._serve_relation(connection, request_id, op, message, cancel)
-                else:
-                    connection.send(
-                        protocol.result_message(
-                            request_id, self._scalar_result(op, message)
+                with use_span(span):
+                    if op in ("retrieve", "select", "retrieve_range", "select_range"):
+                        self._serve_relation(
+                            connection, request_id, op, message, cancel, span
                         )
-                    )
+                    else:
+                        value = self._scalar_result(op, message)
+                        connection.send(
+                            protocol.result_message(
+                                request_id, value, _shipped_spans(span)
+                            )
+                        )
             except QueryCancelledError as exc:
                 self._count(cancelled=1)
+                if span is not None:
+                    span.end(exc)
                 connection.send(protocol.error_message(request_id, exc))
             except _PeerGoneError:
                 raise  # a send failed — the outer handler gives up quietly
@@ -348,6 +380,8 @@ class LQPServer:
                 # error frame, so the client raises RemoteQueryError
                 # instead of stalling to its timeout.
                 self._count(errors=1)
+                if span is not None:
+                    span.end(exc)
                 connection.send(protocol.error_message(request_id, exc))
         except _PeerGoneError:
             # The peer is gone (or a write failed partway, which poisons
@@ -365,6 +399,7 @@ class LQPServer:
         op: str,
         message: Dict[str, Any],
         cancel: threading.Event,
+        span: Optional[Span] = None,
     ) -> None:
         relation_name = message.get("relation")
         if not isinstance(relation_name, str):
@@ -375,6 +410,11 @@ class LQPServer:
         columns = message.get("columns")
         forward = self._lqp.capabilities().native_projection
         kwargs = {"columns": list(columns)} if columns is not None and forward else {}
+        engine_span = (
+            span.child(f"engine.{op}", relation=relation_name)
+            if span is not None
+            else None
+        )
         if op == "retrieve":
             relation = self._lqp.retrieve(relation_name, **kwargs)
         elif op == "retrieve_range":
@@ -408,6 +448,8 @@ class LQPServer:
                 message.get("value"),
                 **kwargs,
             )
+        if engine_span is not None:
+            engine_span.set(tuples=len(relation)).end()
         if columns is not None and not forward:
             relation = project_columns(relation, columns)
         if cancel.is_set():
@@ -448,7 +490,17 @@ class LQPServer:
             tuples_sent=tuples,
             binary_chunks_sent=chunks if use_binary else 0,
         )
-        connection.send(protocol.end_message(request_id, chunks, tuples, attributes))
+        if span is not None:
+            span.set(
+                chunks=chunks,
+                tuples=tuples,
+                format="binary" if use_binary else "json",
+            )
+        connection.send(
+            protocol.end_message(
+                request_id, chunks, tuples, attributes, _shipped_spans(span)
+            )
+        )
 
     def _scalar_result(self, op: str, message: Dict[str, Any]) -> Any:
         if op == "relation_names":

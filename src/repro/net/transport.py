@@ -194,6 +194,12 @@ class ConnectionMux:
             self.hello(), f"LQP server at {self.host}:{self.port}"
         )
 
+    def supports_trace(self) -> bool:
+        """Whether the server accepts trace contexts and ships spans back."""
+        return protocol.supports_trace(
+            self.hello(), f"LQP server at {self.host}:{self.port}"
+        )
+
     def request(
         self,
         op: str,
@@ -206,7 +212,9 @@ class ConnectionMux:
         """Execute one request; blocks until its final frame.
 
         Returns ``{"value": ...}`` for scalar ops, or ``{"attributes": ...,
-        "rows": [...], "chunks": n}`` for streamed relation ops.
+        "rows": [...], "chunks": n}`` for streamed relation ops; either
+        shape gains a ``"spans"`` key when the server shipped server-side
+        trace spans back (see :mod:`repro.obs.trace`).
         ``on_chunk(attributes, rows)`` fires as each chunk lands — before
         the stream is complete — which is what lets a retrieve's first
         tuples be processed while the server is still shipping the rest.
@@ -570,9 +578,17 @@ class ConnectionMux:
             elif kind == "end":
                 if attributes is None:  # empty result: no chunk flowed
                     attributes = message.get("attributes")
-                return {"attributes": attributes, "rows": rows, "chunks": chunks}
+                reply = {"attributes": attributes, "rows": rows, "chunks": chunks}
+                spans = message.get("spans")
+                if spans:
+                    reply["spans"] = spans
+                return reply
             elif kind == "result":
-                return {"value": message.get("value")}
+                reply = {"value": message.get("value")}
+                spans = message.get("spans")
+                if spans:
+                    reply["spans"] = spans
+                return reply
             elif kind == "error":
                 hello = self._hello or {}
                 raise RemoteQueryError(

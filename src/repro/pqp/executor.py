@@ -26,8 +26,9 @@ from __future__ import annotations
 
 import threading
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import Callable, Dict, FrozenSet, Optional, Tuple
+from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
 
 from repro.catalog.schema import PolygenSchema
 from repro.core import algebra, derived
@@ -39,6 +40,7 @@ from repro.integration.domains import TransformRegistry, default_registry
 from repro.integration.identity import IdentityResolver
 from repro.lqp.registry import LQPRegistry
 from repro.lqp.tagging import materialize
+from repro.obs.trace import Span, current_span, use_span
 from repro.relational.relation import Relation
 from repro.storage import kernels
 from repro.pqp import stream as pqp_stream
@@ -89,6 +91,11 @@ class ExecutionTrace:
     #: attribute lineage of every intermediate result, keyed by R(#) index
     #: (the result cache stores each subtree's lineage alongside its rows).
     lineages: Dict[int, Lineage] = field(default_factory=dict)
+    #: the query's full span tree (:mod:`repro.obs.trace`) — coordinator
+    #: stages, per-row spans, and any server-side spans stitched in over
+    #: the wire.  Populated when the query ran under a trace (the
+    #: federation always starts one); empty for bare executor calls.
+    spans: List[Span] = field(default_factory=list)
 
     def result(self, index: int) -> PolygenRelation:
         try:
@@ -193,19 +200,40 @@ class Executor:
         results: Dict[int, PolygenRelation] = {}
         lineages: Dict[int, Lineage] = {}
         timings: Dict[int, RowTiming] = {}
+        # Row spans hang off the ambient span (the federation's execute
+        # stage).  With no ambient span — a bare executor — every span
+        # branch below is skipped outright, keeping the untraced hot path
+        # at its historical two clock reads per row.
+        trace_parent = current_span()
         origin = time.perf_counter()
         for row in iom:
             if cancel is not None and cancel.is_set():
                 raise QueryCancelledError("query cancelled")
+            span = (
+                trace_parent.child(
+                    f"row {row.result}",
+                    op=row.op.value,
+                    location=row.el or "PQP",
+                )
+                if trace_parent is not None
+                else None
+            )
             started = time.perf_counter() - origin
             try:
-                relation, lineage = self._execute_row(row, results, lineages)
-            except ExecutionError:
+                with use_span(span) if span is not None else nullcontext():
+                    relation, lineage = self._execute_row(row, results, lineages)
+            except ExecutionError as exc:
+                if span is not None:
+                    span.end(exc)
                 raise
             except Exception as exc:
+                if span is not None:
+                    span.end(exc)
                 raise ExecutionError(
                     f"row {row.result} ({row.op.value}) failed: {exc}"
                 ) from exc
+            if span is not None:
+                span.set(tuples=len(relation)).end()
             results[row.result.index] = relation
             lineages[row.result.index] = lineage
             timings[row.result.index] = RowTiming(
@@ -357,6 +385,20 @@ class Executor:
             )
 
         pipeline = pqp_stream.ChunkPipeline(chain, materialize_chunk, scheme.name)
+        # One span covers the whole pipelined spine (rows overlap in a
+        # stream, so per-row spans would all be the same interval); chunk
+        # arrivals land as capped span events.
+        trace_parent = current_span()
+        span = (
+            trace_parent.child(
+                f"stream {head.result}",
+                op=head.op.value,
+                location=head.el or "PQP",
+                rows=len(chain),
+            )
+            if trace_parent is not None
+            else None
+        )
         origin = time.perf_counter()
 
         def check_cancel() -> None:
@@ -364,41 +406,48 @@ class Executor:
                 raise QueryCancelledError("query cancelled")
 
         def emit(chunk: Relation) -> None:
+            if span is not None:
+                span.add_event("chunk", tuples=len(chunk.rows))
             batch = pipeline.push(chunk)
             if batch is not None:
                 on_chunk(batch)
 
         check_cancel()
-        streamer = self._chunk_streamer(
-            lqp, head, columns, chunk_size, wire_format, cancel
-        )
         try:
-            if streamer is not None:
-                wire_stream = streamer()
-                delivered = False
-                for wire_chunk in wire_stream:
-                    check_cancel()
-                    emit(Relation(wire_chunk.attributes, wire_chunk.rows))
-                    delivered = True
-                if not delivered:
-                    attributes = wire_stream.attributes
-                    if not attributes:
-                        raise ExecutionError(
-                            f"row {head.result}: stream ended without a heading"
-                        )
-                    emit(Relation(attributes, []))
-            else:
-                shipped = self._ship_local(head, lqp, columns)
-                rows = shipped.rows
-                if rows:
-                    for start in range(0, len(rows), chunk_size):
+            with use_span(span) if span is not None else nullcontext():
+                streamer = self._chunk_streamer(
+                    lqp, head, columns, chunk_size, wire_format, cancel
+                )
+                if streamer is not None:
+                    wire_stream = streamer()
+                    delivered = False
+                    for wire_chunk in wire_stream:
                         check_cancel()
-                        emit(Relation(shipped.heading, rows[start : start + chunk_size]))
+                        emit(Relation(wire_chunk.attributes, wire_chunk.rows))
+                        delivered = True
+                    if not delivered:
+                        attributes = wire_stream.attributes
+                        if not attributes:
+                            raise ExecutionError(
+                                f"row {head.result}: stream ended without a heading"
+                            )
+                        emit(Relation(attributes, []))
                 else:
-                    emit(Relation(shipped.heading, []))
-        except (ExecutionError, QueryCancelledError):
+                    shipped = self._ship_local(head, lqp, columns)
+                    rows = shipped.rows
+                    if rows:
+                        for start in range(0, len(rows), chunk_size):
+                            check_cancel()
+                            emit(Relation(shipped.heading, rows[start : start + chunk_size]))
+                    else:
+                        emit(Relation(shipped.heading, []))
+        except (ExecutionError, QueryCancelledError) as exc:
+            if span is not None:
+                span.end(exc)
             raise
         except Exception as exc:
+            if span is not None:
+                span.end(exc)
             raise ExecutionError(
                 f"streamed plan failed at row {head.result} "
                 f"({head.op.value}): {exc}"
@@ -406,6 +455,9 @@ class Executor:
         check_cancel()
         results, lineages = pipeline.finish()
         finish = time.perf_counter() - origin
+        if span is not None:
+            final_index = iom.rows[-1].result.index
+            span.set(tuples=len(results[final_index])).end()
         timings = {
             row.result.index: RowTiming(
                 start=0.0,

@@ -57,6 +57,7 @@ from collections import deque
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ExecutionError, QueryCancelledError
+from repro.obs.trace import current_span, use_span
 from repro.pqp import stream as pqp_stream
 from repro.pqp.executor import ExecutionTrace, Executor, Lineage, RowTiming
 from repro.pqp.matrix import IntermediateOperationMatrix, MatrixRow
@@ -162,6 +163,12 @@ class ConcurrentExecutor(Executor):
         #: Set on failure/cancel so this plan's queued jobs on a *shared*
         #: pool degrade to no-ops instead of issuing pointless LQP traffic.
         halt = threading.Event()
+        #: Row spans parent on the coordinator's ambient span.  Captured
+        #: here because local rows run on pool worker threads, where the
+        #: coordinator's contextvar is invisible; run_local re-enters it
+        #: explicitly so a RemoteLQP call finds the row span ambient and
+        #: propagates its ids over the wire.
+        trace_parent = current_span()
         origin = time.perf_counter()
 
         def abandoned() -> bool:
@@ -173,12 +180,31 @@ class ConcurrentExecutor(Executor):
                     f"row {row.result} skipped: plan abandoned"
                 )))
                 return
+            span = (
+                trace_parent.child(
+                    f"row {row.result}",
+                    op=row.op.value,
+                    location=row.el or "PQP",
+                )
+                if trace_parent is not None
+                else None
+            )
             started = time.perf_counter() - origin
             try:
-                relation, lineage = self._execute_row(row, results, lineages)
+                if span is not None:
+                    with use_span(span):
+                        relation, lineage = self._execute_row(
+                            row, results, lineages
+                        )
+                else:
+                    relation, lineage = self._execute_row(row, results, lineages)
             except BaseException as exc:  # propagated to the coordinator
+                if span is not None:
+                    span.end(exc)
                 completions.put((row, None, None, None, exc))
                 return
+            if span is not None:
+                span.set(tuples=len(relation)).end()
             timing = RowTiming(
                 start=started,
                 finish=time.perf_counter() - origin,
@@ -267,11 +293,22 @@ class ConcurrentExecutor(Executor):
 
         def run_pqp(row: MatrixRow) -> None:
             nonlocal done
+            span = (
+                trace_parent.child(
+                    f"row {row.result}", op=row.op.value, location="PQP"
+                )
+                if trace_parent is not None
+                else None
+            )
             started = time.perf_counter() - origin
             try:
                 relation, lineage = self._execute_row(row, results, lineages)
             except Exception as exc:
+                if span is not None:
+                    span.end(exc)
                 raise fail(row, exc)
+            if span is not None:
+                span.set(tuples=len(relation)).end()
             timing = RowTiming(
                 start=started,
                 finish=time.perf_counter() - origin,

@@ -60,6 +60,9 @@ from repro.integration.domains import TransformRegistry, default_registry
 from repro.integration.identity import IdentityResolver
 from repro.lqp.cost import CalibratedCostModel
 from repro.lqp.registry import LQPRegistry
+from repro.obs.events import EventLog, slow_query_event
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer, use_span
 from repro.pqp.calibrate import CostCalibrator
 from repro.pqp.executor import ExecutionTrace, Executor
 from repro.pqp.fingerprint import PlanFingerprints, fingerprint_plan, splice_cached
@@ -206,6 +209,7 @@ class PolygenFederation:
         calibration_path: str | None = None,
         result_cache: ResultCache | None = None,
         source_max_age: Optional[float] = 60.0,
+        event_log: EventLog | None = None,
     ):
         """``source_max_age`` bounds (in seconds) how stale a cached result
         may get when it depends on a registered source whose capabilities
@@ -265,14 +269,49 @@ class PolygenFederation:
         self._sessions: "weakref.WeakSet[Session]" = weakref.WeakSet()
         self._session_counter = itertools.count(1)
         self._query_counter = itertools.count(1)
-        self._submitted = 0
-        self._completed = 0
-        self._failed = 0
-        self._cancelled = 0
-        self._active = 0
-        self._busy: Dict[str, float] = {}
         self._started_at = time.perf_counter()
         self._closed = False
+        #: Observability: one tracer (a root ``query`` span per query, with
+        #: remote LQP spans stitched in), one metrics registry (the single
+        #: source of truth behind :meth:`stats` and :meth:`metrics_text`),
+        #: one structured event log (the slow-query log's sink).
+        self.tracer = Tracer("federation")
+        self.metrics = MetricsRegistry()
+        self.events = event_log if event_log is not None else EventLog()
+        self._exporters: list = []
+        self._m_submitted = self.metrics.counter(
+            "polygen_queries_submitted_total",
+            "Queries accepted by submit() or run().",
+        )
+        self._m_finished = self.metrics.counter(
+            "polygen_queries_total",
+            "Finished queries by terminal status (completed/failed/cancelled).",
+        )
+        self._m_active = self.metrics.gauge(
+            "polygen_queries_active", "Queries currently planning or executing."
+        )
+        self._m_latency = self.metrics.histogram(
+            "polygen_query_seconds", "End-to-end query wall time in seconds."
+        )
+        self._m_sources = self.metrics.counter(
+            "polygen_source_consulted_total",
+            "Completed queries whose answer consulted each source tag.",
+        )
+        self._m_session_queries = self.metrics.counter(
+            "polygen_session_queries_total", "Completed queries per session."
+        )
+        self._m_busy = self.metrics.counter(
+            "polygen_busy_seconds_total",
+            "Measured busy seconds per execution location (LQP name or PQP).",
+        )
+        self._m_slow = self.metrics.counter(
+            "polygen_slow_queries_total",
+            "Queries that crossed their slow_query_ms threshold.",
+        )
+        self._m_sessions_opened = self.metrics.counter(
+            "polygen_sessions_opened_total", "Sessions opened."
+        )
+        self.metrics.add_collector(self._collect_metrics)
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -298,6 +337,8 @@ class PolygenFederation:
             sessions = list(self._sessions)
         for session in sessions:
             session.close()
+        for exporter in self._exporters:
+            exporter.close()
         self._coordinators.shutdown(wait=True)
         self._pool.close(wait=True)
         # The registry may be shared with (or outlive) this federation:
@@ -333,7 +374,8 @@ class PolygenFederation:
                 self.defaults.replace(**option_overrides),
             )
             self._sessions.add(session)
-            return session
+        self._m_sessions_opened.inc()
+        return session
 
     def _forget_session(self, session: Session) -> None:
         with self._lock:
@@ -496,23 +538,22 @@ class PolygenFederation:
             if self._closed:
                 raise ServiceClosedError("federation is closed")
             query_id = next(self._query_counter)
-            self._submitted += 1
-            self._active += 1
         cancel = threading.Event()
         cursor = Cursor(fetch_size=options.fetch_size)
         handle = QueryHandle(query_id, session, cursor, cancel)
         try:
             future = self._coordinators.submit(
-                self._run_query, query, kind, options, cancel, cursor
+                self._run_query, query, kind, options, cancel, cursor,
+                session.name,
             )
         except RuntimeError:
             # Lost the race with close(): the coordinator pool shut down
-            # between our closed-check and the submit.  Roll the counters
-            # back and surface the service-level error.
-            with self._lock:
-                self._submitted -= 1
-                self._active -= 1
+            # between our closed-check and the submit.  Nothing was counted
+            # yet (counters are monotone and only move after a successful
+            # dispatch), so just surface the service-level error.
             raise ServiceClosedError("federation is closed") from None
+        self._m_submitted.inc()
+        self._m_active.inc()
         future.add_done_callback(self._settle)
         handle._bind(future)
         return handle
@@ -532,24 +573,24 @@ class PolygenFederation:
             if self._closed:
                 raise ServiceClosedError("federation is closed")
             next(self._query_counter)
-            self._submitted += 1
-            self._active += 1
+        self._m_submitted.inc()
+        self._m_active.inc()
         try:
             # No cursor (nobody could read it before this returns) and no
             # cancel event (nobody else holds a handle to set it) — the
             # executors then skip batch slicing and cancellation polling.
             result = self._run_query(query, kind, options, None, None)
         except BaseException as exc:
-            with self._lock:
-                self._active -= 1
-                if isinstance(exc, QueryCancelledError):
-                    self._cancelled += 1
-                else:
-                    self._failed += 1
+            self._m_active.dec()
+            status = (
+                "cancelled"
+                if isinstance(exc, QueryCancelledError)
+                else "failed"
+            )
+            self._m_finished.inc(status=status)
             raise
-        with self._lock:
-            self._active -= 1
-            self._completed += 1
+        self._m_active.dec()
+        self._m_finished.inc(status="completed")
         return result
 
     def _run_query(
@@ -559,82 +600,138 @@ class PolygenFederation:
         options: QueryOptions,
         cancel: threading.Event | None,
         cursor: Cursor | None,
+        session: str | None = None,
     ) -> QueryResult:
-        """The full pipeline for one query, feeding the cursor (when one
-        exists) the moment the plan's result node completes.  ``cancel``
-        and ``cursor`` are ``None`` on the synchronous :meth:`run` path."""
+        """One query, end to end, under a root ``query`` span.
+
+        Wraps :meth:`_run_pipeline` with the per-query observability:
+        opens the trace (every stage/row/remote span hangs off the root
+        via the ambient contextvar), attaches the finished span set to
+        ``result.trace.spans``, records latency/source/busy metrics and
+        emits the slow-query event when ``options.slow_query_ms`` is
+        crossed.  ``cancel`` and ``cursor`` are ``None`` on the
+        synchronous :meth:`run` path; ``session`` labels the metrics."""
+        began = time.perf_counter()
+        root = self.tracer.start(
+            "query",
+            kind=kind,
+            engine=options.engine,
+            **({"session": session} if session else {}),
+        )
         try:
             if cancel is not None and cancel.is_set():
                 raise QueryCancelledError("query cancelled before it started")
-            sql = translation = tree = pom = report = None
-            if kind == "plan":
-                # A pre-built IOM executes as given — the paper's
-                # "Table 3 as the execution plan, without further
-                # optimization"; optimize explicitly first if wanted.
-                iom = query
-            else:
-                if kind == "sql":
-                    sql = query
+            with use_span(root):
+                result = self._run_pipeline(query, kind, options, cancel, cursor)
+        except BaseException as exc:
+            root.end(exc)
+            if cursor is not None:
+                cursor._fail(exc)
+            raise
+        root.set(tuples=len(result.relation)).end()
+        result.trace.spans = root.trace_spans()
+        self._observe_query(result, began, options, session)
+        return result
+
+    def _run_pipeline(
+        self,
+        query: Query,
+        kind: str,
+        options: QueryOptions,
+        cancel: threading.Event | None,
+        cursor: Cursor | None,
+    ) -> QueryResult:
+        """The full pipeline for one query, feeding the cursor (when one
+        exists) the moment the plan's result node completes.  Runs with
+        the query's root span ambient, so each stage opens a child."""
+        sql = translation = tree = pom = report = None
+        if kind == "plan":
+            # A pre-built IOM executes as given — the paper's
+            # "Table 3 as the execution plan, without further
+            # optimization"; optimize explicitly first if wanted.
+            iom = query
+        else:
+            if kind == "sql":
+                sql = query
+                with self.tracer.span("translate"):
                     translation = translate_sql(query, self.schema)
-                    expression = translation.expression
-                else:
-                    expression = query
+                expression = translation.expression
+            else:
+                expression = query
+            with self.tracer.span("analyze"):
                 tree, pom = self.analyze(expression)
+            with self.tracer.span("plan"):
                 iom = self.plan(pom, options)
+            with self.tracer.span("optimize") as opt_span:
                 iom, report = self.optimize(iom, options)
-            sharding = None
-            if options.shard_width and kind != "plan":
-                # Pre-built plans stay verbatim (the paper's "Table 3 as
-                # the execution plan"); shard explicitly via
-                # repro.pqp.shard for those.
+                chosen = getattr(report, "chosen", None)
+                if chosen is not None:
+                    opt_span.set(shape=chosen)
+        sharding = None
+        if options.shard_width and kind != "plan":
+            # Pre-built plans stay verbatim (the paper's "Table 3 as
+            # the execution plan"); shard explicitly via
+            # repro.pqp.shard for those.
+            with self.tracer.span("shard"):
                 iom, sharding = shard_retrieves(
                     iom,
                     self.registry,
                     width=options.shard_width,
                     schema=self.schema,
                 )
-            caching = fingerprints = cache_epoch = None
-            if options.cache != "off":
+        caching = fingerprints = cache_epoch = None
+        if options.cache != "off":
+            with self.tracer.span("cache.probe") as probe:
                 # Fingerprint the final (optimized, sharded) plan: results
                 # cached under one shape key only that shape, and the
                 # conflict policy salts every hash.
                 fingerprints = fingerprint_plan(iom, options.policy)
                 cache_epoch = self.cache.tick()
-            if options.cache == "on":
-                hit = self.cache.lookup(fingerprints.final)
-                if hit is not None:
-                    # Whole-plan hit: no executor dispatch at all.  The
-                    # synthetic trace carries the cached relation and
-                    # lineage, with no timings (nothing ran).
-                    trace = ExecutionTrace(
-                        relation=hit.relation,
-                        results={iom.rows[-1].result.index: hit.relation},
-                        lineage=dict(hit.lineage),
-                    )
-                    if cursor is not None:
-                        cursor._feed(hit.relation)
-                    return QueryResult(
-                        relation=hit.relation,
-                        expression=tree,
-                        pom=pom,
-                        iom=iom,
-                        trace=trace,
-                        sql=sql,
-                        translation=translation,
-                        optimization=report,
-                        sharding=sharding,
-                        cache_hit=True,
-                    )
-                # Subtree hits: splice cached subplans into the matrix as
-                # pre-materialized CACHED rows, then re-fingerprint (the
-                # carried hashes keep untouched rows' keys stable).
-                iom, splice = splice_cached(
-                    iom, self.cache.splice_probe, fingerprints, options.policy
+                hit = (
+                    self.cache.lookup(fingerprints.final)
+                    if options.cache == "on"
+                    else None
                 )
-                if splice.any:
-                    caching = splice
-                    fingerprints = fingerprint_plan(iom, options.policy)
-            executor = self.executor_for(options)
+                if hit is not None:
+                    probe.set(outcome="hit")
+                elif options.cache == "on":
+                    # Subtree hits: splice cached subplans into the matrix
+                    # as pre-materialized CACHED rows, then re-fingerprint
+                    # (carried hashes keep untouched rows' keys stable).
+                    iom, splice = splice_cached(
+                        iom, self.cache.splice_probe, fingerprints, options.policy
+                    )
+                    if splice.any:
+                        caching = splice
+                        fingerprints = fingerprint_plan(iom, options.policy)
+                    probe.set(outcome="spliced" if splice.any else "miss")
+                else:
+                    probe.set(outcome="refresh")
+            if hit is not None:
+                # Whole-plan hit: no executor dispatch at all.  The
+                # synthetic trace carries the cached relation and
+                # lineage, with no timings (nothing ran).
+                trace = ExecutionTrace(
+                    relation=hit.relation,
+                    results={iom.rows[-1].result.index: hit.relation},
+                    lineage=dict(hit.lineage),
+                )
+                if cursor is not None:
+                    cursor._feed(hit.relation)
+                return QueryResult(
+                    relation=hit.relation,
+                    expression=tree,
+                    pom=pom,
+                    iom=iom,
+                    trace=trace,
+                    sql=sql,
+                    translation=translation,
+                    optimization=report,
+                    sharding=sharding,
+                    cache_hit=True,
+                )
+        executor = self.executor_for(options)
+        with self.tracer.span("execute", engine=options.engine) as exec_span:
             trace = executor.execute(
                 iom,
                 cancel=cancel,
@@ -643,30 +740,25 @@ class PolygenFederation:
                 stream_chunk_size=options.stream_chunk_size,
                 wire_format=options.wire_format,
             )
-            with self._lock:
-                for location, busy in trace.busy_by_location().items():
-                    self._busy[location] = self._busy.get(location, 0.0) + busy
-            # Feed the completed trace back into the calibrator so the next
-            # cost-based plan is scheduled with fresher models.
-            self.calibrator.observe(iom, trace)
-            if options.cache != "off":
+            exec_span.set(rows=len(iom), tuples=len(trace.relation))
+        # Feed the completed trace back into the calibrator so the next
+        # cost-based plan is scheduled with fresher models.
+        self.calibrator.observe(iom, trace)
+        if options.cache != "off":
+            with self.tracer.span("cache.store"):
                 self._store_results(iom, trace, fingerprints, cache_epoch)
-            return QueryResult(
-                relation=trace.relation,
-                expression=tree,
-                pom=pom,
-                iom=iom,
-                trace=trace,
-                sql=sql,
-                translation=translation,
-                optimization=report,
-                sharding=sharding,
-                caching=caching,
-            )
-        except BaseException as exc:
-            if cursor is not None:
-                cursor._fail(exc)
-            raise
+        return QueryResult(
+            relation=trace.relation,
+            expression=tree,
+            pom=pom,
+            iom=iom,
+            trace=trace,
+            sql=sql,
+            translation=translation,
+            optimization=report,
+            sharding=sharding,
+            caching=caching,
+        )
 
     def _store_results(
         self,
@@ -767,20 +859,194 @@ class PolygenFederation:
     def _settle(self, future) -> None:
         """Done-callback classifying every query's outcome (including ones
         cancelled before their coordinator ever ran them)."""
-        with self._lock:
-            self._active -= 1
-            if future.cancelled():
-                self._cancelled += 1
-                return
-            error = future.exception()
-            if error is None:
-                self._completed += 1
-            elif isinstance(error, QueryCancelledError):
-                self._cancelled += 1
-            else:
-                self._failed += 1
+        self._m_active.dec()
+        if future.cancelled():
+            self._m_finished.inc(status="cancelled")
+            return
+        error = future.exception()
+        if error is None:
+            self._m_finished.inc(status="completed")
+        elif isinstance(error, QueryCancelledError):
+            self._m_finished.inc(status="cancelled")
+        else:
+            self._m_finished.inc(status="failed")
 
     # -- observability ------------------------------------------------------
+
+    def _observe_query(
+        self,
+        result: QueryResult,
+        began: float,
+        options: QueryOptions,
+        session: str | None,
+    ) -> None:
+        """Per-query metrics and the slow-query log, on the success path."""
+        elapsed = time.perf_counter() - began
+        self._m_latency.observe(elapsed)
+        if session:
+            self._m_session_queries.inc(session=session)
+        busy = result.trace.busy_by_location()
+        for location, seconds in busy.items():
+            self._m_busy.inc(seconds, location=location)
+        sources = self._consulted_sources(result)
+        for source in sorted(sources):
+            self._m_sources.inc(source=source)
+        threshold = options.slow_query_ms
+        if threshold is None or elapsed * 1000.0 < threshold:
+            return
+        self._m_slow.inc()
+        self.events.emit(
+            "slow_query",
+            **slow_query_event(
+                query=self._query_text(result),
+                elapsed_ms=elapsed * 1000.0,
+                threshold_ms=threshold,
+                fingerprint=fingerprint_plan(result.iom, options.policy).final,
+                shape=self._shape_of(result),
+                cache=self._cache_disposition(result, options),
+                busy_by_location=busy,
+                sources=sorted(sources),
+                session=session,
+                engine=options.engine,
+            ),
+        )
+
+    @staticmethod
+    def _query_text(result: QueryResult) -> str:
+        if result.sql is not None:
+            return result.sql
+        if result.expression is not None:
+            return str(result.expression)
+        return "<plan>"
+
+    @staticmethod
+    def _consulted_sources(result: QueryResult) -> set:
+        """Source tags this query touched: the answer's contributing
+        sources (the polygen harvest) plus every database a plan row
+        executed against — a source whose rows were all filtered out was
+        still *consulted* and must show in the per-source counters."""
+        sources = set(result.relation.contributing_sources())
+        for row in result.iom:
+            if row.is_local and row.el:
+                sources.add(row.el)
+        return sources
+
+    @staticmethod
+    def _shape_of(result: QueryResult) -> Optional[str]:
+        report = result.optimization
+        if report is None:
+            return None
+        chosen = getattr(report, "chosen", None)
+        return chosen if chosen is not None else "rewritten"
+
+    @staticmethod
+    def _cache_disposition(result: QueryResult, options: QueryOptions) -> str:
+        if options.cache == "off":
+            return "off"
+        if result.cache_hit:
+            return "hit"
+        if result.caching is not None and result.caching.any:
+            return "spliced"
+        return "miss"
+
+    def _busy_snapshot(self) -> Dict[str, float]:
+        return {
+            dict(key).get("location", "?"): seconds
+            for key, seconds in self._m_busy.samples()
+        }
+
+    def _collect_metrics(self, registry: MetricsRegistry) -> None:
+        """Scrape-time collector: gauges mirroring the pull-style
+        components (pool, cache, LQP accounting, transports, calibrator)
+        so one ``render()`` shows the whole federation without those
+        components ever importing :mod:`repro.obs`."""
+        registry.gauge(
+            "polygen_uptime_seconds", "Seconds since the federation started."
+        ).set(time.perf_counter() - self._started_at)
+        registry.gauge(
+            "polygen_sessions_open", "Sessions currently open."
+        ).set(len(self._sessions))
+        registry.gauge(
+            "polygen_worker_threads", "Live per-database worker threads."
+        ).set(len(self._pool.thread_names()))
+        occupancy = registry.gauge(
+            "polygen_pool_queue_depth",
+            "Jobs queued or running per database worker group.",
+        )
+        for database, depth in self._pool.occupancy().items():
+            occupancy.set(depth, database=database)
+        cache = self.cache.stats()
+        registry.gauge(
+            "polygen_cache_entries", "Resident result-cache entries."
+        ).set(cache.entries)
+        registry.gauge(
+            "polygen_cache_bytes", "Resident result-cache bytes."
+        ).set(cache.bytes)
+        events = registry.gauge(
+            "polygen_cache_events", "Result-cache lifecycle counters by kind."
+        )
+        for kind in (
+            "hits",
+            "misses",
+            "splices",
+            "insertions",
+            "evictions",
+            "invalidated",
+            "invalidations",
+            "expired",
+        ):
+            events.set(getattr(cache, kind), kind=kind)
+        lqp_queries = registry.gauge(
+            "polygen_lqp_queries", "Local queries answered per database."
+        )
+        lqp_tuples = registry.gauge(
+            "polygen_lqp_tuples_shipped", "Tuples shipped to the PQP per database."
+        )
+        for name, stats in self.registry.stats().items():
+            lqp_queries.set(stats.queries, database=name)
+            lqp_tuples.set(stats.tuples_shipped, database=name)
+        transport_fields = (
+            "requests",
+            "chunks",
+            "tuples",
+            "bytes_sent",
+            "bytes_received",
+            "retries",
+            "timeouts",
+            "reconnects",
+            "in_flight_hwm",
+        )
+        for name, stats in self._remote_transport_stats().items():
+            for field in transport_fields:
+                registry.gauge(
+                    f"polygen_transport_{field}",
+                    f"Remote transport {field.replace('_', ' ')} per database.",
+                ).set(getattr(stats, field), database=name)
+        error = self.calibrator.prediction_error()
+        if error is not None:
+            registry.gauge(
+                "polygen_cost_model_error",
+                "Mean relative makespan prediction error.",
+            ).set(error)
+        registry.gauge(
+            "polygen_plans_calibrated", "Traces that have fed the calibrator."
+        ).set(self.calibrator.observed_plans)
+
+    def metrics_text(self) -> str:
+        """The Prometheus text exposition of every federation metric
+        (collectors refreshed first)."""
+        return self.metrics.render()
+
+    def serve_metrics(self, host: str = "127.0.0.1", port: int = 0):
+        """Start a TCP exposition endpoint for :meth:`metrics_text`;
+        returns the :class:`~repro.obs.export.MetricsExporter` (its
+        ``address`` is the bound ``(host, port)``).  Closed with the
+        federation."""
+        from repro.obs.export import MetricsExporter
+
+        exporter = MetricsExporter(self.metrics, host=host, port=port)
+        self._exporters.append(exporter)
+        return exporter
 
     def _remote_transport_stats(self) -> Dict[str, "TransportStats"]:
         """database → transport counters for every network-backed LQP.
@@ -802,7 +1068,12 @@ class PolygenFederation:
         return transports
 
     def stats(self) -> FederationStats:
-        """A snapshot of service counters, pool state and LQP traffic."""
+        """A snapshot of service counters, pool state and LQP traffic.
+
+        A thin view over :attr:`metrics` — the registry is the single
+        source of truth for the query/busy counters; this keeps the
+        historical :class:`FederationStats` shape for existing callers.
+        """
         lqp_stats = self.registry.stats()
         remote_transports = self._remote_transport_stats()
         calibrated = self.calibrator.local_costs()
@@ -810,16 +1081,16 @@ class PolygenFederation:
         plans_calibrated = self.calibrator.observed_plans
         with self._lock:
             return FederationStats(
-                queries_submitted=self._submitted,
-                queries_completed=self._completed,
-                queries_failed=self._failed,
-                queries_cancelled=self._cancelled,
-                queries_active=self._active,
+                queries_submitted=int(self._m_submitted.total()),
+                queries_completed=int(self._m_finished.value(status="completed")),
+                queries_failed=int(self._m_finished.value(status="failed")),
+                queries_cancelled=int(self._m_finished.value(status="cancelled")),
+                queries_active=int(round(self._m_active.value())),
                 sessions_open=len(self._sessions),
                 uptime_seconds=time.perf_counter() - self._started_at,
                 worker_threads=self._pool.thread_names(),
                 pool_occupancy=self._pool.occupancy(),
-                busy_by_location=dict(self._busy),
+                busy_by_location=self._busy_snapshot(),
                 lqp_queries={name: s.queries for name, s in lqp_stats.items()},
                 lqp_tuples_shipped={
                     name: s.tuples_shipped for name, s in lqp_stats.items()

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Union
+from typing import Optional, Union
 
 from repro.core.cell import ConflictPolicy
 
@@ -74,6 +74,12 @@ class QueryOptions:
       are spliced into the plan as pre-materialized inputs) and stores
       fresh results; ``"refresh"`` skips consultation but still stores —
       a forced recomputation that repopulates the cache.
+    - ``slow_query_ms`` — the slow-query log threshold
+      (:mod:`repro.obs.events`): a query whose end-to-end wall time
+      reaches this many milliseconds emits a ``slow_query`` event on the
+      federation's event log (plan fingerprint, shape, cache disposition,
+      per-LQP busy time, consulted sources).  ``None`` (the default)
+      disables the log.
     """
 
     engine: str = "concurrent"
@@ -87,6 +93,7 @@ class QueryOptions:
     cache: str = "off"
     wire_format: str = "auto"
     stream_chunk_size: int = 1024
+    slow_query_ms: Optional[float] = None
 
     def __post_init__(self):
         """Validate every field at construction.
@@ -160,6 +167,19 @@ class QueryOptions:
             raise ValueError(
                 f"stream_chunk_size must be >= 1, got {self.stream_chunk_size}"
             )
+        if self.slow_query_ms is not None:
+            if isinstance(self.slow_query_ms, bool) or not isinstance(
+                self.slow_query_ms, (int, float)
+            ):
+                raise ValueError(
+                    f"slow_query_ms must be a number of milliseconds or None, "
+                    f"got {self.slow_query_ms!r} "
+                    f"({type(self.slow_query_ms).__name__})"
+                )
+            if self.slow_query_ms < 0:
+                raise ValueError(
+                    f"slow_query_ms must be >= 0, got {self.slow_query_ms}"
+                )
 
     def replace(self, **overrides) -> "QueryOptions":
         """A copy with ``overrides`` applied; unknown names raise

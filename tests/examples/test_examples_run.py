@@ -30,6 +30,7 @@ class TestExamples:
             "federation_service.py",
             "heterogeneous_sources.py",
             "lineage_audit.py",
+            "observability.py",
             "polystore.py",
             "quickstart.py",
             "remote_federation.py",
@@ -70,6 +71,15 @@ class TestExamples:
         output = run_example("heterogeneous_sources.py")
         assert "Identical" in output
         assert "Genentech, {AD, CD}, {AD, CD}" in output
+
+    def test_observability(self):
+        output = run_example("observability.py")
+        assert "Stitched trace:" in output
+        assert "[remote]" in output  # server-side spans in the same tree
+        assert "Slow-query log entry:" in output
+        assert "polygen_query_seconds_bucket" in output
+        assert "polygen_source_consulted_total" in output
+        assert "Genentech, {AD, CD}, {AD, CD}" in output  # still the paper's answer
 
     def test_remote_federation(self):
         output = run_example("remote_federation.py")

@@ -700,3 +700,200 @@ class TestGarbageInbound:
         # ... and keep serving well-behaved clients.
         with RemoteLQP(server.url, timeout=TIMEOUT) as remote:
             assert remote.retrieve("ALUMNUS").cardinality == 8
+
+
+class TestTransportFaultCounters:
+    """TransportStats retry/timeout/reconnect accounting under injected
+    faults — the counters the federation's metrics collector exports."""
+
+    def test_repeated_timeouts_accumulate_and_are_not_retried(self):
+        def hello_then_silence(scripted, sock):
+            sock.sendall(protocol.encode_frame(protocol.hello_message("XX", ["T"])))
+            while True:  # swallow requests and cancels, never reply
+                scripted.read_frame(sock)
+
+        scripted = _ScriptedServer(hello_then_silence)
+        try:
+            remote = RemoteLQP(scripted.url, timeout=0.4, retries=2)
+            for expected in (1, 2):
+                with pytest.raises(RemoteTimeoutError):
+                    remote.retrieve("T")
+                assert remote.transport_stats().timeouts == expected
+            stats = remote.transport_stats()
+            # A timeout is not a dropped connection: no retry, no redial.
+            assert stats.retries == 0
+            assert stats.reconnects == 0
+            remote.close()
+        finally:
+            scripted.close()
+
+    def test_exhausted_retries_count_every_extra_attempt(self):
+        def drop_after_request(scripted, sock):
+            sock.sendall(protocol.encode_frame(protocol.hello_message("XX", ["T"])))
+            scripted.read_frame(sock)  # swallow the request, hang up
+
+        scripted = _ScriptedServer(
+            drop_after_request, drop_after_request, drop_after_request
+        )
+        try:
+            remote = RemoteLQP(scripted.url, timeout=TIMEOUT, retries=2)
+            with pytest.raises(ConnectionLostError):
+                remote.retrieve("T")
+            stats = remote.transport_stats()
+            assert stats.retries == 2  # two extra attempts after the first
+            assert stats.reconnects == 2  # each retry dialed a fresh socket
+            remote.close()
+        finally:
+            scripted.close()
+
+    def test_counters_settle_after_recovery(self):
+        def drop_after_request(scripted, sock):
+            sock.sendall(protocol.encode_frame(protocol.hello_message("XX", ["T"])))
+            scripted.read_frame(sock)
+
+        def serve_properly(scripted, sock):
+            sock.sendall(protocol.encode_frame(protocol.hello_message("XX", ["T"])))
+            while True:
+                request = scripted.read_frame(sock)
+                sock.sendall(
+                    protocol.encode_frame(
+                        protocol.chunk_message(request["id"], 0, ["A"], [[1]])
+                    )
+                )
+                sock.sendall(
+                    protocol.encode_frame(
+                        protocol.end_message(request["id"], 1, 1, ["A"])
+                    )
+                )
+
+        scripted = _ScriptedServer(drop_after_request, serve_properly)
+        try:
+            remote = RemoteLQP(scripted.url, timeout=TIMEOUT, retries=1)
+            assert remote.retrieve("T").rows == ((1,),)
+            after_fault = remote.transport_stats()
+            assert (after_fault.retries, after_fault.reconnects) == (1, 1)
+            # A healthy follow-up request moves requests, not the fault
+            # counters.
+            assert remote.retrieve("T").rows == ((1,),)
+            settled = remote.transport_stats()
+            assert (settled.retries, settled.reconnects) == (1, 1)
+            assert settled.timeouts == 0
+            assert settled.requests == after_fault.requests + 1
+            remote.close()
+        finally:
+            scripted.close()
+
+
+class TestWireTraceNegotiation:
+    """Trace-context propagation is capability-gated: v2 peers that
+    advertise ``trace`` receive the context and ship spans back; v1
+    peers must never see the key."""
+
+    def test_v1_peer_never_receives_trace_context(self):
+        from repro.obs.trace import Tracer, use_span
+
+        def v1_hello(scripted, sock):
+            hello = {
+                "kind": "hello",
+                "protocol": 1,
+                "database": "XX",
+                "relations": ["T"],
+            }
+            sock.sendall(protocol.encode_frame(hello))
+            request = scripted.read_frame(sock)
+            sock.sendall(
+                protocol.encode_frame(
+                    protocol.end_message(request["id"], 0, 0, ["A"])
+                )
+            )
+            scripted.read_frame(sock)  # block until the client closes
+
+        scripted = _ScriptedServer(v1_hello)
+        try:
+            remote = RemoteLQP(scripted.url, timeout=TIMEOUT, retries=0)
+            assert not remote.trace_negotiated
+            root = Tracer().start("query")
+            with use_span(root):
+                remote.retrieve("T")
+            requests = [
+                frame for frame in scripted.frames_read
+                if frame.get("op") == "retrieve"
+            ]
+            assert requests and all("trace" not in f for f in requests)
+            remote.close()
+        finally:
+            scripted.close()
+
+    def test_trace_context_sent_and_shipped_spans_adopted(self):
+        from repro.obs.trace import Tracer, use_span
+
+        shipped = {
+            "name": "serve.retrieve",
+            "span": "remote-1",
+            "parent": None,  # patched to the propagated id by the script
+            "start": 1.0,
+            "finish": 2.0,
+            "status": "ok",
+            "attributes": {"database": "XX"},
+        }
+
+        def traced_server(scripted, sock):
+            sock.sendall(protocol.encode_frame(protocol.hello_message("XX", ["T"])))
+            request = scripted.read_frame(sock)
+            context = request["trace"]
+            payload = dict(shipped, trace=context["id"], parent=context["span"])
+            sock.sendall(
+                protocol.encode_frame(
+                    protocol.end_message(
+                        request["id"], 0, 0, ["A"], spans=[payload]
+                    )
+                )
+            )
+            scripted.read_frame(sock)  # block until the client closes
+
+        scripted = _ScriptedServer(traced_server)
+        try:
+            remote = RemoteLQP(scripted.url, timeout=TIMEOUT, retries=0)
+            assert remote.trace_negotiated
+            root = Tracer().start("query")
+            with use_span(root):
+                remote.retrieve("T")
+            request = next(
+                frame for frame in scripted.frames_read
+                if frame.get("op") == "retrieve"
+            )
+            assert request["trace"] == {
+                "id": root.trace_id,
+                "span": root.span_id,
+            }
+            adopted = [span for span in root.trace_spans() if span.remote]
+            assert [span.name for span in adopted] == ["serve.retrieve"]
+            assert adopted[0].parent_id == root.span_id
+            assert adopted[0].trace_id == root.trace_id
+            remote.close()
+        finally:
+            scripted.close()
+
+    def test_no_ambient_span_sends_no_trace_context(self):
+        def traced_server(scripted, sock):
+            sock.sendall(protocol.encode_frame(protocol.hello_message("XX", ["T"])))
+            request = scripted.read_frame(sock)
+            sock.sendall(
+                protocol.encode_frame(
+                    protocol.end_message(request["id"], 0, 0, ["A"])
+                )
+            )
+            scripted.read_frame(sock)
+
+        scripted = _ScriptedServer(traced_server)
+        try:
+            remote = RemoteLQP(scripted.url, timeout=TIMEOUT, retries=0)
+            remote.retrieve("T")
+            request = next(
+                frame for frame in scripted.frames_read
+                if frame.get("op") == "retrieve"
+            )
+            assert "trace" not in request
+            remote.close()
+        finally:
+            scripted.close()

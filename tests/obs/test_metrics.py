@@ -1,0 +1,157 @@
+"""Unit tests for the metrics registry: instruments, labels, exposition
+format, collectors, and multi-threaded counter integrity."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_buckets,
+    global_registry,
+)
+
+
+class TestCounter:
+    def test_inc_value_total_across_labels(self):
+        counter = Counter("polygen_queries_total", "Queries.")
+        counter.inc(status="completed")
+        counter.inc(2, status="completed")
+        counter.inc(status="failed")
+        assert counter.value(status="completed") == 3
+        assert counter.value(status="failed") == 1
+        assert counter.value(status="cancelled") == 0
+        assert counter.total() == 4
+
+    def test_counters_only_go_up(self):
+        counter = Counter("c", "")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_render_includes_help_type_and_labels(self):
+        counter = Counter("polygen_queries_total", "Queries by status.")
+        counter.inc(status="completed")
+        lines = counter.render()
+        assert "# HELP polygen_queries_total Queries by status." in lines
+        assert "# TYPE polygen_queries_total counter" in lines
+        assert 'polygen_queries_total{status="completed"} 1' in lines
+
+    def test_render_empty_family_emits_a_zero_sample(self):
+        assert Counter("c", "").render()[-1] == "c 0"
+
+    def test_label_values_are_escaped(self):
+        counter = Counter("c", "")
+        counter.inc(name='he said "hi"\n')
+        sample = counter.render()[-1]
+        assert '\\"hi\\"' in sample and "\\n" in sample
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("g", "")
+        gauge.set(5, database="AD")
+        gauge.inc(2, database="AD")
+        gauge.dec(database="AD")
+        assert gauge.value(database="AD") == 6
+        assert gauge.value(database="CD") == 0
+
+
+class TestHistogram:
+    def test_default_buckets_are_exponential(self):
+        bounds = default_buckets()
+        assert len(bounds) == 18
+        assert bounds[0] == pytest.approx(0.0005)
+        assert bounds[1] / bounds[0] == pytest.approx(2.0)
+
+    def test_default_buckets_validate(self):
+        with pytest.raises(ValueError):
+            default_buckets(start=0)
+        with pytest.raises(ValueError):
+            default_buckets(factor=1.0)
+
+    def test_observe_sum_count(self):
+        histogram = Histogram("h", "", buckets=[0.1, 1.0, 10.0])
+        for value in (0.05, 0.5, 5.0, 50.0):
+            histogram.observe(value)
+        assert histogram.count() == 4
+        assert histogram.sum() == pytest.approx(55.55)
+
+    def test_render_is_cumulative_with_inf(self):
+        histogram = Histogram("h", "", buckets=[0.1, 1.0])
+        for value in (0.05, 0.5, 5.0):
+            histogram.observe(value)
+        lines = histogram.render()
+        assert 'h_bucket{le="0.1"} 1' in lines
+        assert 'h_bucket{le="1"} 2' in lines
+        assert 'h_bucket{le="+Inf"} 3' in lines
+        assert "h_sum 5.55" in lines
+        assert "h_count 3" in lines
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", "", buckets=[1.0, 0.1])
+
+
+class TestRegistry:
+    def test_families_are_idempotent_by_name(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c") is registry.counter("c")
+        assert registry.gauge("g") is registry.gauge("g")
+
+    def test_kind_mismatch_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("x")
+
+    def test_render_sorts_families_and_ends_with_newline(self):
+        registry = MetricsRegistry()
+        registry.counter("zebra").inc()
+        registry.counter("aardvark").inc()
+        text = registry.render()
+        assert text.index("aardvark") < text.index("zebra")
+        assert text.endswith("\n")
+
+    def test_collectors_run_at_render_time(self):
+        registry = MetricsRegistry()
+        state = {"depth": 3}
+        registry.add_collector(
+            lambda r: r.gauge("queue_depth").set(state["depth"])
+        )
+        assert "queue_depth 3" in registry.render()
+        state["depth"] = 7
+        assert "queue_depth 7" in registry.render()
+
+    def test_snapshot_covers_counters_and_gauges(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(status="ok")
+        registry.gauge("g").set(2)
+        snapshot = registry.snapshot()
+        assert snapshot["c"][(("status", "ok"),)] == 1
+        assert snapshot["g"][()] == 2
+
+    def test_global_registry_is_a_singleton(self):
+        assert global_registry() is global_registry()
+
+
+class TestThreadSafety:
+    def test_concurrent_increments_lose_nothing(self):
+        counter = Counter("c", "")
+        histogram = Histogram("h", "", buckets=[0.5])
+        rounds, workers = 2000, 8
+
+        def work():
+            for _ in range(rounds):
+                counter.inc(status="completed")
+                histogram.observe(0.1)
+
+        threads = [threading.Thread(target=work) for _ in range(workers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value(status="completed") == rounds * workers
+        assert histogram.count() == rounds * workers
